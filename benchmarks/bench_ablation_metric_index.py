@@ -1,0 +1,68 @@
+"""Ablation: the BK metric index vs the paper's two accelerators.
+
+Paper Section 6 floats "a metric index for phonemes" as future work.
+This bench compares all four access paths on the same workload:
+
+* naive UDF scan (Table 1 baseline) — exact;
+* q-gram filters (Table 2) — exact;
+* BK metric index — exact, prunes by the match metric itself;
+* phonetic key index (Table 3) — fastest, false-dismisses.
+"""
+
+from repro.core import (
+    MetricIndexStrategy,
+    NaiveUdfStrategy,
+    PhoneticIndexStrategy,
+    QGramStrategy,
+)
+from repro.evaluation.report import format_table, seconds
+from repro.evaluation.timing import time_select
+
+from conftest import SELECT_QUERIES, save_result
+
+
+def test_ablation_metric_index(benchmark, perf_catalog, baseline_times):
+    naive = baseline_times["naive_scan"]
+    qgram = time_select(QGramStrategy(perf_catalog), SELECT_QUERIES)
+    metric_strategy = MetricIndexStrategy(perf_catalog)
+    metric = time_select(metric_strategy, SELECT_QUERIES)
+    phonetic = time_select(
+        PhoneticIndexStrategy(perf_catalog), SELECT_QUERIES
+    )
+
+    def row(label, run, exact):
+        return [
+            label,
+            seconds(run.seconds),
+            f"{naive.seconds / max(run.seconds, 1e-9):.1f}x",
+            str(run.stats.udf_calls),
+            str(run.result_count),
+            exact,
+        ]
+
+    rows = [
+        row("naive UDF scan", naive, "yes"),
+        row("q-gram filters", qgram, "yes"),
+        row("BK metric index", metric, "yes"),
+        row("phonetic key index", phonetic, "no (dismissals)"),
+    ]
+    text = format_table(
+        ["access path", "time", "speedup", "distance/UDF calls",
+         "results", "exact?"],
+        rows,
+        title="Ablation — metric index vs the paper's accelerators",
+    )
+    save_result("ablation_metric_index.txt", text)
+
+    # Exactness: the metric index returns exactly the naive results.
+    assert metric.result_count == naive.result_count
+    # It must beat the naive scan in distance computations (pruning).
+    assert metric.stats.udf_calls < naive.stats.udf_calls
+    # The lossy phonetic key is allowed to return fewer results.
+    assert phonetic.result_count <= naive.result_count
+
+    benchmark.pedantic(
+        lambda: metric_strategy.select(SELECT_QUERIES[0]),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""Ablation: q-gram filter domain (cluster space vs raw phonemes).
+
+DESIGN.md §3: with a fractional intra-cluster cost the classical filter
+bound must either be scaled by the minimum operation cost (raw phoneme
+domain) or applied in cluster space where intra-cluster substitutions
+vanish.  This bench measures the candidate-set selectivity of both
+domains at the fuzzy default configuration — and checks that both remain
+sound (identical final results to the naive strategy).
+"""
+
+from repro.core import (
+    LexEqualMatcher,
+    MatchConfig,
+    NaiveUdfStrategy,
+    NameCatalog,
+    QGramStrategy,
+)
+from repro.evaluation.report import format_table
+from repro.evaluation.timing import time_select
+
+from conftest import save_result
+
+QUERIES = ["NehruGandhi", "KrishnaMohan", "MeenaRaghav"]
+
+
+def _catalog(config, perf_dataset, size=800):
+    catalog = NameCatalog(LexEqualMatcher(config))
+    for item in perf_dataset[:size]:
+        catalog.add(item.name, item.language, ipa=item.ipa)
+    for query in QUERIES:
+        catalog.add(query, "english")
+    return catalog
+
+
+def test_ablation_qgram_domain(benchmark, perf_dataset):
+    fuzzy = dict(threshold=0.25, intra_cluster_cost=0.25)
+    cluster_catalog = _catalog(
+        MatchConfig(qgram_domain="cluster", **fuzzy), perf_dataset
+    )
+    phoneme_catalog = _catalog(
+        MatchConfig(qgram_domain="phoneme", **fuzzy), perf_dataset
+    )
+
+    rows = []
+    results = {}
+    for label, catalog in [
+        ("cluster", cluster_catalog),
+        ("phoneme", phoneme_catalog),
+    ]:
+        naive = time_select(NaiveUdfStrategy(catalog), QUERIES)
+        qgram = time_select(QGramStrategy(catalog), QUERIES)
+        results[label] = (naive, qgram)
+        rows.append(
+            [
+                label,
+                str(qgram.stats.candidates_after_filters),
+                str(naive.stats.rows_considered),
+                f"{qgram.seconds * 1e3:.1f} ms",
+                str(qgram.result_count),
+            ]
+        )
+    text = format_table(
+        ["filter domain", "candidates after filters", "rows scanned",
+         "q-gram time", "results"],
+        rows,
+        title=(
+            "Ablation — q-gram filter domain at the fuzzy default "
+            "configuration (threshold 0.25, intra-cluster cost 0.25)"
+        ),
+    )
+    save_result("ablation_qgram_domain.txt", text)
+
+    for label, (naive, qgram) in results.items():
+        # Soundness in both domains: same result count as the UDF scan.
+        assert qgram.result_count == naive.result_count, label
+        # And real pruning relative to a full scan.
+        assert (
+            qgram.stats.candidates_after_filters
+            < naive.stats.rows_considered * 0.9
+        ), label
+    # The ablation's finding: cluster-space filters prune far better
+    # under fractional costs, because intra-cluster substitutions vanish
+    # instead of inflating the operation bound k.
+    assert (
+        results["cluster"][1].stats.candidates_after_filters
+        < results["phoneme"][1].stats.candidates_after_filters
+    )
+
+    strategy = QGramStrategy(cluster_catalog)
+    benchmark.pedantic(
+        lambda: strategy.select(QUERIES[0]), rounds=3, iterations=1
+    )

@@ -1,0 +1,43 @@
+"""Figure 10: length distribution of the multiscript quality lexicon.
+
+Regenerates the paper's Figure 10 — the frequency distribution of the
+tagged lexicon by string length, in both lexicographic and phonemic
+representations — and reports the average lengths (paper: 7.35
+lexicographic, 7.16 phonemic).
+"""
+
+from repro.data.lexicon import build_lexicon
+from repro.evaluation.report import format_histogram
+
+from conftest import save_result
+
+
+def test_fig10_lexicon_distribution(benchmark, lexicon):
+    lex_hist = lexicon.length_histogram("lexicographic")
+    pho_hist = lexicon.length_histogram("phonemic")
+    lex_avg, pho_avg = lexicon.average_lengths()
+
+    lines = [
+        "Figure 10 — Distribution of the Multiscript Lexicon",
+        f"entries: {len(lexicon)} "
+        f"({len(lexicon.groups())} tagged groups, "
+        f"languages: {', '.join(lexicon.languages())})",
+        f"average lexicographic length: {lex_avg:.2f}   (paper: 7.35)",
+        f"average phonemic length:      {pho_avg:.2f}   (paper: 7.16)",
+        "",
+        format_histogram("Lexicographic representation", lex_hist),
+        "",
+        format_histogram("Phonemic representation", pho_hist),
+    ]
+    save_result("fig10_lexicon_distribution.txt", "\n".join(lines))
+
+    # Sanity: phonemic length tracks lexicographic length, as in the
+    # paper ("their character lengths are similar").
+    assert abs(lex_avg - pho_avg) < 2.0
+    assert sum(lex_hist.values()) == len(lexicon)
+
+    # The benchmarked operation: building the full lexicon from scratch
+    # (name lists -> transliteration -> three G2P passes).
+    benchmark.pedantic(
+        lambda: build_lexicon(limit_per_domain=40), rounds=3, iterations=1
+    )

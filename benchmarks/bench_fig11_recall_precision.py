@@ -1,0 +1,92 @@
+"""Figure 11: recall and precision vs user match threshold.
+
+Regenerates both panels of the paper's Figure 11: recall and precision
+of all-pairs multiscript matching over the tagged lexicon, as functions
+of the user match threshold, for intra-cluster substitution costs
+{0, 0.25, 0.5, 0.75, 1}.
+
+Expected shapes (paper Section 4.3):
+
+* recall improves with threshold and "asymptotically reaches perfect
+  recall after a value of 0.5";
+* recall gets better as the intra-cluster cost drops (the Soundex
+  assumption);
+* precision drops with threshold — negligibly below ~0.2, rapidly in
+  0.2-0.5 — and collapses earliest for cost 0.
+"""
+
+import pytest
+
+from repro.core import MatchConfig
+from repro.evaluation.quality import sweep_quality
+from repro.evaluation.report import format_series
+
+from conftest import save_result
+
+THRESHOLDS = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8]
+COSTS = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+@pytest.fixture(scope="module")
+def sweep(lexicon):
+    return sweep_quality(lexicon, THRESHOLDS, COSTS)
+
+
+def test_fig11_recall_and_precision_curves(benchmark, lexicon, sweep):
+    recall_series = {}
+    precision_series = {}
+    for point in sweep:
+        label = f"cost={point.intra_cluster_cost:g}"
+        recall_series.setdefault(label, []).append(
+            (point.threshold, point.recall)
+        )
+        precision_series.setdefault(label, []).append(
+            (point.threshold, point.precision)
+        )
+    text = "\n\n".join(
+        [
+            "Figure 11 — Recall and Precision Graphs",
+            format_series(
+                "Recall vs user match threshold", "e", recall_series
+            ),
+            format_series(
+                "Precision vs user match threshold", "e", precision_series
+            ),
+        ]
+    )
+    save_result("fig11_recall_precision.txt", text)
+
+    by = {(p.intra_cluster_cost, p.threshold): p for p in sweep}
+
+    # Recall rises with threshold for every cost.
+    for cost in COSTS:
+        recalls = [by[(cost, e)].recall for e in THRESHOLDS]
+        assert recalls == sorted(recalls), f"recall not monotone at {cost}"
+
+    # Recall asymptotically reaches ~perfect past 0.5 for low costs.
+    assert by[(0.0, 0.8)].recall > 0.99
+    assert by[(0.25, 0.8)].recall > 0.97
+
+    # Lower intra-cluster cost -> better recall (Soundex assumption).
+    for e in [0.2, 0.3, 0.4]:
+        recalls_by_cost = [by[(c, e)].recall for c in COSTS]
+        assert recalls_by_cost == sorted(recalls_by_cost, reverse=True)
+
+    # Precision drops with threshold (up to the paper's "negligible"
+    # wiggle in the flat sub-0.2 region); the cost-0 curve collapses
+    # fastest.
+    for cost in COSTS:
+        precisions = [by[(cost, e)].precision for e in THRESHOLDS]
+        for earlier, later in zip(precisions, precisions[1:]):
+            assert later <= earlier + 0.01, (cost, precisions)
+        assert precisions[-1] < precisions[0] / 2
+    assert by[(0.0, 0.35)].precision < by[(0.5, 0.35)].precision
+
+    # Benchmark: one full-cost distance-matrix evaluation (the unit of
+    # work behind each curve).
+    config = MatchConfig(intra_cluster_cost=0.25)
+    from repro.evaluation.quality import evaluate_quality
+
+    benchmark.pedantic(
+        lambda: evaluate_quality(lexicon, config), rounds=1, iterations=1
+    )

@@ -1,0 +1,107 @@
+"""Figure 12: precision-recall curves and the best operating point.
+
+Regenerates the paper's Figure 12: precision-recall curves sliced per
+intra-cluster cost (varying threshold along each curve) and per
+threshold (varying cost along each curve).  The paper finds the best
+match quality — recall ~95%, precision ~85% — at substitution costs
+0.25-0.5 and thresholds 0.25-0.35 (the knee regions).
+"""
+
+import math
+
+import pytest
+
+from repro.evaluation.autotune import autotune
+from repro.evaluation.quality import sweep_quality
+from repro.evaluation.report import format_series, format_table
+
+from conftest import save_result
+
+THRESHOLDS = [0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5]
+COSTS = [0.0, 0.25, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def sweep(lexicon):
+    return sweep_quality(lexicon, THRESHOLDS, COSTS)
+
+
+def test_fig12_precision_recall_curves(benchmark, lexicon, sweep):
+    # Slice 1: one curve per cost (paper shows costs 0, 0.5, 1).
+    per_cost = {}
+    for point in sweep:
+        if point.intra_cluster_cost in (0.0, 0.5, 1.0, 0.25):
+            label = f"cost={point.intra_cluster_cost:g}"
+            per_cost.setdefault(label, []).append(
+                (round(point.recall, 3), point.precision)
+            )
+    # Slice 2: one curve per threshold (paper shows 0.2, 0.3, 0.4).
+    per_threshold = {}
+    for point in sweep:
+        if point.threshold in (0.2, 0.3, 0.4):
+            label = f"e={point.threshold:g}"
+            per_threshold.setdefault(label, []).append(
+                (round(point.recall, 3), point.precision)
+            )
+
+    best = min(
+        sweep, key=lambda p: math.hypot(1 - p.recall, 1 - p.precision)
+    )
+    rows = [
+        [
+            f"{p.intra_cluster_cost:g}",
+            f"{p.threshold:g}",
+            f"{p.recall:.3f}",
+            f"{p.precision:.3f}",
+            "<- knee" if p is best else "",
+        ]
+        for p in sweep
+        if p.intra_cluster_cost in (0.25, 0.5)
+        and 0.2 <= p.threshold <= 0.4
+    ]
+    text = "\n\n".join(
+        [
+            "Figure 12 — Precision-Recall Graphs",
+            format_series(
+                "Precision vs recall (per cost)", "recall", per_cost
+            ),
+            format_series(
+                "Precision vs recall (per threshold)",
+                "recall",
+                per_threshold,
+            ),
+            format_table(
+                ["cost", "e", "recall", "precision", ""],
+                rows,
+                title=(
+                    "Knee region (paper: best at cost 0.25-0.5, "
+                    "e 0.25-0.35 with recall ~95%, precision ~85%)"
+                ),
+            ),
+            f"best operating point: cost={best.intra_cluster_cost:g} "
+            f"e={best.threshold:g} recall={best.recall:.3f} "
+            f"precision={best.precision:.3f}",
+        ]
+    )
+    save_result("fig12_precision_recall.txt", text)
+
+    # The paper's headline: the best point lies in cost 0.25-0.5 and
+    # threshold 0.25-0.35, with recall ~95% and precision ~85%.
+    assert 0.25 <= best.intra_cluster_cost <= 0.5
+    assert 0.2 <= best.threshold <= 0.35
+    assert best.recall >= 0.88
+    assert best.precision >= 0.80
+
+    # Benchmark: the autotune grid search over a lexicon slice.
+    from repro.data.lexicon import build_lexicon
+
+    small = build_lexicon(limit_per_domain=25)
+    benchmark.pedantic(
+        lambda: autotune(
+            small,
+            thresholds=[0.2, 0.3],
+            intra_cluster_costs=[0.25, 0.5],
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Figure 13: length distribution of the generated performance dataset.
+
+Regenerates the paper's Figure 13 — the length-frequency distribution
+of the synthetic dataset built by concatenating lexicon strings within
+each language.  The paper's instance has ~200,000 names with average
+lexicographic length 14.71 and phonemic length 14.31; the benchmark
+instance is scaled by REPRO_BENCH_SIZE but the construction (and the
+"phonemic tracks lexicographic" shape) is identical.
+"""
+
+from repro.data.generator import (
+    dataset_length_histogram,
+    dataset_length_stats,
+    generate_performance_dataset,
+)
+from repro.evaluation.report import format_histogram
+
+from conftest import BENCH_SIZE, save_result
+
+
+def test_fig13_generated_distribution(benchmark, lexicon, perf_dataset):
+    lex_avg, pho_avg = dataset_length_stats(perf_dataset)
+    lex_hist = dataset_length_histogram(perf_dataset, "lexicographic")
+    pho_hist = dataset_length_histogram(perf_dataset, "phonemic")
+
+    base_lex, base_pho = lexicon.average_lengths()
+    lines = [
+        "Figure 13 — Distribution of the Generated Data Set",
+        f"rows: {len(perf_dataset)} (paper: ~200,000; "
+        f"scaled by REPRO_BENCH_SIZE={BENCH_SIZE})",
+        f"average lexicographic length: {lex_avg:.2f}  (paper: 14.71; "
+        f"2 x lexicon avg = {2 * base_lex:.2f})",
+        f"average phonemic length:      {pho_avg:.2f}  (paper: 14.31; "
+        f"2 x lexicon avg = {2 * base_pho:.2f})",
+        "",
+        format_histogram("Lexicographic representation", lex_hist),
+        "",
+        format_histogram("Phonemic representation", pho_hist),
+    ]
+    save_result("fig13_generated_distribution.txt", "\n".join(lines))
+
+    # Construction invariant: concatenation doubles the averages.
+    assert abs(lex_avg - 2 * base_lex) < 1.5
+    assert abs(pho_avg - 2 * base_pho) < 1.5
+    # Phonemic mean slightly below lexicographic, as in the paper.
+    assert pho_avg < lex_avg + 0.5
+
+    benchmark.pedantic(
+        lambda: generate_performance_dataset(lexicon, BENCH_SIZE),
+        rounds=3,
+        iterations=1,
+    )

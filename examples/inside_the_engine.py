@@ -1,0 +1,57 @@
+"""Inside-the-engine acceleration — the paper's §6 future work, live.
+
+The paper deployed LexEQUAL as a UDF and observed that the optimizer
+treated it as an opaque predicate ("no optimization was done on the UDF
+call").  Here the same SQL runs three ways against the same table:
+unaccelerated, with a planner-integrated q-gram accelerator (lossless),
+and with a planner-integrated phonetic index (fastest, may dismiss).
+
+Run:  python examples/inside_the_engine.py
+"""
+
+import time
+
+from repro import Database, install_lexequal
+from repro.core import create_phonetic_accelerator
+from repro.data.generator import generate_performance_dataset
+from repro.data.lexicon import build_lexicon
+
+SQL = "SELECT name FROM names WHERE name LEXEQUAL 'KrishnaMohan' THRESHOLD 0.25"
+
+
+def build_database() -> Database:
+    db = Database()
+    install_lexequal(db)
+    db.execute("CREATE TABLE names (name TEXT, language TEXT)")
+    lexicon = build_lexicon(limit_per_domain=60)
+    for item in generate_performance_dataset(lexicon, 1200):
+        db.insert("names", (item.name, item.language))
+    db.insert("names", ("KrishnaMohan", "english"))
+    db.insert("names", ("कृष्णमोहन", "hindi"))
+    return db
+
+
+def timed(db: Database, label: str) -> None:
+    start = time.perf_counter()
+    rows = db.execute(SQL)
+    elapsed = time.perf_counter() - start
+    names = ", ".join(str(r[0]) for r in rows)
+    print(f"  {label:34s} {elapsed * 1e3:8.1f} ms  -> {names}")
+
+
+print("loading ~1200 rows into three databases...\n")
+
+plain = build_database()
+qgram = build_database()
+index = build_database()
+create_phonetic_accelerator(qgram, "names", "name", method="qgram")
+create_phonetic_accelerator(index, "names", "name", method="index")
+
+print(f"query: {SQL}\n")
+timed(plain, "outside-the-server UDF (full scan)")
+timed(qgram, "inside-the-engine, q-gram (lossless)")
+timed(index, "inside-the-engine, phonetic index")
+
+print("\nmaintenance is automatic — insert a new spelling and re-query:")
+qgram.execute("INSERT INTO names VALUES ('KrishnaMohun', 'english')")
+timed(qgram, "q-gram after INSERT")

@@ -1,0 +1,58 @@
+"""Quickstart: match proper names across scripts in a few lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LangText, LexEqualMatcher, MatchConfig
+
+matcher = LexEqualMatcher()  # paper-recommended defaults
+
+# --- 1. Compare two names, languages detected from the script ----------
+print("Does 'Nehru' match 'नेहरु'? ->", matcher.matches("Nehru", "नेहरु"))
+print("Does 'Nehru' match 'Nero'?  ->", matcher.matches("Nehru", "Nero"))
+
+# --- 2. Tag languages explicitly when the script is ambiguous ----------
+jesus_en = LangText("Jesus", "english")
+jesus_es = LangText("Jesus", "spanish")
+print(
+    "\nLanguage-dependent vocalization (paper §2.1):",
+    f"\n  english: /{matcher.ipa(jesus_en)}/",
+    f"\n  spanish: /{matcher.ipa(jesus_es)}/",
+)
+
+# --- 3. See *why* a pair matched (or didn't) ----------------------------
+print("\nExplanations:")
+for pair in [
+    ("Nehru", LangText("नेहरु", "hindi")),
+    ("Nehru", LangText("நேரு", "tamil")),
+    ("Catherine", "Kathy"),
+]:
+    print(" ", matcher.explain(*pair))
+
+# --- 4. Search a list of multiscript candidates -------------------------
+candidates = [
+    LangText("नेहरु", "hindi"),
+    LangText("நேரு", "tamil"),
+    LangText("Νερου", "greek"),
+    "Nero",
+    "Smith",
+]
+print("\nWho sounds like 'Nehru'?")
+for hit in matcher.search("Nehru", candidates):
+    print("  match:", hit)
+
+# --- 5. The paper's opening example: Arabic script ----------------------
+print("\nThe paper's opening example (Arabic is an abjad; short vowels")
+print("are inferred and discounted by the matcher):")
+print("  Muhammad ~ محمد :", matcher.matches("Muhammad", "محمد"))
+print("  Karim    ~ كريم :", matcher.matches("Karim", "كريم"))
+watch = LexEqualMatcher(MatchConfig(threshold=0.45))
+print("  Al-Qaeda ~ القاعدة (e=0.45):",
+      watch.matches("Al-Qaeda", "القاعدة"))
+
+# --- 6. Tune the knobs (paper Figure 11/12) -----------------------------
+loose = LexEqualMatcher(MatchConfig(threshold=0.5))
+print(
+    "\nAt threshold 0.5, even Nero matches:",
+    loose.matches("Nehru", "Nero"),
+)

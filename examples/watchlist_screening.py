@@ -1,0 +1,77 @@
+"""Cross-script watchlist screening with the accelerated strategies.
+
+The paper's motivating scenario: "it is not possible to automatically
+match the English string Al-Qaeda and its equivalent strings in other
+scripts ... even though such a feature could be immensely useful for
+news organizations or security agencies."
+
+This example loads a watchlist of names stored in English, Hindi and
+Tamil, screens incoming traveller names against it with all three
+execution strategies, and prints their work counters — the same
+quality/efficiency trade-off the paper's Tables 1-3 quantify.
+
+Run:  python examples/watchlist_screening.py
+"""
+
+from repro import (
+    LexEqualMatcher,
+    NaiveUdfStrategy,
+    NameCatalog,
+    PhoneticIndexStrategy,
+    QGramStrategy,
+)
+
+matcher = LexEqualMatcher()
+watchlist = NameCatalog(matcher)
+
+# Each group: the same person's name as it appears in different
+# scripts/databases (tag = person id).
+ENTRIES = [
+    ("Krishna Mohan", "english", 1),
+    ("कृष्ण मोहन", "hindi", 1),
+    ("கிருஷ்ணா மோகன்", "tamil", 1),
+    ("Jawahar Sharma", "english", 2),
+    ("जवाहर शर्मा", "hindi", 2),
+    ("Venkatesh Rao", "english", 3),
+    ("வெங்கடேஷ் ராவ்", "tamil", 3),
+    ("Ganesh Naik", "english", 4),
+    ("गणेश नाइक", "hindi", 4),
+    ("Meera Nandan", "english", 5),
+    ("मीरा नन्दन", "hindi", 5),
+    ("மீரா நந்தன்", "tamil", 5),
+]
+watchlist.add_many(ENTRIES)
+print(f"watchlist: {len(watchlist)} entries, 5 persons, 3 scripts\n")
+
+TRAVELLERS = [
+    "Krishna Mohan",     # exact romanization
+    "Krishnan Mohan",    # spelling variant
+    "Meera Nandan",
+    "Michael Norton",    # innocent bystander
+]
+
+strategies = {
+    "naive UDF scan": NaiveUdfStrategy(watchlist),
+    "q-gram filters": QGramStrategy(watchlist),
+    "phonetic index": PhoneticIndexStrategy(watchlist),
+}
+
+for traveller in TRAVELLERS:
+    print(f"screening {traveller!r}:")
+    for label, strategy in strategies.items():
+        hits = strategy.select(traveller)
+        stats = strategy.last_stats
+        persons = sorted({record.tag for record in hits})
+        shown = ",".join(str(p) for p in persons) if persons else "none"
+        print(
+            f"  {label:15s} -> persons {shown:<12s} "
+            f"(udf calls: {stats.udf_calls}/{stats.rows_considered})"
+        )
+    print()
+
+print(
+    "Note the trade-off: the q-gram strategy returns exactly the naive\n"
+    "scan's hits with a fraction of the UDF calls; the phonetic index is\n"
+    "cheapest but may false-dismiss (paper Section 5.3) - acceptable for\n"
+    "'very fast response' applications, per the paper."
+)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(``python setup.py develop`` / offline editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""LexEQUAL: multiscript phonetic name matching for database systems.
+
+A full reproduction of Kumaran & Haritsa, *LexEQUAL: Supporting
+Multiscript Matching in Database Systems* (EDBT 2004): the LexEQUAL
+operator, its text-to-phoneme substrate, the q-gram and phonetic-index
+accelerations, an embeddable relational engine to host them, and the
+paper's complete quality/efficiency evaluation harness.
+
+Quickstart::
+
+    from repro import LexEqualMatcher, LangText
+
+    matcher = LexEqualMatcher()
+    matcher.matches("Nehru", LangText("नेहरु", "hindi"))   # True
+
+See ``examples/`` for database-backed usage and README.md for the
+architecture overview.
+"""
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import LexEqualMatcher, MatchExplanation
+from repro.core.operator import MatchOutcome, lex_equal
+from repro.core.strategies import (
+    ExactStrategy,
+    NameCatalog,
+    NameRecord,
+    NaiveUdfStrategy,
+    PhoneticIndexStrategy,
+    QGramStrategy,
+)
+from repro.core.integration import install_lexequal
+from repro.errors import ReproError
+from repro.minidb.catalog import Database
+from repro.minidb.values import LangText
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MatchConfig",
+    "LexEqualMatcher",
+    "MatchExplanation",
+    "MatchOutcome",
+    "lex_equal",
+    "NameCatalog",
+    "NameRecord",
+    "ExactStrategy",
+    "NaiveUdfStrategy",
+    "QGramStrategy",
+    "PhoneticIndexStrategy",
+    "install_lexequal",
+    "Database",
+    "LangText",
+    "ReproError",
+    "__version__",
+]

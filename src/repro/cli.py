@@ -1,0 +1,214 @@
+"""Command-line interface: ``lexequal <command> ...``.
+
+Commands:
+
+``match LEFT RIGHT [--threshold E] [--cost C]``
+    Compare two names (languages detected from script) and explain the
+    outcome.
+
+``search QUERY [--lexicon PATH] [--threshold E] [--languages a,b]``
+    LexEQUAL selection over the bundled (or a TSV) lexicon.
+
+``lexicon build [--out PATH]``
+    Build the tagged multiscript lexicon and write it as TSV.
+
+``sweep [--thresholds ...] [--costs ...]``
+    Run the Figure 11 quality sweep and print the series.
+
+``autotune``
+    Grid-search matching parameters on the bundled lexicon.
+
+``dismissals``
+    Measure the phonetic index's false-dismissal rate (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import LexEqualMatcher
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _config_from_args(args: argparse.Namespace) -> MatchConfig:
+    kwargs = {}
+    if getattr(args, "threshold", None) is not None:
+        kwargs["threshold"] = args.threshold
+    if getattr(args, "cost", None) is not None:
+        kwargs["intra_cluster_cost"] = args.cost
+    return MatchConfig(**kwargs)
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    matcher = LexEqualMatcher(_config_from_args(args))
+    explanation = matcher.explain(args.left, args.right)
+    print(explanation)
+    return 0 if explanation.outcome.value == "true" else 1
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.data.lexicon import MultiscriptLexicon, default_lexicon
+
+    matcher = LexEqualMatcher(_config_from_args(args))
+    if args.lexicon:
+        lexicon = MultiscriptLexicon.load_tsv(args.lexicon)
+    else:
+        lexicon = default_lexicon()
+    languages = tuple(
+        lang for lang in (args.languages or "").split(",") if lang
+    )
+    query_phonemes = matcher.phonemes(args.query)
+    shown = 0
+    for entry in lexicon:
+        if languages and entry.language not in languages:
+            continue
+        from repro.phonetics.parse import parse_ipa
+
+        if matcher.phonemes_match(query_phonemes, parse_ipa(entry.ipa)):
+            print(f"{entry.name}\t{entry.language}\t[{entry.ipa}]")
+            shown += 1
+    print(f"-- {shown} matches", file=sys.stderr)
+    return 0
+
+
+def cmd_lexicon_build(args: argparse.Namespace) -> int:
+    from repro.data.lexicon import build_lexicon
+
+    lexicon = build_lexicon()
+    lexicon.save_tsv(args.out)
+    lex_len, pho_len = lexicon.average_lengths()
+    print(
+        f"wrote {len(lexicon)} entries to {args.out} "
+        f"(avg lengths: {lex_len:.2f} lexicographic, {pho_len:.2f} phonemic)"
+    )
+    return 0
+
+
+def _lexicon_for(args: argparse.Namespace):
+    from repro.data.lexicon import build_lexicon, default_lexicon
+
+    limit = getattr(args, "limit", None)
+    if limit:
+        return build_lexicon(limit_per_domain=limit)
+    return default_lexicon()
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.evaluation.quality import sweep_quality
+    from repro.evaluation.report import format_series
+
+    thresholds = _parse_floats(args.thresholds)
+    costs = _parse_floats(args.costs)
+    points = sweep_quality(_lexicon_for(args), thresholds, costs)
+    recall_series: dict[str, list[tuple[float, float]]] = {}
+    precision_series: dict[str, list[tuple[float, float]]] = {}
+    for point in points:
+        label = f"cost={point.intra_cluster_cost:g}"
+        recall_series.setdefault(label, []).append(
+            (point.threshold, point.recall)
+        )
+        precision_series.setdefault(label, []).append(
+            (point.threshold, point.precision)
+        )
+    print(format_series("Recall vs threshold", "e", recall_series))
+    print()
+    print(format_series("Precision vs threshold", "e", precision_series))
+    return 0
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.evaluation.autotune import autotune
+
+    result = autotune(_lexicon_for(args))
+    best = result.best
+    print(
+        f"best: threshold={best.threshold:g} "
+        f"intra_cluster_cost={best.intra_cluster_cost:g} "
+        f"recall={best.recall:.3f} precision={best.precision:.3f}"
+    )
+    return 0
+
+
+def cmd_dismissals(args: argparse.Namespace) -> int:
+    from repro.evaluation.quality import phonetic_index_dismissals
+
+    config = _config_from_args(args)
+    dismissed, reported, rate = phonetic_index_dismissals(
+        _lexicon_for(args), config
+    )
+    print(
+        f"phonetic index dismisses {dismissed} of {reported} "
+        f"true matches ({rate:.1%})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lexequal",
+        description="LexEQUAL multiscript phonetic matching (EDBT 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_match = sub.add_parser("match", help="compare two names")
+    p_match.add_argument("left")
+    p_match.add_argument("right")
+    p_match.add_argument("--threshold", type=float)
+    p_match.add_argument("--cost", type=float)
+    p_match.set_defaults(func=cmd_match)
+
+    p_search = sub.add_parser("search", help="search the lexicon")
+    p_search.add_argument("query")
+    p_search.add_argument("--lexicon", help="TSV lexicon path")
+    p_search.add_argument("--threshold", type=float)
+    p_search.add_argument("--cost", type=float)
+    p_search.add_argument("--languages", help="comma-separated filter")
+    p_search.set_defaults(func=cmd_search)
+
+    p_lex = sub.add_parser("lexicon", help="lexicon utilities")
+    lex_sub = p_lex.add_subparsers(dest="subcommand", required=True)
+    p_build = lex_sub.add_parser("build", help="build and save as TSV")
+    p_build.add_argument("--out", default="lexicon.tsv")
+    p_build.set_defaults(func=cmd_lexicon_build)
+
+    p_sweep = sub.add_parser("sweep", help="Figure 11 quality sweep")
+    p_sweep.add_argument(
+        "--thresholds", default="0.1,0.2,0.25,0.3,0.35,0.4,0.5"
+    )
+    p_sweep.add_argument("--costs", default="0,0.25,0.5,1")
+    p_sweep.add_argument(
+        "--limit", type=int, help="names per domain (smaller = faster)"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_tune = sub.add_parser("autotune", help="grid-search parameters")
+    p_tune.add_argument(
+        "--limit", type=int, help="names per domain (smaller = faster)"
+    )
+    p_tune.set_defaults(func=cmd_autotune)
+
+    p_dis = sub.add_parser(
+        "dismissals", help="phonetic index false-dismissal rate"
+    )
+    p_dis.add_argument("--threshold", type=float)
+    p_dis.add_argument("--cost", type=float)
+    p_dis.add_argument(
+        "--limit", type=int, help="names per domain (smaller = faster)"
+    )
+    p_dis.set_defaults(func=cmd_dismissals)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""Inside-the-engine LexEQUAL acceleration (paper Section 6 future work).
+
+The paper deployed LexEQUAL "outside the server" as a UDF and noted that
+"the optimizer ... indicat[ed] that no optimization was done on the UDF
+call in the query"; its future work is "an inside-the-engine
+implementation ... with the expectation of further improving the runtime
+efficiency".  This module is that implementation for the minidb engine:
+
+* :func:`create_phonetic_accelerator` builds the auxiliary phonetic
+  structures for one text column — per-row phoneme strings, and either
+  the positional q-gram table with its B+ tree (``method="qgram"``,
+  lossless) or the grouped-phoneme-key B+ tree (``method="index"``,
+  fastest, with the Section 5.3 false-dismissal caveat);
+* the structures register themselves as a table observer, so inserts
+  and deletes keep them consistent automatically;
+* the planner (see ``repro.minidb.planner._accelerated_candidates``)
+  rewrites a ``col LexEQUAL 'query' THRESHOLD e`` predicate into a
+  candidate-rowid scan against these structures, keeping the UDF as a
+  recheck filter — no query changes required:
+
+      create_phonetic_accelerator(db, "books", "author")
+      db.execute("SELECT * FROM books WHERE author LEXEQUAL 'Nehru' "
+                 "THRESHOLD 0.25")      # now uses the accelerator
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import LexEqualMatcher
+from repro.errors import DatabaseError
+from repro.matching.qgrams import (
+    count_filter_threshold,
+    positional_qgrams,
+)
+from repro.minidb.btree import BPlusTree
+from repro.minidb.catalog import Database
+from repro.minidb.values import LangText
+from repro.phonetics.keys import grouped_key
+from repro.phonetics.parse import PhonemeString
+
+_GRAM_SEP = "\x1f"
+
+
+class PhoneticAccelerator:
+    """Auxiliary phonetic access structures for one ``table.column``.
+
+    Do not construct directly — use :func:`create_phonetic_accelerator`,
+    which also wires the observer and planner registration.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        table_name: str,
+        column_name: str,
+        matcher: LexEqualMatcher,
+        method: str,
+    ):
+        if method not in ("qgram", "index"):
+            raise DatabaseError(
+                f"accelerator method must be 'qgram' or 'index', "
+                f"got {method!r}"
+            )
+        self.db = db
+        self.table_name = table_name
+        self.column_name = column_name
+        self.matcher = matcher
+        self.method = method
+        table = db.table(table_name)
+        self._position = table.schema.position(column_name)
+        self._phonemes: dict[int, PhonemeString] = {}
+        self._tokens: dict[int, tuple[str, ...]] = {}
+        self._gpsid_tree = BPlusTree()
+        self._gram_tree = BPlusTree()
+        for rowid, row in table.scan():
+            self.on_insert(rowid, row)
+
+    # ----------------------------------------------------- maintenance
+
+    def _phonemes_of_value(self, value) -> PhonemeString | None:
+        if value is None:
+            return None
+        language = self.matcher.language_of(value)
+        if language is None or not self.matcher.registry.supports(language):
+            return None  # NORESOURCE rows are not indexed
+        return self.matcher.registry.transform(str(value), language)
+
+    def on_insert(self, rowid: int, row: tuple) -> None:
+        phonemes = self._phonemes_of_value(row[self._position])
+        if not phonemes:
+            return
+        self._phonemes[rowid] = phonemes
+        config = self.matcher.config
+        if self.method == "index":
+            key = grouped_key(
+                phonemes, config.clustering, mode=config.key_mode
+            )
+            self._gpsid_tree.insert(key, rowid)
+            return
+        tokens = self._tokens_of(phonemes)
+        self._tokens[rowid] = tokens
+        for gram in positional_qgrams(tokens, config.q):
+            self._gram_tree.insert(
+                _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
+            )
+
+    def on_delete(self, rowid: int, row: tuple) -> None:
+        phonemes = self._phonemes.pop(rowid, None)
+        if phonemes is None:
+            return
+        config = self.matcher.config
+        if self.method == "index":
+            key = grouped_key(
+                phonemes, config.clustering, mode=config.key_mode
+            )
+            self._gpsid_tree.delete(key, rowid)
+            return
+        tokens = self._tokens.pop(rowid)
+        for gram in positional_qgrams(tokens, config.q):
+            self._gram_tree.delete(
+                _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
+            )
+
+    def _tokens_of(self, phonemes: PhonemeString) -> tuple[str, ...]:
+        config = self.matcher.config
+        if config.qgram_domain == "cluster":
+            return tuple(
+                str(c) for c in config.clustering.map_string(phonemes)
+            )
+        return tuple(phonemes)
+
+    # --------------------------------------------------------- planning
+
+    def candidate_rowids(
+        self,
+        value,
+        threshold: float | None,
+        languages: tuple[str, ...] = (),
+    ) -> list[int] | None:
+        """Candidate rowids for ``column LexEQUAL value THRESHOLD t``.
+
+        For ``method="qgram"`` the list is a strict superset of the
+        matching rows (the planner rechecks with the UDF, so results are
+        identical to a full scan).  For ``method="index"`` it is the
+        grouped-key bucket — fastest, with possible false dismissals.
+        Returns None (declining, planner falls back to a scan) when the
+        query value's language is unsupported.
+        """
+        query_phonemes = self._phonemes_of_value(value)
+        if not query_phonemes:
+            return None
+        config = self.matcher.config
+        if threshold is not None:
+            config = config.with_threshold(float(threshold))
+        if self.method == "index":
+            key = grouped_key(
+                query_phonemes, config.clustering, mode=config.key_mode
+            )
+            return sorted(self._gpsid_tree.search(key))
+        return self._qgram_candidates(query_phonemes, config)
+
+    def _qgram_candidates(
+        self, query_phonemes: PhonemeString, config: MatchConfig
+    ) -> list[int]:
+        query_tokens = self._tokens_of(query_phonemes)
+        k = config.max_operations(len(query_tokens))
+        q = config.q
+        pair_counts: dict[int, int] = {}
+        for gram in positional_qgrams(query_tokens, q):
+            encoded = _GRAM_SEP.join(gram.gram)
+            for rowid, pos in self._gram_tree.search(encoded):
+                if abs(pos - gram.pos) <= k:
+                    pair_counts[rowid] = pair_counts.get(rowid, 0) + 1
+        qlen = len(query_tokens)
+        candidates = []
+        for rowid, count in pair_counts.items():
+            clen = len(self._tokens[rowid])
+            if abs(qlen - clen) > k:
+                continue
+            if count < count_filter_threshold(qlen, clen, k, q):
+                continue
+            candidates.append(rowid)
+        candidates.sort()
+        return candidates
+
+    def drop(self) -> None:
+        """Detach from the database (stop maintenance and planning)."""
+        self.db.remove_observer(self.table_name, self.observer_handle)
+        self.db.register_accelerator(
+            self.table_name, self.column_name, None
+        )
+
+    #: Set by create_phonetic_accelerator (the observer is the object
+    #: itself; kept explicit for drop()).
+    observer_handle: "PhoneticAccelerator"
+
+
+def create_phonetic_accelerator(
+    db: Database,
+    table_name: str,
+    column_name: str,
+    matcher: LexEqualMatcher | None = None,
+    method: str = "qgram",
+) -> PhoneticAccelerator:
+    """Build and register phonetic acceleration for ``table.column``.
+
+    ``method="qgram"`` (default) gives Table 2 behaviour with zero
+    result change; ``method="index"`` gives Table 3 behaviour (fastest,
+    may false-dismiss).  Also installs the LexEQUAL UDF family if the
+    database does not have it yet.
+    """
+    matcher = matcher or LexEqualMatcher()
+    if not db.has_udf("lexequal"):
+        from repro.core.integration import install_lexequal
+
+        install_lexequal(db, matcher)
+    accelerator = PhoneticAccelerator(
+        db, table_name, column_name, matcher, method
+    )
+    accelerator.observer_handle = accelerator
+    db.add_observer(table_name, accelerator)
+    db.register_accelerator(table_name, column_name, accelerator)
+    return accelerator

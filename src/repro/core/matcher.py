@@ -1,0 +1,209 @@
+"""``LexEqualMatcher`` — the configured, cached matching façade.
+
+Applications construct one matcher per configuration and reuse it: the
+matcher caches text → phoneme transformations (via the TTP registry) and
+exposes phoneme-level entry points the database strategies build on
+(budgets, banded distances, grouped keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MatchConfig
+from repro.core.operator import MatchOutcome, operand_language
+from repro.errors import TTPError
+from repro.matching.costs import CostModel
+from repro.matching.editdist import edit_distance, edit_distance_within
+from repro.minidb.values import LangText
+from repro.phonetics.keys import grouped_key
+from repro.phonetics.parse import PhonemeString, format_phonemes, parse_ipa
+from repro.ttp.registry import TTPRegistry, default_registry
+
+
+@dataclass(frozen=True)
+class MatchExplanation:
+    """Full accounting of one LexEQUAL comparison (for debugging/UX)."""
+
+    left: str
+    right: str
+    left_language: str | None
+    right_language: str | None
+    left_ipa: str
+    right_ipa: str
+    distance: float | None
+    budget: float
+    outcome: MatchOutcome
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.left} [{self.left_ipa}] vs {self.right} "
+            f"[{self.right_ipa}]: distance={self.distance} "
+            f"budget={self.budget:.3f} -> {self.outcome.value}"
+        )
+
+
+class LexEqualMatcher:
+    """LexEQUAL with a fixed configuration and shared caches."""
+
+    def __init__(
+        self,
+        config: MatchConfig | None = None,
+        registry: TTPRegistry | None = None,
+    ):
+        self.config = config or MatchConfig()
+        self.registry = registry or default_registry()
+        self._costs: CostModel = self.config.cost_model()
+
+    @property
+    def costs(self) -> CostModel:
+        return self._costs
+
+    # ------------------------------------------------------------ phonemes
+
+    def language_of(self, value: str | LangText) -> str | None:
+        """Operand language (tag or script detection); None if unknown."""
+        return operand_language(value, self.registry)
+
+    def phonemes(self, value: str | LangText) -> PhonemeString:
+        """Phoneme string of a text operand.
+
+        Raises :class:`~repro.errors.TTPError` when the language cannot
+        be determined or has no converter.
+        """
+        language = self.language_of(value)
+        if language is None:
+            raise TTPError(f"cannot determine language of {value!r}")
+        return self.registry.transform(str(value), language)
+
+    def ipa(self, value: str | LangText) -> str:
+        """Flat IPA transcription of an operand."""
+        return format_phonemes(self.phonemes(value))
+
+    def grouped_key_of(self, value: str | LangText) -> int:
+        """Grouped phoneme string identifier (phonetic index key)."""
+        return grouped_key(
+            self.phonemes(value),
+            self.config.clustering,
+            mode=self.config.key_mode,
+        )
+
+    # ------------------------------------------------------------ matching
+
+    def budget(self, len_left: int, len_right: int) -> float:
+        """Cost budget ``e * min(|T_l|, |T_r|)`` (Figure 8, line 4-5)."""
+        return self.config.budget(len_left, len_right)
+
+    def phoneme_distance(
+        self, left: PhonemeString, right: PhonemeString
+    ) -> float:
+        """Exact clustered edit distance between phoneme strings."""
+        return edit_distance(left, right, self._costs)
+
+    def phonemes_match(
+        self, left: PhonemeString, right: PhonemeString
+    ) -> bool:
+        """Threshold test on phoneme strings, using the banded DP."""
+        budget = self.budget(len(left), len(right))
+        return (
+            edit_distance_within(left, right, budget, self._costs)
+            is not None
+        )
+
+    def ipa_match(self, left_ipa: str, right_ipa: str) -> bool:
+        """Threshold test on two stored IPA strings (the UDF body)."""
+        return self.phonemes_match(parse_ipa(left_ipa), parse_ipa(right_ipa))
+
+    def match(
+        self, left: str | LangText, right: str | LangText
+    ) -> MatchOutcome:
+        """Three-valued LexEQUAL on text operands."""
+        lang_l = self.language_of(left)
+        lang_r = self.language_of(right)
+        if (
+            lang_l is None
+            or lang_r is None
+            or not self.registry.supports(lang_l)
+            or not self.registry.supports(lang_r)
+        ):
+            return MatchOutcome.NORESOURCE
+        phonemes_l = self.registry.transform(str(left), lang_l)
+        phonemes_r = self.registry.transform(str(right), lang_r)
+        if self.phonemes_match(phonemes_l, phonemes_r):
+            return MatchOutcome.TRUE
+        return MatchOutcome.FALSE
+
+    def matches(self, left: str | LangText, right: str | LangText) -> bool:
+        """Boolean LexEQUAL (NORESOURCE counts as no match)."""
+        return self.match(left, right) is MatchOutcome.TRUE
+
+    def explain(
+        self, left: str | LangText, right: str | LangText
+    ) -> MatchExplanation:
+        """Detailed accounting of one comparison."""
+        lang_l = self.language_of(left)
+        lang_r = self.language_of(right)
+        supported = (
+            lang_l is not None
+            and lang_r is not None
+            and self.registry.supports(lang_l)
+            and self.registry.supports(lang_r)
+        )
+        if not supported:
+            return MatchExplanation(
+                left=str(left),
+                right=str(right),
+                left_language=lang_l,
+                right_language=lang_r,
+                left_ipa="",
+                right_ipa="",
+                distance=None,
+                budget=0.0,
+                outcome=MatchOutcome.NORESOURCE,
+            )
+        phonemes_l = self.registry.transform(str(left), lang_l)
+        phonemes_r = self.registry.transform(str(right), lang_r)
+        distance = self.phoneme_distance(phonemes_l, phonemes_r)
+        budget = self.budget(len(phonemes_l), len(phonemes_r))
+        outcome = (
+            MatchOutcome.TRUE if distance <= budget else MatchOutcome.FALSE
+        )
+        return MatchExplanation(
+            left=str(left),
+            right=str(right),
+            left_language=lang_l,
+            right_language=lang_r,
+            left_ipa=format_phonemes(phonemes_l),
+            right_ipa=format_phonemes(phonemes_r),
+            distance=distance,
+            budget=budget,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------- search
+
+    def search(
+        self,
+        query: str | LangText,
+        candidates,
+        languages: tuple[str, ...] = (),
+    ) -> list:
+        """All candidates that LexEQUAL-match the query.
+
+        ``candidates`` is any iterable of ``str | LangText``; the result
+        preserves input order.  ``languages`` restricts target languages
+        as the query's ``INLANGUAGES`` clause does.
+        """
+        wanted = {lang.lower() for lang in languages} if languages else None
+        query_phonemes = self.phonemes(query)
+        results = []
+        for candidate in candidates:
+            lang = self.language_of(candidate)
+            if lang is None or not self.registry.supports(lang):
+                continue
+            if wanted is not None and lang not in wanted:
+                continue
+            cand_phonemes = self.registry.transform(str(candidate), lang)
+            if self.phonemes_match(query_phonemes, cand_phonemes):
+                results.append(candidate)
+        return results

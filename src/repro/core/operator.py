@@ -1,0 +1,97 @@
+"""The LexEQUAL operator — a direct transcription of paper Figure 8.
+
+``LexEQUAL(S_l, S_r, e)``:
+
+1. determine the languages of both operands;
+2. if either language has no IPA transformation, return ``NORESOURCE``;
+3. transform both strings to phoneme strings;
+4. return ``TRUE`` iff ``editdistance(T_l, T_r) <= e * min(|T_l|, |T_r|)``.
+
+Operands are :class:`~repro.minidb.values.LangText` (explicit language
+tag) or plain strings, whose language is detected from their Unicode
+script (Latin defaults to English) — the pragmatic resolution of the
+language-identification issue the paper discusses in Section 2.1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.config import MatchConfig
+from repro.errors import TTPError, UnsupportedLanguageError
+from repro.matching.costs import CostModel
+from repro.matching.editdist import edit_distance
+from repro.minidb.values import LangText
+from repro.ttp.registry import TTPRegistry, default_registry, detect_language
+
+
+class MatchOutcome(enum.Enum):
+    """Three-valued result of the LexEQUAL operator (Figure 8)."""
+
+    TRUE = "true"
+    FALSE = "false"
+    NORESOURCE = "noresource"
+
+    def __bool__(self) -> bool:
+        return self is MatchOutcome.TRUE
+
+
+def operand_language(
+    value: str | LangText, registry: TTPRegistry | None = None
+) -> str | None:
+    """Language of an operand: its tag, or a script-based guess.
+
+    Returns ``None`` when the script cannot be identified (which the
+    operator reports as ``NORESOURCE``).
+    """
+    if isinstance(value, LangText):
+        return value.language.lower()
+    try:
+        return detect_language(value)
+    except TTPError:
+        return None
+
+
+def lex_equal(
+    left: str | LangText,
+    right: str | LangText,
+    threshold: float | None = None,
+    *,
+    config: MatchConfig | None = None,
+    registry: TTPRegistry | None = None,
+    languages: tuple[str, ...] = (),
+) -> MatchOutcome:
+    """The LexEQUAL comparison of paper Figure 8.
+
+    ``languages`` restricts the match to operands in the given languages
+    (the query's ``INLANGUAGES`` clause); an empty tuple is the ``*``
+    wildcard.  ``threshold`` overrides ``config.threshold`` when given.
+
+    >>> from repro.minidb.values import LangText
+    >>> bool(lex_equal("Nehru", LangText("नेहरु", "hindi"), 0.3))
+    True
+    """
+    config = config or MatchConfig()
+    registry = registry or default_registry()
+    e = config.threshold if threshold is None else threshold
+
+    lang_l = operand_language(left, registry)
+    lang_r = operand_language(right, registry)
+    if lang_l is None or lang_r is None:
+        return MatchOutcome.NORESOURCE
+    if not registry.supports(lang_l) or not registry.supports(lang_r):
+        return MatchOutcome.NORESOURCE
+    if languages:
+        wanted = {lang.lower() for lang in languages}
+        if lang_l not in wanted or lang_r not in wanted:
+            return MatchOutcome.FALSE
+
+    try:
+        phonemes_l = registry.transform(str(left), lang_l)
+        phonemes_r = registry.transform(str(right), lang_r)
+    except UnsupportedLanguageError:
+        return MatchOutcome.NORESOURCE
+
+    budget = e * min(len(phonemes_l), len(phonemes_r))
+    distance = edit_distance(phonemes_l, phonemes_r, config.cost_model())
+    return MatchOutcome.TRUE if distance <= budget else MatchOutcome.FALSE

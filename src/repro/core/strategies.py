@@ -1,0 +1,750 @@
+"""Execution strategies for LexEQUAL selections and joins.
+
+The paper evaluates three ways to run a multiscript query over a names
+table (Section 5):
+
+* :class:`NaiveUdfStrategy` — Table 1's baseline: a full scan (or a full
+  nested-loop self-join) invoking the expensive Figure 8 dynamic program
+  on every row/pair;
+* :class:`QGramStrategy` — Table 2: the auxiliary positional q-gram
+  table plus the length/count/position filters of Figure 14, with the
+  UDF invoked only on surviving candidates;
+* :class:`PhoneticIndexStrategy` — Table 3: a B+ tree on the *grouped
+  phoneme string identifier* (Figure 15); an index probe yields the
+  candidates, at the price of false dismissals.
+
+All three run against a :class:`NameCatalog`, which owns the minidb
+tables (``names`` + ``names_qgrams``), their B+ tree indexes, and the
+per-row phoneme caches.  Strategies record how much work they did in
+:attr:`Strategy.last_stats`, which the benchmark harness reports.
+
+Soundness note (DESIGN.md §3): with a fractional intra-cluster cost the
+classical filters are applied in *cluster space* by default — q-grams are
+taken over cluster-identifier strings, where intra-cluster substitutions
+are identities, every remaining operation costs ≥ 1, and the classical
+bounds hold verbatim.  ``qgram_domain="phoneme"`` switches to raw phoneme
+q-grams with ``k`` scaled by the minimum operation cost (sound for any
+intra-cluster cost > 0).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.config import MatchConfig
+from repro.core.matcher import LexEqualMatcher
+from repro.errors import DatasetError
+from repro.matching.editdist import edit_distance, edit_distance_within
+from repro.matching.qgrams import positional_qgrams
+from repro.minidb.catalog import Database
+from repro.minidb.schema import Column
+from repro.minidb.values import SqlType
+from repro.phonetics.parse import PhonemeString, format_phonemes, parse_ipa
+
+#: Separator used to encode a q-gram token tuple as a TEXT value.  A
+#: non-empty separator is required: cluster identifiers are multi-digit,
+#: so bare concatenation would conflate ("1", "12") with ("11", "2").
+_GRAM_SEP = "\x1f"
+
+
+@dataclass(frozen=True)
+class NameRecord:
+    """One stored name."""
+
+    id: int
+    name: str
+    language: str
+    tag: int | None
+    ipa: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.language})"
+
+
+@dataclass
+class StrategyStats:
+    """Work accounting for one strategy invocation."""
+
+    rows_considered: int = 0
+    candidates_after_filters: int = 0
+    udf_calls: int = 0
+    results: int = 0
+
+
+class NameCatalog:
+    """A multiscript names table with phonetic auxiliary structures.
+
+    Owns two minidb tables:
+
+    * ``<name>``: ``id, name, language, tag, pname, plen, gpsid`` —
+      the names with their IPA transcription, phoneme count and grouped
+      phoneme string identifier;
+    * ``<name>_qgrams``: ``id, pos, gram`` — the positional q-grams of
+      each name's (cluster-mapped) phoneme string, as in Figure 14.
+
+    and three B+ tree indexes (``id``, ``gpsid``, ``gram``).  Insertion
+    keeps everything consistent; :meth:`add_many` bulk-loads.
+    """
+
+    def __init__(
+        self,
+        matcher: LexEqualMatcher | None = None,
+        db: Database | None = None,
+        table_name: str = "names",
+    ):
+        self.matcher = matcher or LexEqualMatcher()
+        self.config: MatchConfig = self.matcher.config
+        self.db = db or Database()
+        self.table_name = table_name
+        self.qgram_table_name = f"{table_name}_qgrams"
+        self._next_id = 0
+        #: id -> phoneme tuple (parsed once at load).
+        self._phonemes: dict[int, PhonemeString] = {}
+        #: id -> filter-domain token tuple.
+        self._tokens: dict[int, tuple[str, ...]] = {}
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        self.db.create_table(
+            self.table_name,
+            [
+                Column("id", SqlType.INTEGER, nullable=False),
+                Column("name", SqlType.TEXT, nullable=False),
+                Column("language", SqlType.TEXT, nullable=False),
+                Column("tag", SqlType.INTEGER),
+                Column("pname", SqlType.TEXT, nullable=False),
+                Column("plen", SqlType.INTEGER, nullable=False),
+                Column("gpsid", SqlType.INTEGER, nullable=False),
+            ],
+        )
+        self.db.create_table(
+            self.qgram_table_name,
+            [
+                Column("id", SqlType.INTEGER, nullable=False),
+                Column("pos", SqlType.INTEGER, nullable=False),
+                Column("gram", SqlType.TEXT, nullable=False),
+            ],
+        )
+        self.db.create_index(
+            f"idx_{self.table_name}_id", self.table_name, "id"
+        )
+        self.db.create_index(
+            f"idx_{self.table_name}_gpsid", self.table_name, "gpsid"
+        )
+        self.db.create_index(
+            f"idx_{self.qgram_table_name}_gram",
+            self.qgram_table_name,
+            "gram",
+        )
+
+    # -------------------------------------------------------------- load
+
+    def tokens_of_phonemes(
+        self, phonemes: PhonemeString
+    ) -> tuple[str, ...]:
+        """Project a phoneme string into the configured filter domain."""
+        if self.config.qgram_domain == "cluster":
+            clustering = self.config.clustering
+            return tuple(str(c) for c in clustering.map_string(phonemes))
+        return tuple(phonemes)
+
+    def add(
+        self,
+        name: str,
+        language: str,
+        tag: int | None = None,
+        *,
+        ipa: str | None = None,
+    ) -> int:
+        """Add one name; returns its id.
+
+        ``ipa`` overrides the TTP conversion (used when loading datasets
+        with precomputed transcriptions).
+        """
+        if ipa is None:
+            phonemes = self.matcher.registry.transform(name, language)
+        else:
+            phonemes = parse_ipa(ipa)
+        if not phonemes:
+            raise DatasetError(
+                f"name {name!r} ({language}) has an empty transcription"
+            )
+        record_id = self._next_id
+        self._next_id += 1
+        gpsid = _grouped_key(phonemes, self.config)
+        self.db.insert(
+            self.table_name,
+            (
+                record_id,
+                name,
+                language.lower(),
+                tag,
+                format_phonemes(phonemes),
+                len(phonemes),
+                gpsid,
+            ),
+        )
+        tokens = self.tokens_of_phonemes(phonemes)
+        self._phonemes[record_id] = phonemes
+        self._tokens[record_id] = tokens
+        for gram in positional_qgrams(tokens, self.config.q):
+            self.db.insert(
+                self.qgram_table_name,
+                (record_id, gram.pos, _GRAM_SEP.join(gram.gram)),
+            )
+        return record_id
+
+    def add_many(self, entries) -> list[int]:
+        """Bulk add of ``(name, language[, tag])`` tuples."""
+        ids = []
+        for entry in entries:
+            if len(entry) == 2:
+                name, language = entry
+                tag = None
+            else:
+                name, language, tag = entry
+            ids.append(self.add(name, language, tag))
+        return ids
+
+    # ------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return len(self.db.table(self.table_name))
+
+    def record(self, record_id: int) -> NameRecord:
+        """Fetch one record by id (via the id index)."""
+        tree = self.db.index(f"idx_{self.table_name}_id").tree
+        rowids = tree.search(record_id)
+        if not rowids:
+            raise DatasetError(f"no name with id {record_id}")
+        row = self.db.table(self.table_name).fetch(rowids[0])
+        return self._to_record(row)
+
+    def records(self) -> list[NameRecord]:
+        """All records in id order."""
+        return [
+            self._to_record(row)
+            for row in self.db.table(self.table_name).rows()
+        ]
+
+    @staticmethod
+    def _to_record(row: tuple) -> NameRecord:
+        return NameRecord(
+            id=row[0], name=row[1], language=row[2], tag=row[3], ipa=row[4]
+        )
+
+    def phonemes_of(self, record_id: int) -> PhonemeString:
+        return self._phonemes[record_id]
+
+    def tokens_of(self, record_id: int) -> tuple[str, ...]:
+        return self._tokens[record_id]
+
+
+def _grouped_key(phonemes: PhonemeString, config: MatchConfig) -> int:
+    from repro.phonetics.keys import grouped_key
+
+    return grouped_key(phonemes, config.clustering, mode=config.key_mode)
+
+
+class Strategy(abc.ABC):
+    """Common interface of the three execution strategies."""
+
+    name: str = "strategy"
+
+    def __init__(self, catalog: NameCatalog):
+        self.catalog = catalog
+        self.matcher = catalog.matcher
+        self.config = catalog.config
+        self.last_stats = StrategyStats()
+
+    @abc.abstractmethod
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        """All stored names that LexEQUAL-match ``query``."""
+
+    @abc.abstractmethod
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        """Self equi-join: pairs of matching names (id_left < id_right).
+
+        ``cross_language_only`` keeps only pairs in different languages,
+        as the paper's join query does (``B1.Language <> B2.Language``).
+        """
+
+    # Shared helpers -----------------------------------------------------
+
+    def _query_phonemes(self, query: str, language: str) -> PhonemeString:
+        return self.matcher.registry.transform(query, language)
+
+    def _language_ok(
+        self, record_language: str, languages: tuple[str, ...]
+    ) -> bool:
+        return not languages or record_language in {
+            lang.lower() for lang in languages
+        }
+
+
+class NaiveUdfStrategy(Strategy):
+    """Full scan / nested-loop join invoking the full DP on every row.
+
+    This is the paper's unoptimized UDF deployment (Table 1): the
+    "orders of magnitude slower" baseline.  The per-row work is the full
+    O(n·m) dynamic program of Figure 8 — deliberately *not* the banded
+    variant, to mirror the PL/SQL implementation.
+    """
+
+    name = "naive-udf"
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        stats = StrategyStats()
+        query_phonemes = self._query_phonemes(query, language)
+        costs = self.matcher.costs
+        threshold = self.config.threshold
+        results = []
+        for row in self.catalog.db.table(self.catalog.table_name).rows():
+            stats.rows_considered += 1
+            if not self._language_ok(row[2], languages):
+                continue
+            phonemes = self.catalog.phonemes_of(row[0])
+            stats.udf_calls += 1
+            budget = threshold * min(len(query_phonemes), len(phonemes))
+            if edit_distance(query_phonemes, phonemes, costs) <= budget:
+                results.append(NameCatalog._to_record(row))
+        stats.candidates_after_filters = stats.udf_calls
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        stats = StrategyStats()
+        rows = list(self.catalog.db.table(self.catalog.table_name).rows())
+        costs = self.matcher.costs
+        threshold = self.config.threshold
+        results = []
+        for i, row_a in enumerate(rows):
+            phonemes_a = self.catalog.phonemes_of(row_a[0])
+            for row_b in rows[i + 1 :]:
+                stats.rows_considered += 1
+                if cross_language_only and row_a[2] == row_b[2]:
+                    continue
+                phonemes_b = self.catalog.phonemes_of(row_b[0])
+                stats.udf_calls += 1
+                budget = threshold * min(len(phonemes_a), len(phonemes_b))
+                if edit_distance(phonemes_a, phonemes_b, costs) <= budget:
+                    results.append(
+                        (
+                            NameCatalog._to_record(row_a),
+                            NameCatalog._to_record(row_b),
+                        )
+                    )
+        stats.candidates_after_filters = stats.udf_calls
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+
+class QGramStrategy(Strategy):
+    """Length + count + position filters over the q-gram table (Fig. 14).
+
+    Selection probes the B+ tree on ``names_qgrams.gram`` with the
+    query's q-grams, aggregates matching-pair counts per candidate under
+    the position constraint, applies the length and count filters, and
+    only then calls the (banded) UDF.  The join does the same via a
+    self-group of the q-gram table.
+    """
+
+    name = "qgram"
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        stats.rows_considered = len(table)
+        query_phonemes = self._query_phonemes(query, language)
+        query_tokens = catalog.tokens_of_phonemes(query_phonemes)
+        k = self.config.max_operations(len(query_tokens))
+        q = self.config.q
+        grams = positional_qgrams(query_tokens, q)
+
+        # Probe the gram index; count position-compatible pairs per id.
+        gram_tree = catalog.db.index(
+            f"idx_{catalog.qgram_table_name}_gram"
+        ).tree
+        qgram_heap = catalog.db.table(catalog.qgram_table_name)
+        pair_counts: dict[int, int] = {}
+        for gram in grams:
+            encoded = _GRAM_SEP.join(gram.gram)
+            for rowid in gram_tree.search(encoded):
+                rec_id, pos, _g = qgram_heap.fetch(rowid)
+                if abs(pos - gram.pos) <= k:
+                    pair_counts[rec_id] = pair_counts.get(rec_id, 0) + 1
+
+        id_tree = catalog.db.index(f"idx_{catalog.table_name}_id").tree
+        threshold = self.config.threshold
+        costs = self.matcher.costs
+        results = []
+        qlen = len(query_tokens)
+        for rec_id, count in pair_counts.items():
+            row = table.fetch(id_tree.search(rec_id)[0])
+            if not self._language_ok(row[2], languages):
+                continue
+            clen = row[5]
+            # Length filter.
+            if abs(qlen - clen) > k:
+                continue
+            # Count filter.
+            if count < max(qlen, clen) - 1 - (k - 1) * q:
+                continue
+            stats.candidates_after_filters += 1
+            phonemes = catalog.phonemes_of(rec_id)
+            stats.udf_calls += 1
+            budget = threshold * min(len(query_phonemes), len(phonemes))
+            if (
+                edit_distance_within(
+                    query_phonemes, phonemes, budget, costs
+                )
+                is not None
+            ):
+                results.append(NameCatalog._to_record(row))
+        results.sort(key=lambda r: r.id)
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        rows_by_id = {row[0]: row for row in table.rows()}
+        stats.rows_considered = len(rows_by_id) * (len(rows_by_id) - 1) // 2
+        q = self.config.q
+        threshold = self.config.threshold
+        costs = self.matcher.costs
+
+        # Group the q-gram table by gram (the hash join of Figure 14).
+        buckets: dict[str, list[tuple[int, int]]] = {}
+        for rec_id, pos, gram in catalog.db.table(
+            catalog.qgram_table_name
+        ).rows():
+            buckets.setdefault(gram, []).append((rec_id, pos))
+
+        pair_counts: dict[tuple[int, int], int] = {}
+        lengths = {rid: row[5] for rid, row in rows_by_id.items()}
+        for entries in buckets.values():
+            if len(entries) < 2:
+                continue
+            for i, (id_a, pos_a) in enumerate(entries):
+                len_a = lengths[id_a]
+                for id_b, pos_b in entries[i + 1 :]:
+                    if id_a == id_b:
+                        continue
+                    pair = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+                    k = self.config.max_operations(
+                        min(len_a, lengths[id_b])
+                    )
+                    if abs(pos_a - pos_b) <= k:
+                        pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
+        results = []
+        for (id_a, id_b), count in pair_counts.items():
+            row_a, row_b = rows_by_id[id_a], rows_by_id[id_b]
+            if cross_language_only and row_a[2] == row_b[2]:
+                continue
+            len_a, len_b = row_a[5], row_b[5]
+            k = self.config.max_operations(min(len_a, len_b))
+            if abs(len_a - len_b) > k:
+                continue
+            if count < max(len_a, len_b) - 1 - (k - 1) * q:
+                continue
+            stats.candidates_after_filters += 1
+            phonemes_a = catalog.phonemes_of(id_a)
+            phonemes_b = catalog.phonemes_of(id_b)
+            stats.udf_calls += 1
+            budget = threshold * min(len(phonemes_a), len(phonemes_b))
+            if (
+                edit_distance_within(phonemes_a, phonemes_b, budget, costs)
+                is not None
+            ):
+                results.append(
+                    (
+                        NameCatalog._to_record(row_a),
+                        NameCatalog._to_record(row_b),
+                    )
+                )
+        results.sort(key=lambda pair: (pair[0].id, pair[1].id))
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+
+class PhoneticIndexStrategy(Strategy):
+    """B+ tree probe on the grouped phoneme string identifier (Fig. 15).
+
+    The fastest strategy, with the paper's caveat: only candidates whose
+    *every* phoneme falls in the same cluster as the query's (and whose
+    length matches) are reachable, so cross-cluster near-matches are
+    false-dismissed (measured at 4–5% in the paper, reproduced by
+    ``benchmarks/bench_table3_phonetic_index.py``).
+    """
+
+    name = "phonetic-index"
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        stats.rows_considered = len(table)
+        query_phonemes = self._query_phonemes(query, language)
+        key = _grouped_key(query_phonemes, self.config)
+        gpsid_tree = catalog.db.index(
+            f"idx_{catalog.table_name}_gpsid"
+        ).tree
+        threshold = self.config.threshold
+        costs = self.matcher.costs
+        results = []
+        for rowid in gpsid_tree.search(key):
+            row = table.fetch(rowid)
+            if not self._language_ok(row[2], languages):
+                continue
+            stats.candidates_after_filters += 1
+            phonemes = catalog.phonemes_of(row[0])
+            stats.udf_calls += 1
+            budget = threshold * min(len(query_phonemes), len(phonemes))
+            if (
+                edit_distance_within(
+                    query_phonemes, phonemes, budget, costs
+                )
+                is not None
+            ):
+                results.append(NameCatalog._to_record(row))
+        results.sort(key=lambda r: r.id)
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        n = len(table)
+        stats.rows_considered = n * (n - 1) // 2
+        gpsid_tree = catalog.db.index(
+            f"idx_{catalog.table_name}_gpsid"
+        ).tree
+        threshold = self.config.threshold
+        costs = self.matcher.costs
+        results = []
+        for _key, bucket in gpsid_tree.items():
+            if len(bucket) < 2:
+                continue
+            rows = sorted(
+                (table.fetch(rowid) for rowid in bucket),
+                key=lambda row: row[0],
+            )
+            for i, row_a in enumerate(rows):
+                phonemes_a = catalog.phonemes_of(row_a[0])
+                for row_b in rows[i + 1 :]:
+                    if cross_language_only and row_a[2] == row_b[2]:
+                        continue
+                    stats.candidates_after_filters += 1
+                    phonemes_b = catalog.phonemes_of(row_b[0])
+                    stats.udf_calls += 1
+                    budget = threshold * min(
+                        len(phonemes_a), len(phonemes_b)
+                    )
+                    if (
+                        edit_distance_within(
+                            phonemes_a, phonemes_b, budget, costs
+                        )
+                        is not None
+                    ):
+                        results.append(
+                            (
+                                NameCatalog._to_record(row_a),
+                                NameCatalog._to_record(row_b),
+                            )
+                        )
+        results.sort(key=lambda pair: (pair[0].id, pair[1].id))
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+
+class ExactStrategy(Strategy):
+    """Native lexicographic equality — Table 1's ``= Operator`` rows.
+
+    Shown only to calibrate how much slower approximate matching is; it
+    cannot match across scripts at all (the paper's point).
+    """
+
+    name = "exact"
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        stats = StrategyStats()
+        results = []
+        for row in self.catalog.db.table(self.catalog.table_name).rows():
+            stats.rows_considered += 1
+            if row[1] == query and self._language_ok(row[2], languages):
+                results.append(NameCatalog._to_record(row))
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        stats = StrategyStats()
+        by_name: dict[str, list[tuple]] = {}
+        for row in self.catalog.db.table(self.catalog.table_name).rows():
+            stats.rows_considered += 1
+            by_name.setdefault(row[1], []).append(row)
+        results = []
+        for rows in by_name.values():
+            if len(rows) < 2:
+                continue
+            rows.sort(key=lambda row: row[0])
+            for i, row_a in enumerate(rows):
+                for row_b in rows[i + 1 :]:
+                    if cross_language_only and row_a[2] == row_b[2]:
+                        continue
+                    results.append(
+                        (
+                            NameCatalog._to_record(row_a),
+                            NameCatalog._to_record(row_b),
+                        )
+                    )
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+
+class MetricIndexStrategy(Strategy):
+    """BK-tree metric index over the stored phoneme strings.
+
+    Implements the paper's other future-work index (Section 6: "a metric
+    index for phonemes", via refs [1, 21]).  The Clustered Edit Distance
+    is a metric (symmetric costs, triangle inequality — property-tested),
+    so a BK-tree range query with radius ``threshold * |query|`` returns
+    a *superset* of the relative-budget matches with no false dismissals;
+    candidates are then rechecked against the exact per-pair budget.
+
+    Compared with the Table 2/3 accelerators: lossless like q-grams,
+    index-shaped like the phonetic key, but prunes by the *match metric
+    itself* rather than by a proxy.  The tree is built from the catalog's
+    current contents at construction time.
+    """
+
+    name = "metric-index"
+
+    def __init__(self, catalog: NameCatalog, resolution: float = 0.25):
+        super().__init__(catalog)
+        from repro.matching.bktree import BKTree
+
+        costs = self.matcher.costs
+        self._tree = BKTree(
+            lambda a, b: edit_distance(a, b, costs), resolution
+        )
+        for row in catalog.db.table(catalog.table_name).rows():
+            self._tree.add(catalog.phonemes_of(row[0]), row[0])
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        stats.rows_considered = len(table)
+        query_phonemes = self._query_phonemes(query, language)
+        radius = self.config.threshold * len(query_phonemes)
+        hits = self._tree.search(query_phonemes, radius)
+        stats.udf_calls = self._tree.last_search_distance_calls
+        id_tree = catalog.db.index(f"idx_{catalog.table_name}_id").tree
+        threshold = self.config.threshold
+        results = []
+        for distance, record_id in hits:
+            row = table.fetch(id_tree.search(record_id)[0])
+            if not self._language_ok(row[2], languages):
+                continue
+            stats.candidates_after_filters += 1
+            phonemes = catalog.phonemes_of(record_id)
+            # Exact relative budget: e * min(|q|, |c|) (the radius used
+            # e * |q|, an upper bound).
+            budget = threshold * min(len(query_phonemes), len(phonemes))
+            if distance <= budget + 1e-12:
+                results.append(NameCatalog._to_record(row))
+        results.sort(key=lambda r: r.id)
+        stats.results = len(results)
+        self.last_stats = stats
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = catalog.db.table(catalog.table_name)
+        rows_by_id = {row[0]: row for row in table.rows()}
+        n = len(rows_by_id)
+        stats.rows_considered = n * (n - 1) // 2
+        threshold = self.config.threshold
+        results = []
+        for id_a, row_a in rows_by_id.items():
+            phonemes_a = catalog.phonemes_of(id_a)
+            radius = threshold * len(phonemes_a)
+            hits = self._tree.search(phonemes_a, radius)
+            stats.udf_calls += self._tree.last_search_distance_calls
+            for distance, id_b in hits:
+                if id_b <= id_a:
+                    continue
+                row_b = rows_by_id[id_b]
+                if cross_language_only and row_a[2] == row_b[2]:
+                    continue
+                stats.candidates_after_filters += 1
+                phonemes_b = catalog.phonemes_of(id_b)
+                budget = threshold * min(len(phonemes_a), len(phonemes_b))
+                if distance <= budget + 1e-12:
+                    results.append(
+                        (
+                            NameCatalog._to_record(row_a),
+                            NameCatalog._to_record(row_b),
+                        )
+                    )
+        results.sort(key=lambda pair: (pair[0].id, pair[1].id))
+        stats.results = len(results)
+        self.last_stats = stats
+        return results

@@ -1,0 +1,43 @@
+"""Datasets: the tagged multiscript lexicon and the performance dataset.
+
+The paper's quality experiments run over a hand-built lexicon of ~800
+names drawn from three sources — the Bangalore telephone directory
+(Indian names), the San Francisco physicians directory (American names)
+and the Oxford English Dictionary (generic places/objects/chemicals) —
+each hand-converted into Hindi and Tamil script and tagged with a group
+number (Section 4.1).  The performance experiments use a ~200k-row
+synthetic dataset obtained by concatenating lexicon strings within each
+language (Section 5).
+
+This package rebuilds both mechanically:
+
+* :mod:`repro.data.names_indian` / ``names_american`` / ``names_generic``
+  — the base name lists (same three domains);
+* :mod:`repro.data.transliterate` — the romanization reader and the
+  phoneme → Devanagari / Tamil orthography generators that stand in for
+  the paper's hand conversion;
+* :mod:`repro.data.lexicon` — the tagged multiscript lexicon builder;
+* :mod:`repro.data.generator` — the synthetic concatenation dataset.
+"""
+
+from repro.data.lexicon import (
+    LexiconEntry,
+    MultiscriptLexicon,
+    build_lexicon,
+)
+from repro.data.generator import generate_performance_dataset
+from repro.data.transliterate import (
+    romanization_to_indic_phonemes,
+    to_devanagari,
+    to_tamil,
+)
+
+__all__ = [
+    "LexiconEntry",
+    "MultiscriptLexicon",
+    "build_lexicon",
+    "generate_performance_dataset",
+    "romanization_to_indic_phonemes",
+    "to_devanagari",
+    "to_tamil",
+]

@@ -1,0 +1,69 @@
+"""Generic names: places, objects and chemicals (OED domain).
+
+Stands in for the paper's third source, "generic names representing
+Places, Objects and Chemicals ... picked from the Oxford English
+Dictionary".
+"""
+
+GENERIC_NAMES: tuple[str, ...] = (
+    # -- places
+    "Alabama", "Alaska", "Amazon", "Amsterdam", "Arizona", "Athens",
+    "Atlanta", "Austin", "Baghdad", "Bangalore", "Barcelona", "Beijing",
+    "Berlin", "Bombay", "Boston", "Brazil", "Brooklyn", "Cairo",
+    "Calcutta", "California", "Canada", "Canberra", "Chennai", "Chicago",
+    "Colombo", "Colorado", "Dakota", "Dallas", "Delhi", "Denver",
+    "Dublin", "Egypt", "Florida", "Geneva", "Georgia", "Glasgow",
+    "Hamburg", "Havana", "Houston", "Hyderabad", "Indiana", "Istanbul",
+    "Jaipur", "Jakarta", "Kashmir", "Kerala", "Kolkata", "Lisbon",
+    "London", "Lucknow", "Madras", "Madrid", "Malta", "Manila",
+    "Melbourne", "Memphis", "Mexico", "Milan", "Montana", "Montreal",
+    "Moscow", "Munich", "Mysore", "Nagasaki", "Nairobi", "Nevada",
+    "Norway", "Orlando", "Oslo", "Ottawa", "Oxford", "Panama", "Paris",
+    "Patna", "Peru", "Portland", "Prague", "Pune", "Quebec", "Rangoon",
+    "Rome", "Sahara", "Salem", "Santiago", "Seattle", "Seoul", "Sydney",
+    "Tokyo", "Toledo", "Toronto", "Tripoli", "Vancouver", "Venice",
+    "Vermont", "Vienna", "Virginia", "Warsaw", "Wyoming", "Zanzibar",
+    # -- objects
+    "Anchor", "Arrow", "Balloon", "Banner", "Barrel", "Basket", "Beacon",
+    "Blanket", "Bottle", "Bridge", "Bucket", "Button", "Cabinet",
+    "Camera", "Candle", "Canvas", "Carpet", "Chariot", "Chisel",
+    "Compass", "Curtain", "Cushion", "Diamond", "Drum", "Engine",
+    "Fountain", "Funnel", "Garland", "Goblet", "Hammer", "Handle",
+    "Helmet", "Kettle", "Ladder", "Lantern", "Locket", "Machine",
+    "Magnet", "Mirror", "Needle", "Pedal", "Pencil", "Pillar", "Piston",
+    "Pitcher", "Pulley", "Ribbon", "Saddle", "Satchel", "Scissors",
+    "Shovel", "Shutter", "Spindle", "Sponge", "Statue", "Tablet",
+    "Telescope", "Trumpet", "Tunnel", "Turbine", "Vessel", "Wagon",
+    "Whistle", "Window",
+    # -- chemicals
+    "Acetone", "Acetylene", "Alumina", "Aluminium", "Ammonia", "Argon",
+    "Arsenic", "Barium", "Benzene", "Bromine", "Butane", "Cadmium",
+    "Calcium", "Carbon", "Cellulose", "Chlorine", "Chromium", "Cobalt",
+    "Copper", "Cyanide", "Ethanol", "Fluorine", "Gallium", "Glucose",
+    "Glycerine", "Helium", "Hydrogen", "Iodine", "Iridium", "Krypton",
+    "Lactose", "Lithium", "Magnesium", "Manganese", "Mercury", "Methane",
+    "Methanol", "Naphthalene", "Neon", "Nickel", "Nicotine", "Nitrogen",
+    "Oxygen", "Ozone", "Paraffin", "Pepsin", "Phosphorus", "Platinum",
+    "Potassium", "Propane", "Quinine", "Radium", "Silicon", "Sodium",
+    "Sulphur", "Tartar", "Titanium", "Toluene", "Tungsten", "Uranium",
+    "Vanadium", "Xenon", "Zinc", "Zirconium",
+    # -- additional names (OED breadth)
+    "Abyssinia", "Antarctica", "Appalachia", "Bucharest", "Casablanca",
+    "Constantinople", "Copenhagen", "Dusseldorf", "Guadalajara",
+    "Johannesburg", "Kathmandu", "Kilimanjaro", "Ljubljana",
+    "Madagascar", "Marrakesh", "Montevideo", "Novosibirsk", "Nuremberg",
+    "Okinawa", "Patagonia", "Philadelphia", "Reykjavik", "Samarkand",
+    "Scandinavia", "Stalingrad", "Stockholm", "Timbuktu", "Trivandrum",
+    "Vladivostok", "Yokohama",
+    "Accordion", "Barometer", "Binoculars", "Calculator", "Carburetor",
+    "Chandelier", "Escalator", "Gramophone", "Gyroscope", "Harmonium",
+    "Hourglass", "Kaleidoscope", "Metronome", "Microscope", "Pendulum",
+    "Periscope", "Projector", "Refrigerator", "Stethoscope", "Thermostat",
+    "Typewriter", "Ventilator", "Wheelbarrow", "Windmill", "Xylophone",
+    "Adrenaline", "Ammonium", "Aspartame", "Bicarbonate", "Caffeine",
+    "Chloroform", "Cholesterol", "Formaldehyde", "Glutamate", "Glycogen",
+    "Hemoglobin", "Histamine", "Insulin", "Kerosene", "Magnesia",
+    "Melatonin", "Methylene", "Naphtha", "Nitroglycerin", "Penicillin",
+    "Peroxide", "Phosphate", "Polyethylene", "Saccharin", "Serotonin",
+    "Strychnine", "Turpentine",
+)

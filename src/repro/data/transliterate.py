@@ -1,0 +1,505 @@
+"""Mechanical transliteration: romanized names → Indic orthography.
+
+The paper's lexicon was built by *hand-converting* each romanized name
+into Hindi and Tamil script.  This module reproduces that channel
+mechanically, in two stages that mirror what a human transliterator does:
+
+1. :func:`romanization_to_indic_phonemes` reads the Latin spelling the
+   way an Indian-language speaker would (``a`` → ``ə``, ``th`` → ``t̪ʰ``,
+   ``ee`` → ``iː`` ...), yielding the *intended* Indic pronunciation.
+   This deliberately differs from English letter-to-sound rules — the
+   same gap a human introduces, and the main source of cross-script
+   fuzziness in the lexicon (English reads ``Nathan`` with ``eɪ``/``θ``,
+   the Indic reading has ``aː``/``t̪ʰ``).
+
+2. :func:`to_devanagari` / :func:`to_tamil` spell that pronunciation in
+   each script under its native conventions: Devanagari keeps voicing,
+   aspiration and the dental/retroflex contrast; Tamil folds voicing and
+   aspiration into single letters (gemination marks voiceless
+   intervocalic stops), has no ``f``/``z``, and distinguishes initial
+   dental ``ந`` from medial ``ன`` — so reading the Tamil spelling back
+   through :class:`~repro.ttp.tamil.TamilConverter` loses exactly what
+   the paper says Tamil loses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatasetError
+from repro.phonetics.inventory import get_phoneme
+from repro.phonetics.parse import PhonemeString, parse_ipa
+
+# --------------------------------------------------------------- stage 1
+
+# Multi-letter sequences, longest first.  Values are IPA strings.
+_ROMAN_DIGRAPHS: tuple[tuple[str, str], ...] = (
+    ("chh", "tʃʰ"),
+    ("sh", "ʃ"),
+    ("ch", "tʃ"),
+    ("th", "t̪ʰ"),
+    ("dh", "d̪ʱ"),
+    ("ph", "pʰ"),
+    ("bh", "bʱ"),
+    ("gh", "gʱ"),
+    ("kh", "kʰ"),
+    ("jh", "dʒʱ"),
+    ("zh", "ɻ"),
+    ("ny", "ɲ"),
+    ("ng", "ŋg"),
+    ("ck", "k"),
+    ("aa", "aː"),
+    ("ai", "ɛː"),
+    ("au", "ɔː"),
+    ("ay", "eː"),
+    ("ee", "iː"),
+    ("ea", "iː"),
+    ("ei", "eː"),
+    ("ey", "eː"),
+    ("ie", "iː"),
+    ("oa", "oː"),
+    ("oo", "uː"),
+    ("ou", "aʊ"),
+)
+
+_ROMAN_SINGLES: dict[str, str] = {
+    "a": "ə", "b": "b", "d": "d̪", "e": "eː", "f": "f", "g": "g",
+    "h": "ɦ", "i": "ɪ", "j": "dʒ", "k": "k", "l": "l", "m": "m",
+    "n": "n", "o": "oː", "p": "p", "q": "k", "r": "r", "s": "s",
+    "t": "t̪", "u": "ʊ", "v": "ʋ", "w": "ʋ", "x": "ks", "y": "j",
+    "z": "z",
+}
+
+_FRONT_LETTERS = frozenset("eiy")
+
+
+def romanization_to_indic_phonemes(name: str) -> PhonemeString:
+    """Read a romanized name with Indic letter-to-sound conventions."""
+    from repro.ttp.normalize import normalize_latin
+
+    word = normalize_latin(name)
+    phonemes: list[str] = []
+    i = 0
+    n = len(word)
+    while i < n:
+        matched = False
+        for fragment, ipa in _ROMAN_DIGRAPHS:
+            if word.startswith(fragment, i):
+                phonemes.extend(parse_ipa(ipa))
+                i += len(fragment)
+                matched = True
+                break
+        if matched:
+            continue
+        ch = word[i]
+        nxt = word[i + 1] if i + 1 < n else ""
+        # Doubled consonant letters read as a single sound.
+        if nxt == ch and ch not in "aeiou":
+            i += 1
+            continue
+        if ch == "c":
+            phonemes.append("s" if nxt in _FRONT_LETTERS else "k")
+            i += 1
+            continue
+        if ch == "e":
+            # Word-final silent e after a consonant (Catherine, George);
+            # and "-er" before a consonant or word end reads as ər.
+            if i == n - 1 and phonemes and not _ends_in_vowel(phonemes):
+                i += 1
+                continue
+            if nxt == "r" and (i + 2 >= n or word[i + 2] not in "aeiouy"):
+                phonemes.extend(("ə", "r"))
+                i += 2
+                continue
+        if ch == "y" and nxt not in "aeiou":
+            # Consonantal y only before a vowel; syllabic elsewhere.
+            phonemes.append("ɪ")
+            i += 1
+            continue
+        if ch == "a" and i == n - 1:
+            phonemes.append("aː")  # final -a reads long: Rama, Gita
+            i += 1
+            continue
+        ipa = _ROMAN_SINGLES.get(ch)
+        if ipa is None:
+            raise DatasetError(
+                f"cannot read letter {ch!r} of {name!r} as Indic"
+            )
+        phonemes.extend(parse_ipa(ipa))
+        i += 1
+    return tuple(phonemes)
+
+
+def _ends_in_vowel(phonemes: list[str]) -> bool:
+    return bool(phonemes) and get_phoneme(phonemes[-1]).is_vowel
+
+
+# ------------------------------------------------------------ stage 1b
+
+# English phoneme (pairs first) -> Indic phoneme sequence.  This is how a
+# bilingual transliterator carries an *English-origin* name into an Indic
+# script: from its sound, folded onto the Indic phoneme inventory
+# (English alveolar stops are heard as retroflex, NURSE becomes ər,
+# diphthongs become long vowels, ...).
+_ENGLISH_PAIR_ADAPTATIONS: dict[tuple[str, str], str] = {
+    ("e", "ɪ"): "eː",   # FACE
+    ("o", "ʊ"): "oː",   # GOAT
+    ("a", "ɪ"): "aːɪ",  # PRICE
+    ("a", "ʊ"): "aːʊ",  # MOUTH
+    ("ɔ", "ɪ"): "ɔːɪ",  # CHOICE
+}
+
+_ENGLISH_SINGLE_ADAPTATIONS: dict[str, str] = {
+    "æ": "ɛː", "ʌ": "ə", "ɑ": "aː", "ɒ": "ɔ", "ɔ": "ɔː",
+    "ɛ": "eː", "i": "iː", "u": "uː", "ɜ": "ər", "ɐ": "ə",
+    "t": "ʈ", "d": "ɖ", "θ": "t̪ʰ", "ð": "d̪",
+    "ɹ": "r", "w": "ʋ", "v": "ʋ", "h": "ɦ",
+}
+
+
+def adapt_english_to_indic(phonemes: PhonemeString) -> PhonemeString:
+    """Fold an English phoneme string onto the Indic inventory."""
+    adapted: list[str] = []
+    i = 0
+    n = len(phonemes)
+    while i < n:
+        if i + 1 < n:
+            pair = (phonemes[i], phonemes[i + 1])
+            replacement = _ENGLISH_PAIR_ADAPTATIONS.get(pair)
+            if replacement is not None:
+                adapted.extend(parse_ipa(replacement))
+                i += 2
+                continue
+        symbol = phonemes[i]
+        replacement = _ENGLISH_SINGLE_ADAPTATIONS.get(symbol)
+        if replacement is not None:
+            adapted.extend(parse_ipa(replacement))
+        else:
+            adapted.append(symbol)
+        i += 1
+    return tuple(adapted)
+
+
+# --------------------------------------------------------------- stage 2a
+
+# IPA -> Devanagari consonant letter.
+_DEVA_CONSONANTS: dict[str, str] = {
+    "k": "क", "kʰ": "ख", "g": "ग", "gʱ": "घ", "ŋ": "ङ",
+    "tʃ": "च", "tʃʰ": "छ", "dʒ": "ज", "dʒʱ": "झ", "ɲ": "ञ",
+    "ʈ": "ट", "ʈʰ": "ठ", "ɖ": "ड", "ɖʱ": "ढ", "ɳ": "ण",
+    "t̪": "त", "t̪ʰ": "थ", "d̪": "द", "d̪ʱ": "ध", "n": "न", "n̪": "न",
+    "p": "प", "pʰ": "फ", "b": "ब", "bʱ": "भ", "m": "म",
+    "j": "य", "r": "र", "ɾ": "र", "ɹ": "र", "l": "ल", "ʋ": "व",
+    "v": "व", "w": "व", "ʃ": "श", "ʂ": "ष", "s": "स", "h": "ह",
+    "ɦ": "ह", "f": "फ़", "z": "ज़", "ʒ": "झ़", "q": "क़", "x": "ख़",
+    "ɣ": "ग़", "ɽ": "ड़", "ɽʱ": "ढ़",
+    # Foreign coronals fold onto the nearest native letters.
+    "t": "त", "d": "द", "tʰ": "थ", "dʱ": "ध",
+    "θ": "थ", "ð": "द", "ts": "च", "dz": "ज",
+    "ɭ": "ल", "ɫ": "ल", "ɻ": "र", "ʎ": "य", "ç": "श", "ʐ": "झ़",
+    "c": "क", "ɟ": "ग", "ʔ": "", "ɸ": "फ", "β": "ब",
+}
+
+# IPA vowel -> (independent letter, matra).  The inherent vowel ə has an
+# empty matra.
+_DEVA_VOWELS: dict[str, tuple[str, str]] = {
+    "ə": ("अ", ""),
+    "a": ("अ", ""),
+    "ɐ": ("अ", ""),
+    "ʌ": ("अ", ""),
+    "aː": ("आ", "ा"),
+    "ɑ": ("आ", "ा"),
+    "ɒ": ("ऑ", "ॉ"),
+    "ɪ": ("इ", "ि"),
+    "i": ("इ", "ि"),
+    "iː": ("ई", "ी"),
+    "ʊ": ("उ", "ु"),
+    "u": ("उ", "ु"),
+    "uː": ("ऊ", "ू"),
+    "e": ("ए", "े"),
+    "eː": ("ए", "े"),
+    "ɛ": ("ऍ", "ॅ"),
+    "ɛː": ("ऐ", "ै"),
+    "æ": ("ऐ", "ै"),
+    "o": ("ओ", "ो"),
+    "oː": ("ओ", "ो"),
+    "ɔ": ("ऑ", "ॉ"),
+    "ɔː": ("औ", "ौ"),
+    "ɜ": ("अ", ""),
+    "y": ("इ", "ि"),
+    "ø": ("ए", "े"),
+    "œ": ("ऐ", "ै"),
+    "ɯ": ("उ", "ु"),
+}
+
+_VIRAMA = "्"
+_ANUSVARA = "ं"
+_CANDRABINDU = "ँ"
+
+
+def _vowel_key(symbol: str) -> str:
+    """Fold nasality (and length, for vowels whose long form has no
+    distinct spelling) down to a key present in the vowel tables."""
+    plain = symbol.replace("̃", "")
+    for candidate in (symbol, plain, plain.replace("ː", "")):
+        if candidate in _DEVA_VOWELS or candidate in _TAMIL_VOWELS:
+            return candidate
+    raise DatasetError(f"no Indic spelling for vowel {symbol!r}")
+
+
+def to_devanagari(phonemes: PhonemeString) -> str:
+    """Spell a phoneme string in Devanagari."""
+    output: list[str] = []
+    pending_consonant = False  # last letter is a consonant w/o vowel sign
+    for idx, symbol in enumerate(phonemes):
+        ph = get_phoneme(symbol)
+        if ph.is_vowel:
+            nasal = ph.nasal
+            key = _vowel_key(symbol)
+            letter, matra = _DEVA_VOWELS[key]
+            if pending_consonant:
+                output.append(matra)
+            else:
+                output.append(letter)
+            if nasal:
+                output.append(_CANDRABINDU)
+            pending_consonant = False
+            continue
+        # ŋ before a consonant is conventionally spelled with anusvara.
+        nxt = phonemes[idx + 1] if idx + 1 < len(phonemes) else None
+        if (
+            symbol == "ŋ"
+            and nxt is not None
+            and not get_phoneme(nxt).is_vowel
+        ):
+            if pending_consonant:
+                output.append(_VIRAMA)  # shouldn't normally occur
+                pending_consonant = False
+            output.append(_ANUSVARA)
+            continue
+        letter = _DEVA_CONSONANTS.get(symbol)
+        if letter is None:
+            raise DatasetError(f"no Devanagari spelling for {symbol!r}")
+        if letter == "":
+            continue  # glottal stop: unwritten
+        if pending_consonant:
+            output.append(_VIRAMA)
+        output.append(letter)
+        pending_consonant = True
+    return "".join(output)
+
+
+# --------------------------------------------------------------- stage 2b
+
+# IPA -> Tamil consonant letter.  Voicing and aspiration fold away; the
+# gemination convention for intervocalic voiceless stops is handled in
+# :func:`to_tamil`.
+_TAMIL_CONSONANTS: dict[str, str] = {
+    "k": "க", "kʰ": "க", "g": "க", "gʱ": "க", "x": "க", "ɣ": "க",
+    "c": "க", "ɟ": "க", "q": "க", "ŋ": "ங",
+    "tʃ": "ச", "tʃʰ": "ச", "ʒ": "ஜ", "dʒ": "ஜ", "dʒʱ": "ஜ",
+    "ts": "ச", "dz": "ஜ", "ɲ": "ஞ",
+    "ʈ": "ட", "ʈʰ": "ட", "ɖ": "ட", "ɖʱ": "ட", "ɳ": "ண",
+    "t̪": "த", "t̪ʰ": "த", "d̪": "த", "d̪ʱ": "த", "t": "த", "d": "த",
+    "tʰ": "த", "dʱ": "த", "θ": "த", "ð": "த",
+    "p": "ப", "pʰ": "ப", "b": "ப", "bʱ": "ப", "f": "ப", "ɸ": "ப",
+    "β": "ப", "v": "வ", "m": "ம",
+    # positional value chosen in to_tamil (ந initially, ன elsewhere)
+    "n": "ன", "n̪": "ன",
+    "j": "ய", "r": "ர", "ɾ": "ர", "ɹ": "ர", "ɽ": "ர", "ɽʱ": "ர",
+    "l": "ல", "ɭ": "ள", "ɫ": "ல", "ʎ": "ய", "ɻ": "ழ",
+    "ʋ": "வ", "w": "வ",
+    "ʃ": "ஷ", "ʂ": "ஷ", "ç": "ஷ", "s": "ஸ", "z": "ஜ",
+    "ʐ": "ஜ", "θ": "த", "ð": "த", "x": "க", "ɣ": "க",
+    "h": "ஹ", "ɦ": "ஹ", "ʔ": "",
+}
+
+#: Letters whose intervocalic occurrence is geminated to keep the
+#: voiceless reading (classical Tamil orthography).
+_TAMIL_VOICELESS = {"k": "க", "tʃ": "ச", "ʈ": "ட", "t̪": "த", "p": "ப",
+                    "t": "த", "kʰ": "க", "tʃʰ": "ச", "ʈʰ": "ட",
+                    "t̪ʰ": "த", "pʰ": "ப"}
+
+# IPA vowel -> (independent letter, matra).
+_TAMIL_VOWELS: dict[str, tuple[str, str]] = {
+    "a": ("அ", ""),
+    "ə": ("அ", ""),
+    "ɐ": ("அ", ""),
+    "ʌ": ("அ", ""),
+    "æ": ("ஆ", "ா"),
+    "ɑ": ("ஆ", "ா"),
+    "aː": ("ஆ", "ா"),
+    "ɒ": ("ஒ", "ொ"),
+    "i": ("இ", "ி"),
+    "ɪ": ("இ", "ி"),
+    "y": ("இ", "ி"),
+    "iː": ("ஈ", "ீ"),
+    "u": ("உ", "ு"),
+    "ʊ": ("உ", "ு"),
+    "ɯ": ("உ", "ு"),
+    "uː": ("ஊ", "ூ"),
+    "e": ("எ", "ெ"),
+    "ɛ": ("எ", "ெ"),
+    "ø": ("எ", "ெ"),
+    "œ": ("எ", "ெ"),
+    "eː": ("ஏ", "ே"),
+    "ɛː": ("ஏ", "ே"),
+    "o": ("ஒ", "ொ"),
+    "ɔ": ("ஒ", "ொ"),
+    "oː": ("ஓ", "ோ"),
+    "ɔː": ("ஓ", "ோ"),
+    "ɜ": ("அ", ""),
+}
+
+_PULLI = "்"
+
+
+def to_tamil(phonemes: PhonemeString) -> str:
+    """Spell a phoneme string in Tamil script."""
+    output: list[str] = []
+    pending: str | None = None  # consonant letter awaiting a vowel sign
+    prev_was_vowel = False
+
+    def flush(with_matra: str | None) -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        output.append(pending)
+        if with_matra is None:
+            output.append(_PULLI)
+        elif with_matra:
+            output.append(with_matra)
+        pending = None
+
+    for idx, symbol in enumerate(phonemes):
+        ph = get_phoneme(symbol)
+        if ph.is_vowel:
+            key = _vowel_key(symbol)
+            if key not in _TAMIL_VOWELS:
+                raise DatasetError(f"no Tamil spelling for vowel {symbol!r}")
+            letter, matra = _TAMIL_VOWELS[key]
+            if pending is not None:
+                flush(matra)
+            else:
+                output.append(letter)
+            prev_was_vowel = True
+            continue
+        letter = _TAMIL_CONSONANTS.get(symbol)
+        if letter is None:
+            raise DatasetError(f"no Tamil spelling for {symbol!r}")
+        if letter == "":
+            continue
+        # n: dental letter word-initially, alveolar elsewhere.
+        if symbol in ("n", "n̪"):
+            letter = "ந" if not output and pending is None else "ன"
+        flush(None)  # previous consonant had no vowel: pulli
+        # Gemination: a voiceless stop *between vowels* doubles so the
+        # positional reading rules keep it voiceless.
+        nxt = phonemes[idx + 1] if idx + 1 < len(phonemes) else None
+        next_is_vowel = nxt is not None and get_phoneme(nxt).is_vowel
+        if prev_was_vowel and next_is_vowel and symbol in _TAMIL_VOICELESS:
+            output.append(letter)
+            output.append(_PULLI)
+        pending = letter
+        prev_was_vowel = False
+    flush(None)
+    return "".join(output)
+
+
+# --------------------------------------------------------------- stage 2c
+
+# IPA -> Kannada consonant letter (mirrors the Devanagari table; Kannada
+# keeps voicing and aspiration, so the mapping is near-isomorphic).
+_KANNADA_CONSONANTS: dict[str, str] = {
+    "k": "ಕ", "kʰ": "ಖ", "g": "ಗ", "gʱ": "ಘ", "ŋ": "ಂ",  # see below
+    "tʃ": "ಚ", "tʃʰ": "ಛ", "dʒ": "ಜ", "dʒʱ": "ಝ", "ɲ": "ಞ",
+    "ʈ": "ಟ", "ʈʰ": "ಠ", "ɖ": "ಡ", "ɖʱ": "ಢ", "ɳ": "ಣ",
+    "t̪": "ತ", "t̪ʰ": "ಥ", "d̪": "ದ", "d̪ʱ": "ಧ", "n": "ನ", "n̪": "ನ",
+    "p": "ಪ", "pʰ": "ಫ", "b": "ಬ", "bʱ": "ಭ", "m": "ಮ",
+    "j": "ಯ", "r": "ರ", "ɾ": "ರ", "ɹ": "ರ", "l": "ಲ", "ʋ": "ವ",
+    "v": "ವ", "w": "ವ", "ʃ": "ಶ", "ʂ": "ಷ", "s": "ಸ", "h": "ಹ",
+    "ɦ": "ಹ", "ɭ": "ಳ", "ɻ": "ಳ", "f": "ಫ", "z": "ಜ",
+    "t": "ತ", "d": "ದ", "tʰ": "ಥ", "dʱ": "ಧ",
+    "θ": "ಥ", "ð": "ದ", "ts": "ಚ", "dz": "ಜ",
+    "ɫ": "ಲ", "ʎ": "ಯ", "ç": "ಶ", "ʐ": "ಝ", "ʒ": "ಝ",
+    "c": "ಕ", "ɟ": "ಗ", "q": "ಕ", "x": "ಖ", "ɣ": "ಗ",
+    "ɽ": "ಡ", "ɽʱ": "ಢ", "ʔ": "", "ɸ": "ಫ", "β": "ಬ",
+}
+
+_KANNADA_VOWELS: dict[str, tuple[str, str]] = {
+    "a": ("ಅ", ""),
+    "ə": ("ಅ", ""),
+    "ɐ": ("ಅ", ""),
+    "ʌ": ("ಅ", ""),
+    "aː": ("ಆ", "ಾ"),
+    "ɑ": ("ಆ", "ಾ"),
+    "æ": ("ಆ", "ಾ"),
+    "i": ("ಇ", "ಿ"),
+    "ɪ": ("ಇ", "ಿ"),
+    "y": ("ಇ", "ಿ"),
+    "iː": ("ಈ", "ೀ"),
+    "u": ("ಉ", "ು"),
+    "ʊ": ("ಉ", "ು"),
+    "ɯ": ("ಉ", "ು"),
+    "uː": ("ಊ", "ೂ"),
+    "e": ("ಎ", "ೆ"),
+    "ɛ": ("ಎ", "ೆ"),
+    "ø": ("ಎ", "ೆ"),
+    "œ": ("ಎ", "ೆ"),
+    "eː": ("ಏ", "ೇ"),
+    "ɛː": ("ಏ", "ೇ"),
+    "o": ("ಒ", "ೊ"),
+    "ɔ": ("ಒ", "ೊ"),
+    "ɒ": ("ಒ", "ೊ"),
+    "oː": ("ಓ", "ೋ"),
+    "ɔː": ("ಓ", "ೋ"),
+    "ɜ": ("ಅ", ""),
+}
+
+_KANNADA_VIRAMA = "್"
+_KANNADA_ANUSVARA = "ಂ"
+
+
+def to_kannada(phonemes: PhonemeString) -> str:
+    """Spell a phoneme string in Kannada script."""
+    output: list[str] = []
+    pending_consonant = False
+    for idx, symbol in enumerate(phonemes):
+        ph = get_phoneme(symbol)
+        if ph.is_vowel:
+            key = _vowel_key(symbol)
+            if key not in _KANNADA_VOWELS:
+                raise DatasetError(
+                    f"no Kannada spelling for vowel {symbol!r}"
+                )
+            letter, matra = _KANNADA_VOWELS[key]
+            if pending_consonant:
+                output.append(matra)
+            else:
+                output.append(letter)
+            if ph.nasal:
+                output.append(_KANNADA_ANUSVARA)
+            pending_consonant = False
+            continue
+        # ŋ is conventionally spelled with anusvara before a consonant.
+        nxt = phonemes[idx + 1] if idx + 1 < len(phonemes) else None
+        if (
+            symbol == "ŋ"
+            and nxt is not None
+            and not get_phoneme(nxt).is_vowel
+        ):
+            if pending_consonant:
+                output.append(_KANNADA_VIRAMA)
+                pending_consonant = False
+            output.append(_KANNADA_ANUSVARA)
+            continue
+        letter = _KANNADA_CONSONANTS.get(symbol)
+        if symbol == "ŋ":
+            letter = "ಙ"  # standalone velar nasal letter
+        if letter is None:
+            raise DatasetError(f"no Kannada spelling for {symbol!r}")
+        if letter == "":
+            continue
+        if pending_consonant:
+            output.append(_KANNADA_VIRAMA)
+        output.append(letter)
+        pending_consonant = True
+    return "".join(output)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the LexEQUAL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems raise the more
+specific subclasses below; nothing in the library raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class PhonemeError(ReproError):
+    """A phoneme symbol is unknown or an IPA string cannot be parsed."""
+
+
+class TTPError(ReproError):
+    """A text-to-phoneme conversion failed."""
+
+
+class UnsupportedLanguageError(TTPError):
+    """No TTP converter is registered for the requested language.
+
+    This corresponds to the ``NORESOURCE`` outcome of the LexEQUAL
+    algorithm (paper Figure 8): the operator cannot decide a match when
+    either operand's language lacks an IPA transformation.
+    """
+
+    def __init__(self, language: str):
+        super().__init__(f"no text-to-phoneme converter for language {language!r}")
+        self.language = language
+
+
+class MatchConfigError(ReproError):
+    """A matching parameter is outside its legal range."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the ``minidb`` engine."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition or reference is invalid."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class PlanningError(DatabaseError):
+    """The planner could not produce a physical plan for a query."""
+
+
+class ExecutionError(DatabaseError):
+    """A physical operator failed while producing rows."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be built, loaded or validated."""

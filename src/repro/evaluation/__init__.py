@@ -1,0 +1,35 @@
+"""Evaluation harness: the paper's quality and efficiency experiments.
+
+* :mod:`repro.evaluation.metrics` — the recall/precision formulas of
+  Section 4.2;
+* :mod:`repro.evaluation.quality` — all-pairs matching over the tagged
+  lexicon and the threshold × intra-cluster-cost sweeps behind
+  Figures 11 and 12, plus phonetic-index false-dismissal measurement;
+* :mod:`repro.evaluation.timing` — wall-clock harness behind Tables 1-3;
+* :mod:`repro.evaluation.autotune` — automatic parameter selection from
+  a tagged training set (the paper's first future-work item);
+* :mod:`repro.evaluation.report` — ASCII renderings of the paper's
+  tables and figures.
+"""
+
+from repro.evaluation.metrics import QualityCounts, recall_precision
+from repro.evaluation.quality import (
+    QualityPoint,
+    evaluate_quality,
+    sweep_quality,
+    phonetic_index_dismissals,
+)
+from repro.evaluation.timing import TimedRun, time_strategies
+from repro.evaluation.autotune import autotune
+
+__all__ = [
+    "QualityCounts",
+    "recall_precision",
+    "QualityPoint",
+    "evaluate_quality",
+    "sweep_quality",
+    "phonetic_index_dismissals",
+    "TimedRun",
+    "time_strategies",
+    "autotune",
+]

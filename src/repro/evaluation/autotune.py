@@ -1,0 +1,74 @@
+"""Automatic matching-parameter selection (paper future work, Section 6).
+
+"In our future work, we plan to investigate techniques for automatically
+generating the optimal matching parameters, based on a given dataset, its
+domain and a training set."
+
+:func:`autotune` implements the natural version of that idea: grid-search
+the (threshold, intra-cluster cost) plane on a *tagged training lexicon*
+and pick the point whose (recall, precision) is closest to the perfect
+top-right corner of the precision-recall space — the paper's own
+selection criterion in Section 4.3 ("the closest points on the
+precision-recall graphs to the top-right corner correspond to the query
+parameters that result in the best match quality").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import MatchConfig
+from repro.data.lexicon import MultiscriptLexicon
+from repro.evaluation.quality import QualityPoint, sweep_quality
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Chosen configuration plus the full sweep for inspection."""
+
+    config: MatchConfig
+    best: QualityPoint
+    sweep: list[QualityPoint]
+
+
+def _corner_distance(point: QualityPoint) -> float:
+    """Euclidean distance to the perfect (recall=1, precision=1) corner."""
+    return math.hypot(1.0 - point.recall, 1.0 - point.precision)
+
+
+def autotune(
+    training_lexicon: MultiscriptLexicon,
+    thresholds: list[float] | None = None,
+    intra_cluster_costs: list[float] | None = None,
+    base_config: MatchConfig | None = None,
+    objective=None,
+) -> AutotuneResult:
+    """Pick matching parameters from a tagged training set.
+
+    ``objective`` maps a :class:`QualityPoint` to a score to *minimize*;
+    the default is distance to the top-right corner of precision-recall
+    space.  Ties break toward the lower threshold (cheaper banded DP) and
+    then the higher intra-cluster cost (tighter filters).
+    """
+    thresholds = thresholds or [round(0.05 * i, 2) for i in range(1, 13)]
+    intra_cluster_costs = intra_cluster_costs or [
+        0.0, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0,
+    ]
+    objective = objective or _corner_distance
+    base = base_config or MatchConfig()
+    sweep = sweep_quality(
+        training_lexicon, thresholds, intra_cluster_costs, base
+    )
+    best = min(
+        sweep,
+        key=lambda p: (
+            objective(p),
+            p.threshold,
+            -p.intra_cluster_cost,
+        ),
+    )
+    config = base.with_threshold(best.threshold).with_intra_cluster_cost(
+        best.intra_cluster_cost
+    )
+    return AutotuneResult(config=config, best=best, sweep=sweep)

@@ -1,0 +1,71 @@
+"""Recall and precision exactly as the paper defines them (Section 4.2).
+
+"We matched each phonemic string in the data set with every other
+phonemic string, counting the number of matches (m1) that were correctly
+reported ..., along with the total number of matches that are reported as
+the result (m2).  If there are n equivalent groups with n_i of
+multiscript strings each:
+
+    Recall    = m1 / sum_i C(n_i, 2)
+    Precision = m1 / m2"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+
+def _choose2(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+@dataclass(frozen=True)
+class QualityCounts:
+    """Raw counts from an all-pairs matching run."""
+
+    correct_matches: int  # m1
+    reported_matches: int  # m2
+    ideal_matches: int  # sum_i C(n_i, 2)
+
+    @property
+    def false_positives(self) -> int:
+        return self.reported_matches - self.correct_matches
+
+    @property
+    def false_dismissals(self) -> int:
+        return self.ideal_matches - self.correct_matches
+
+    @property
+    def recall(self) -> float:
+        if self.ideal_matches == 0:
+            raise DatasetError("no tagged groups with >= 2 members")
+        return self.correct_matches / self.ideal_matches
+
+    @property
+    def precision(self) -> float:
+        # With no reported matches precision is conventionally perfect
+        # (nothing wrong was reported).
+        if self.reported_matches == 0:
+            return 1.0
+        return self.correct_matches / self.reported_matches
+
+
+def ideal_match_count(group_sizes: list[int]) -> int:
+    """``sum_i C(n_i, 2)`` — the denominator of the recall metric."""
+    return sum(_choose2(n) for n in group_sizes)
+
+
+def recall_precision(
+    correct_matches: int,
+    reported_matches: int,
+    group_sizes: list[int],
+) -> tuple[float, float]:
+    """Convenience wrapper returning ``(recall, precision)``."""
+    counts = QualityCounts(
+        correct_matches=correct_matches,
+        reported_matches=reported_matches,
+        ideal_matches=ideal_match_count(group_sizes),
+    )
+    return counts.recall, counts.precision

@@ -1,0 +1,79 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The benchmark harness prints its results through these helpers so that
+each bench regenerates output in the shape of the corresponding paper
+artifact: timing tables for Tables 1-3, recall/precision series for
+Figure 11, precision-recall curves for Figure 12, and length histograms
+for Figures 10/13.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A boxless fixed-width table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: dict[str, list[tuple[float, float]]],
+    y_format: str = "{:.3f}",
+) -> str:
+    """Aligned multi-series table: one x column, one column per series."""
+    xs: list[float] = sorted({x for pts in series.values() for x, _y in pts})
+    headers = [x_label] + list(series)
+    rows = []
+    lookup = {
+        name: {x: y for x, y in pts} for name, pts in series.items()
+    }
+    for x in xs:
+        row: list[object] = [f"{x:g}"]
+        for name in series:
+            y = lookup[name].get(x)
+            row.append("-" if y is None else y_format.format(y))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_histogram(
+    title: str, histogram: dict[int, int], width: int = 40
+) -> str:
+    """A horizontal bar chart of a length-frequency distribution."""
+    if not histogram:
+        return f"{title}\n(empty)"
+    peak = max(histogram.values())
+    lines = [title]
+    for length in sorted(histogram):
+        count = histogram[length]
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        lines.append(f"{length:>4}  {count:>7}  {bar}")
+    return "\n".join(lines)
+
+
+def seconds(value: float) -> str:
+    """Human-friendly seconds with sensible precision."""
+    if value < 0.001:
+        return f"{value * 1e6:.0f} µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f} ms"
+    return f"{value:.2f} s"

@@ -1,0 +1,90 @@
+"""Wall-clock timing of the execution strategies (Tables 1-3).
+
+The harness times selection queries and the self equi-join for each
+strategy over a :class:`~repro.core.strategies.NameCatalog`, reporting
+elapsed seconds plus the strategy's work counters (rows considered, UDF
+calls) so benchmark output shows *why* the accelerated paths win, not
+just that they do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.strategies import Strategy, StrategyStats
+
+
+@dataclass(frozen=True)
+class TimedRun:
+    """One timed strategy invocation."""
+
+    strategy: str
+    operation: str  # 'select' | 'join'
+    seconds: float
+    result_count: int
+    stats: StrategyStats
+
+    def per_query(self, query_count: int) -> float:
+        return self.seconds / max(query_count, 1)
+
+
+def time_select(
+    strategy: Strategy,
+    queries: list[str],
+    language: str = "english",
+    languages: tuple[str, ...] = (),
+) -> TimedRun:
+    """Run every query through the strategy and time the batch."""
+    total_results = 0
+    merged = StrategyStats()
+    start = time.perf_counter()
+    for query in queries:
+        results = strategy.select(query, language, languages)
+        total_results += len(results)
+        stats = strategy.last_stats
+        merged.rows_considered += stats.rows_considered
+        merged.candidates_after_filters += stats.candidates_after_filters
+        merged.udf_calls += stats.udf_calls
+        merged.results += stats.results
+    elapsed = time.perf_counter() - start
+    return TimedRun(
+        strategy=strategy.name,
+        operation="select",
+        seconds=elapsed,
+        result_count=total_results,
+        stats=merged,
+    )
+
+
+def time_join(
+    strategy: Strategy, *, cross_language_only: bool = True
+) -> TimedRun:
+    """Time the self equi-join."""
+    start = time.perf_counter()
+    pairs = strategy.join(cross_language_only=cross_language_only)
+    elapsed = time.perf_counter() - start
+    return TimedRun(
+        strategy=strategy.name,
+        operation="join",
+        seconds=elapsed,
+        result_count=len(pairs),
+        stats=strategy.last_stats,
+    )
+
+
+def time_strategies(
+    strategies: list[Strategy],
+    queries: list[str],
+    *,
+    include_join: bool = True,
+    language: str = "english",
+) -> list[TimedRun]:
+    """Table-style comparison: select (and optionally join) per strategy."""
+    runs: list[TimedRun] = []
+    for strategy in strategies:
+        runs.append(time_select(strategy, queries, language))
+    if include_join:
+        for strategy in strategies:
+            runs.append(time_join(strategy))
+    return runs

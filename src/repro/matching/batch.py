@@ -1,0 +1,137 @@
+"""Vectorized batch edit distances (numpy).
+
+The quality experiments (paper Figures 11/12) compare *every* phoneme
+string in the lexicon with every other — ~3M dynamic programs per cost
+setting.  This module computes exact Clustered Edit Distances for one
+query against many candidates at once, vectorizing across candidates of
+equal length.
+
+The insertion recurrence ``curr[j] = min(t[j], curr[j-1] + ins_j)`` looks
+inherently sequential, but with non-negative insertion costs it unrolls
+to a prefix minimum::
+
+    curr[j] = C[j] + min_{k <= j} (t[k] - C[k]),   C[j] = sum_{l<=j} ins_l
+
+which is ``np.minimum.accumulate`` — so each DP row is a handful of numpy
+operations over a (batch, length) matrix.  Results are bit-identical to
+:func:`repro.matching.editdist.edit_distance` (the test suite checks).
+
+numpy is an optional dependency of the library proper: only this module
+(and the evaluation harness that uses it) imports it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.matching.costs import CostModel
+
+
+class EncodedCosts:
+    """A cost model compiled to integer-indexed numpy lookup tables."""
+
+    def __init__(self, costs: CostModel, symbols: Sequence[str]):
+        self.costs = costs
+        self.index: dict[str, int] = {}
+        for sym in symbols:
+            if sym not in self.index:
+                self.index[sym] = len(self.index)
+        size = len(self.index)
+        self.sub = np.zeros((size, size), dtype=np.float64)
+        self.ins = np.zeros(size, dtype=np.float64)
+        self.dele = np.zeros(size, dtype=np.float64)
+        for a, ia in self.index.items():
+            self.ins[ia] = costs.insert(a)
+            self.dele[ia] = costs.delete(a)
+            for b, ib in self.index.items():
+                self.sub[ia, ib] = costs.substitute(a, b)
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Token sequence -> int vector (tokens must be known symbols)."""
+        return np.fromiter(
+            (self.index[t] for t in tokens), dtype=np.int64, count=len(tokens)
+        )
+
+
+def batch_edit_distances(
+    query: Sequence[str],
+    candidates: list[Sequence[str]],
+    encoded: EncodedCosts,
+) -> np.ndarray:
+    """Exact edit distances from ``query`` to every candidate.
+
+    Returns a float array aligned with ``candidates``.  Internally groups
+    candidates by length and runs one vectorized DP per group.
+    """
+    result = np.empty(len(candidates), dtype=np.float64)
+    by_length: dict[int, list[int]] = {}
+    for idx, cand in enumerate(candidates):
+        by_length.setdefault(len(cand), []).append(idx)
+    q = encoded.encode(query)
+    for length, indices in by_length.items():
+        if length == 0:
+            result[indices] = float(encoded.dele[q].sum())
+            continue
+        group = np.stack(
+            [encoded.encode(candidates[i]) for i in indices]
+        )  # (B, m)
+        result[indices] = _group_distances(q, group, encoded)
+    return result
+
+
+def _group_distances(
+    q: np.ndarray, group: np.ndarray, encoded: EncodedCosts
+) -> np.ndarray:
+    """DP over a (B, m) batch of equal-length candidates."""
+    batch, m = group.shape
+    n = len(q)
+    ins_costs = encoded.ins[group]  # (B, m)
+    # C[b, j] = cumulative insertion cost of candidate prefix j (C[:,0]=0).
+    c = np.zeros((batch, m + 1), dtype=np.float64)
+    np.cumsum(ins_costs, axis=1, out=c[:, 1:])
+    prev = c.copy()
+    if n == 0:
+        return prev[:, -1]
+    for i in range(n):
+        del_cost = encoded.dele[q[i]]
+        sub_costs = encoded.sub[q[i], group]  # (B, m)
+        t0 = prev[:, 0] + del_cost  # (B,)
+        t = np.minimum(prev[:, 1:] + del_cost, prev[:, :-1] + sub_costs)
+        stacked = np.concatenate(
+            [(t0 - c[:, 0])[:, None], t - c[:, 1:]], axis=1
+        )
+        np.minimum.accumulate(stacked, axis=1, out=stacked)
+        prev = stacked + c
+    return prev[:, -1]
+
+
+def pairwise_distance_matrix(
+    strings: list[Sequence[str]],
+    costs: CostModel,
+    symbols: Sequence[str] | None = None,
+) -> np.ndarray:
+    """Full symmetric matrix of edit distances between all strings.
+
+    ``symbols`` defaults to the union of symbols in ``strings``.  With a
+    symmetric cost model the matrix is symmetric; we compute the upper
+    triangle once per row and mirror it.
+    """
+    if symbols is None:
+        seen: dict[str, None] = {}
+        for s in strings:
+            for tok in s:
+                seen.setdefault(tok)
+        symbols = list(seen)
+    encoded = EncodedCosts(costs, symbols)
+    n = len(strings)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        rest = strings[i + 1 :]
+        if not rest:
+            break
+        row = batch_edit_distances(strings[i], rest, encoded)
+        matrix[i, i + 1 :] = row
+        matrix[i + 1 :, i] = row
+    return matrix

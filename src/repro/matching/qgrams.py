@@ -1,0 +1,155 @@
+"""Positional q-grams and the length / count / position filters.
+
+Paper Section 5.2 adapts the approximate-join filters of Gravano et al.
+(ref. [6]) to phoneme strings.  Definitions (paper footnote 4):
+
+* a string of length ``n`` is extended with ``q - 1`` start symbols and
+  ``q - 1`` end symbols that are outside the alphabet;
+* its *positional q-grams* are the pairs ``(i, extended[i : i + q])`` for
+  ``i = 1 .. n + q - 1``.
+
+The three filters are *necessary* conditions for two strings to be within
+(unit-cost) edit distance ``k``:
+
+* **length filter** — the lengths differ by at most ``k``;
+* **count filter** — the strings share at least
+  ``max(|s1|, |s2|) - 1 - (k - 1) * q`` q-grams;
+* **position filter** — only q-gram occurrences whose positions differ by
+  at most ``k`` may be counted as shared.
+
+Following the SQL formulation of paper Figure 14, the shared-gram count is
+the number of *joined pairs* ``(g1, g2)`` with equal grams and close
+positions; this over-counts duplicated grams relative to a perfect bag
+intersection, which keeps the filter conservative (it can only let extra
+candidates through, never drop a true match).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from typing import NamedTuple
+
+from repro.errors import MatchConfigError
+
+#: Start sentinel prepended to the extended string (outside any alphabet).
+START_SYMBOL = "◂"  # ◂
+#: End sentinel appended to the extended string.
+END_SYMBOL = "▸"  # ▸
+
+
+class PositionalQGram(NamedTuple):
+    """A q-gram occurrence: 1-based position plus the gram itself."""
+
+    pos: int
+    gram: tuple[str, ...]
+
+
+def positional_qgrams(
+    tokens: Sequence[str], q: int = 2
+) -> tuple[PositionalQGram, ...]:
+    """Positional q-grams of a token sequence.
+
+    >>> [g.gram for g in positional_qgrams("ab", q=2)]  # doctest: +SKIP
+    [('◂', 'a'), ('a', 'b'), ('b', '▸')]
+    """
+    if q < 1:
+        raise MatchConfigError(f"q must be >= 1, got {q}")
+    extended = (
+        (START_SYMBOL,) * (q - 1) + tuple(tokens) + (END_SYMBOL,) * (q - 1)
+    )
+    count = len(tokens) + q - 1
+    return tuple(
+        PositionalQGram(i + 1, extended[i : i + q]) for i in range(count)
+    )
+
+
+def qgram_profile(tokens: Sequence[str], q: int = 2) -> Counter:
+    """Bag of (non-positional) q-grams of a token sequence."""
+    return Counter(g.gram for g in positional_qgrams(tokens, q))
+
+
+def length_filter(len_a: int, len_b: int, k: float) -> bool:
+    """True if two strings of these lengths *can* be within distance ``k``."""
+    return abs(len_a - len_b) <= k
+
+
+def count_filter_threshold(len_a: int, len_b: int, k: float, q: int) -> float:
+    """Minimum number of shared q-grams required by the count filter.
+
+    May be zero or negative for short strings / large ``k``, in which case
+    the count filter is vacuous (any pair passes).
+    """
+    return max(len_a, len_b) - 1 - (k - 1) * q
+
+
+def matching_qgram_pairs(
+    grams_a: Sequence[PositionalQGram],
+    grams_b: Sequence[PositionalQGram],
+    k: float,
+) -> int:
+    """Number of q-gram pairs with equal grams and positions within ``k``.
+
+    This mirrors the relational join of paper Figure 14 (including its
+    bag-pair counting semantics).
+    """
+    by_gram: dict[tuple[str, ...], list[int]] = {}
+    for g in grams_b:
+        by_gram.setdefault(g.gram, []).append(g.pos)
+    pairs = 0
+    for g in grams_a:
+        positions = by_gram.get(g.gram)
+        if positions:
+            pairs += sum(1 for p in positions if abs(g.pos - p) <= k)
+    return pairs
+
+
+def count_filter(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    k: float,
+    q: int = 2,
+) -> bool:
+    """Count filter alone (no position constraint)."""
+    needed = count_filter_threshold(len(tokens_a), len(tokens_b), k, q)
+    if needed <= 0:
+        return True
+    shared = 0
+    profile_b = qgram_profile(tokens_b, q)
+    for gram, n in qgram_profile(tokens_a, q).items():
+        shared += min(n, profile_b.get(gram, 0))
+        if shared >= needed:
+            return True
+    return shared >= needed
+
+
+def position_filter(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    k: float,
+    q: int = 2,
+) -> bool:
+    """Count filter with the position constraint applied (Figure 14 form)."""
+    needed = count_filter_threshold(len(tokens_a), len(tokens_b), k, q)
+    if needed <= 0:
+        return True
+    pairs = matching_qgram_pairs(
+        positional_qgrams(tokens_a, q), positional_qgrams(tokens_b, q), k
+    )
+    return pairs >= needed
+
+
+def passes_filters(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    k: float,
+    q: int = 2,
+) -> bool:
+    """All three filters combined: the cheap pre-check before the UDF.
+
+    Guaranteed conservative with respect to unit-cost edit distance: if
+    ``edit_distance(a, b) <= k`` then this returns True.
+    """
+    if not length_filter(len(tokens_a), len(tokens_b), k):
+        return False
+    return position_filter(tokens_a, tokens_b, k, q)

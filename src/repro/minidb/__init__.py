@@ -1,0 +1,39 @@
+"""``minidb`` — a small in-memory relational engine.
+
+The paper evaluates LexEQUAL inside a commercial database (Oracle 9i) as
+a PL/SQL UDF; this package is the self-contained substitute.  It provides
+the facilities that evaluation depends on:
+
+* heap tables with typed schemas (:mod:`repro.minidb.table`);
+* B+ tree secondary indexes with point and range scans
+  (:mod:`repro.minidb.btree`);
+* an expression language with user-defined functions
+  (:mod:`repro.minidb.expr`);
+* iterator-model physical operators — sequential and index scans,
+  filters, nested-loop / index-nested-loop / hash joins, grouping with
+  HAVING, sorting (:mod:`repro.minidb.executor`);
+* a SQL dialect with the paper's ``LexEQUAL ... THRESHOLD ...
+  INLANGUAGES {...}`` extension (:mod:`repro.minidb.sql`) and a
+  rule-based planner (:mod:`repro.minidb.planner`).
+
+The engine is deliberately "outside-the-server"-shaped: LexEQUAL is
+installed as a UDF (:mod:`repro.core.integration`) exactly as the paper
+did, and the q-gram / phonetic-index accelerations are expressed as
+ordinary SQL over auxiliary tables, as in paper Figures 14 and 15.
+"""
+
+from repro.minidb.values import SqlType, LangText
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.table import HeapTable
+from repro.minidb.btree import BPlusTree
+from repro.minidb.catalog import Database
+
+__all__ = [
+    "SqlType",
+    "LangText",
+    "Column",
+    "TableSchema",
+    "HeapTable",
+    "BPlusTree",
+    "Database",
+]

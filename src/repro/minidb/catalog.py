@@ -1,0 +1,235 @@
+"""The database catalog: tables, secondary indexes, and UDFs.
+
+A :class:`Database` owns heap tables and keeps their B+ tree indexes in
+sync on insert/delete.  User-defined functions registered here become
+callable from SQL expressions — the mechanism the paper uses to add
+LexEQUAL to a stock engine ("all commercial database systems allow
+User-defined Functions (UDF) that may be used to add new functionality
+to the server").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.errors import DatabaseError, SchemaError
+from repro.minidb.btree import BPlusTree
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.table import HeapTable
+
+
+@dataclass
+class IndexInfo:
+    """A secondary index: a B+ tree over one column of one table."""
+
+    name: str
+    table_name: str
+    column_name: str
+    tree: BPlusTree
+
+
+class Database:
+    """An in-memory database: named tables, indexes and UDFs."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, HeapTable] = {}
+        self._indexes: dict[str, IndexInfo] = {}
+        self._indexes_by_table: dict[str, list[IndexInfo]] = {}
+        self._udfs: dict[str, Callable] = {}
+        self._observers: dict[str, list] = {}
+        self._accelerators: dict[tuple[str, str], object] = {}
+
+    # ------------------------------------------------------------- tables
+
+    def create_table(
+        self, name: str, columns: Iterable[Column]
+    ) -> HeapTable:
+        """Create a table; raises if the name is taken."""
+        key = name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = HeapTable(TableSchema(name, tuple(columns)))
+        self._tables[key] = table
+        self._indexes_by_table[key] = []
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and all its indexes."""
+        key = name.lower()
+        self._require_table(name)
+        for info in self._indexes_by_table.pop(key, []):
+            self._indexes.pop(info.name.lower(), None)
+        del self._tables[key]
+
+    def table(self, name: str) -> HeapTable:
+        return self._require_table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(t.name for t in self._tables.values()))
+
+    def _require_table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no such table {name!r}") from None
+
+    # -------------------------------------------------------------- rows
+
+    def insert(self, table_name: str, row: tuple) -> int:
+        """Insert a row, maintaining all indexes; returns the rowid."""
+        table = self._require_table(table_name)
+        rowid = table.insert(row)
+        stored = table.fetch(rowid)
+        for info in self._indexes_by_table[table_name.lower()]:
+            pos = table.schema.position(info.column_name)
+            key = stored[pos]
+            if key is not None:  # B-tree indexes skip NULL keys
+                info.tree.insert(key, rowid)
+        for observer in self._observers.get(table_name.lower(), []):
+            observer.on_insert(rowid, stored)
+        return rowid
+
+    def insert_many(self, table_name: str, rows: Iterable[tuple]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def delete_row(self, table_name: str, rowid: int) -> None:
+        """Delete one row by rowid, maintaining all indexes."""
+        table = self._require_table(table_name)
+        old = table.delete(rowid)
+        for info in self._indexes_by_table[table_name.lower()]:
+            pos = table.schema.position(info.column_name)
+            if old[pos] is not None:
+                info.tree.delete(old[pos], rowid)
+        for observer in self._observers.get(table_name.lower(), []):
+            observer.on_delete(rowid, old)
+
+    # ------------------------------------------------------------ indexes
+
+    def create_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column_name: str,
+        *,
+        order: int = 64,
+    ) -> IndexInfo:
+        """Build a B+ tree index over an existing column (backfilled).
+
+        NULL keys are not indexed (as in most engines): an index scan can
+        never produce a row whose key is NULL, which matches SQL equality
+        semantics.
+        """
+        key = index_name.lower()
+        if key in self._indexes:
+            raise SchemaError(f"index {index_name!r} already exists")
+        table = self._require_table(table_name)
+        pos = table.schema.position(column_name)
+        tree = BPlusTree(order=order)
+        for rowid, row in table.scan():
+            if row[pos] is not None:  # NULL keys are not indexed
+                tree.insert(row[pos], rowid)
+        info = IndexInfo(index_name, table.name, column_name, tree)
+        self._indexes[key] = info
+        self._indexes_by_table[table_name.lower()].append(info)
+        return info
+
+    def drop_index(self, index_name: str) -> None:
+        key = index_name.lower()
+        try:
+            info = self._indexes.pop(key)
+        except KeyError:
+            raise SchemaError(f"no such index {index_name!r}") from None
+        self._indexes_by_table[info.table_name.lower()].remove(info)
+
+    def index(self, index_name: str) -> IndexInfo:
+        try:
+            return self._indexes[index_name.lower()]
+        except KeyError:
+            raise SchemaError(f"no such index {index_name!r}") from None
+
+    def index_on(self, table_name: str, column_name: str) -> IndexInfo | None:
+        """The first index on ``table.column``, if any (planner hook)."""
+        for info in self._indexes_by_table.get(table_name.lower(), []):
+            if info.column_name.lower() == column_name.lower():
+                return info
+        return None
+
+    def indexes_for(self, table_name: str) -> tuple[IndexInfo, ...]:
+        return tuple(self._indexes_by_table.get(table_name.lower(), []))
+
+    # -------------------------------------------------- observers/hooks
+
+    def add_observer(self, table_name: str, observer) -> None:
+        """Register a table observer (``on_insert(rowid, row)`` /
+        ``on_delete(rowid, row)``), called after index maintenance.
+
+        This is the hook auxiliary access structures (e.g. the phonetic
+        accelerators of :mod:`repro.core.engine`) use to stay in sync.
+        """
+        self._require_table(table_name)
+        self._observers.setdefault(table_name.lower(), []).append(observer)
+
+    def remove_observer(self, table_name: str, observer) -> None:
+        observers = self._observers.get(table_name.lower(), [])
+        if observer in observers:
+            observers.remove(observer)
+
+    def register_accelerator(
+        self, table_name: str, column_name: str, accelerator
+    ) -> None:
+        """Register a predicate accelerator for ``table.column``.
+
+        The planner consults it when a query has a LexEQUAL predicate on
+        that column: ``accelerator.candidate_rowids(value, threshold,
+        languages)`` must return a rowid list that is a superset of the
+        matching rows (or None to decline).  This is the hook behind the
+        paper's "inside-the-engine implementation" future work.
+        """
+        self._require_table(table_name)
+        self._accelerators[
+            (table_name.lower(), column_name.lower())
+        ] = accelerator
+
+    def accelerator_for(self, table_name: str, column_name: str):
+        return self._accelerators.get(
+            (table_name.lower(), column_name.lower())
+        )
+
+    # --------------------------------------------------------------- UDFs
+
+    def register_udf(self, name: str, fn: Callable) -> None:
+        """Register (or replace) a function callable from SQL."""
+        if not callable(fn):
+            raise DatabaseError(f"UDF {name!r} is not callable")
+        self._udfs[name.lower()] = fn
+
+    def udf(self, name: str) -> Callable:
+        try:
+            return self._udfs[name.lower()]
+        except KeyError:
+            raise DatabaseError(f"no such function {name!r}") from None
+
+    def has_udf(self, name: str) -> bool:
+        return name.lower() in self._udfs
+
+    # ---------------------------------------------------------------- SQL
+
+    def execute(self, sql: str, **params):
+        """Parse, plan and run a SQL statement.
+
+        SELECT returns a :class:`~repro.minidb.planner.ResultSet`; DDL and
+        INSERT return row counts.  ``params`` substitute ``:name``
+        placeholders in the statement.
+        """
+        from repro.minidb.planner import execute_sql
+
+        return execute_sql(self, sql, params)

@@ -1,0 +1,82 @@
+"""Table schemas for the minidb engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.minidb.values import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A named, ordered collection of columns."""
+
+    name: str
+    columns: tuple[Column, ...]
+    _positions: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        positions: dict[str, int] = {}
+        for idx, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in positions:
+                raise SchemaError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
+            positions[key] = idx
+        # frozen dataclass: assign via object.__setattr__
+        object.__setattr__(self, "_positions", positions)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def position(self, column_name: str) -> int:
+        """0-based position of a column (case-insensitive)."""
+        try:
+            return self._positions[column_name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column_name!r}"
+            ) from None
+
+    def column(self, column_name: str) -> Column:
+        return self.columns[self.position(column_name)]
+
+    def has_column(self, column_name: str) -> bool:
+        return column_name.lower() in self._positions
+
+    def validate_row(self, row: tuple) -> tuple:
+        """Validate a row tuple against the schema; returns the coerced row."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        coerced = []
+        for col, value in zip(self.columns, row):
+            checked = col.type.validate(value)
+            if checked is None and not col.nullable:
+                raise SchemaError(
+                    f"column {self.name}.{col.name} is NOT NULL"
+                )
+            coerced.append(checked)
+        return tuple(coerced)

@@ -1,0 +1,76 @@
+"""Heap tables: schema-validated in-memory row storage.
+
+Rows are Python tuples addressed by a stable integer rowid (their slot in
+the heap).  Deletion tombstones the slot instead of compacting, so rowids
+stored in indexes stay valid — the same contract a slotted-page heap file
+gives a real engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ExecutionError
+from repro.minidb.schema import TableSchema
+
+#: Sentinel stored in deleted slots.
+_TOMBSTONE = object()
+
+
+class HeapTable:
+    """An append-only heap of validated row tuples with tombstone deletes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[tuple | object] = []
+        self._live_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def insert(self, row: tuple) -> int:
+        """Insert a row; returns its rowid."""
+        validated = self.schema.validate_row(row)
+        self._rows.append(validated)
+        self._live_count += 1
+        return len(self._rows) - 1
+
+    def insert_many(self, rows: Iterable[tuple]) -> list[int]:
+        """Bulk insert; returns the assigned rowids."""
+        return [self.insert(row) for row in rows]
+
+    def fetch(self, rowid: int) -> tuple:
+        """Fetch a live row by rowid."""
+        try:
+            row = self._rows[rowid]
+        except IndexError:
+            raise ExecutionError(
+                f"table {self.name!r}: rowid {rowid} out of range"
+            ) from None
+        if row is _TOMBSTONE:
+            raise ExecutionError(
+                f"table {self.name!r}: rowid {rowid} is deleted"
+            )
+        return row  # type: ignore[return-value]
+
+    def delete(self, rowid: int) -> tuple:
+        """Delete a row by rowid; returns the old row."""
+        row = self.fetch(rowid)
+        self._rows[rowid] = _TOMBSTONE
+        self._live_count -= 1
+        return row
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rowid, row)`` for every live row, in heap order."""
+        for rowid, row in enumerate(self._rows):
+            if row is not _TOMBSTONE:
+                yield rowid, row  # type: ignore[misc]
+
+    def rows(self) -> Iterator[tuple]:
+        """Yield live rows without rowids."""
+        for _rowid, row in self.scan():
+            yield row

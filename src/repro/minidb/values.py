@@ -1,0 +1,75 @@
+"""SQL value types for the minidb engine.
+
+Values are plain Python objects (``int``, ``float``, ``str``, ``bool``,
+``None``) plus :class:`LangText`, the language-tagged text type the paper
+assumes for multilingual columns ("the data is assumed to be in Unicode
+with each attribute value tagged with its language").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.errors import SchemaError
+
+
+class LangText(NamedTuple):
+    """A Unicode string tagged with its language.
+
+    Compares (and hashes) like the pair, so it can be grouped and joined.
+    ``str(LangText("नेहरु", "hindi"))`` is just the text.
+    """
+
+    text: str
+    language: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class SqlType(enum.Enum):
+    """Column types supported by the engine."""
+
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    LANGTEXT = "langtext"
+
+    def validate(self, value: object) -> object:
+        """Check (and mildly coerce) a Python value for this column type.
+
+        ``None`` is always accepted (SQL NULL).  Integers are accepted
+        for REAL columns and coerced to float; everything else must match
+        exactly — the engine favours loud failures over silent coercion.
+        """
+        if value is None:
+            return None
+        if self is SqlType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"expected INTEGER, got {value!r}")
+            return value
+        if self is SqlType.REAL:
+            if isinstance(value, bool):
+                raise SchemaError(f"expected REAL, got {value!r}")
+            if isinstance(value, int):
+                return float(value)
+            if not isinstance(value, float):
+                raise SchemaError(f"expected REAL, got {value!r}")
+            return value
+        if self is SqlType.TEXT:
+            if isinstance(value, LangText):
+                return value.text
+            if not isinstance(value, str):
+                raise SchemaError(f"expected TEXT, got {value!r}")
+            return value
+        if self is SqlType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise SchemaError(f"expected BOOLEAN, got {value!r}")
+            return value
+        if self is SqlType.LANGTEXT:
+            if isinstance(value, LangText):
+                return value
+            raise SchemaError(f"expected LANGTEXT, got {value!r}")
+        raise AssertionError(f"unhandled type {self}")  # pragma: no cover

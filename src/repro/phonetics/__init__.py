@@ -1,0 +1,50 @@
+"""Phonetic substrate: IPA inventory, parsing, similarity, clustering, keys.
+
+This package provides everything LexEQUAL needs to reason about phoneme
+strings once a text-to-phoneme converter (``repro.ttp``) has produced them:
+
+* :mod:`repro.phonetics.inventory` — the IPA phoneme inventory, with
+  articulatory features for every symbol the converters emit;
+* :mod:`repro.phonetics.parse` — tokenizing an IPA string into phonemes
+  (affricates, aspiration, length and nasalization are handled here);
+* :mod:`repro.phonetics.features` — a feature-based similarity measure
+  between phonemes, in the spirit of Mareuil et al. (paper ref. [18]);
+* :mod:`repro.phonetics.clusters` — grouping near-equal phonemes into
+  clusters, the basis of the *Clustered Edit Distance* and of the
+  phonetic index;
+* :mod:`repro.phonetics.keys` — the *grouped phoneme string identifier*
+  (paper Section 5.3) and classical Soundex for Latin text.
+"""
+
+from repro.phonetics.inventory import (
+    Phoneme,
+    PhonemeClass,
+    INVENTORY,
+    get_phoneme,
+    is_known_symbol,
+)
+from repro.phonetics.parse import parse_ipa, ipa_length
+from repro.phonetics.features import phoneme_similarity, similarity_matrix
+from repro.phonetics.clusters import (
+    PhonemeClustering,
+    default_clustering,
+    auto_clustering,
+)
+from repro.phonetics.keys import grouped_key, soundex
+
+__all__ = [
+    "Phoneme",
+    "PhonemeClass",
+    "INVENTORY",
+    "get_phoneme",
+    "is_known_symbol",
+    "parse_ipa",
+    "ipa_length",
+    "phoneme_similarity",
+    "similarity_matrix",
+    "PhonemeClustering",
+    "default_clustering",
+    "auto_clustering",
+    "grouped_key",
+    "soundex",
+]

@@ -1,0 +1,232 @@
+"""Phoneme clustering — the backbone of the Clustered Edit Distance.
+
+The paper extends Soundex to the phoneme domain "under the assumptions that
+clusters of like phonemes exist and a substitution from within a cluster is
+more likely than a substitution from across clusters" (Section 3.3).  The
+cluster map serves two distinct purposes:
+
+1. The *Clustered Edit Distance* charges the tunable intra-cluster
+   substitution cost for same-cluster substitutions and full cost for
+   cross-cluster ones (:mod:`repro.matching.costs`).
+2. The *phonetic index* (paper Section 5.3) maps every phoneme to its
+   cluster identifier and packs the identifier string into one integer —
+   the *grouped phoneme string identifier* (:mod:`repro.phonetics.keys`).
+
+:func:`default_clustering` ships the hand-designed clustering used in all
+experiments; :func:`auto_clustering` derives one mechanically from the
+feature-similarity matrix (the paper's future-work direction), and users
+may construct :class:`PhonemeClustering` from any custom partition — the
+paper explicitly "allow[s] user customization of clustering of phonemes".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import PhonemeError
+from repro.phonetics.features import phoneme_similarity
+from repro.phonetics.inventory import INVENTORY, get_phoneme
+from repro.phonetics.parse import PhonemeString
+
+
+class PhonemeClustering:
+    """An immutable partition of (a subset of) the phoneme inventory.
+
+    Phonemes not covered by the partition are treated as singleton
+    clusters, so any clustering is total over the inventory.  Cluster
+    identifiers are small consecutive integers, stable for a given
+    partition (ordered by the partition given, then singletons sorted).
+    """
+
+    def __init__(self, clusters: Iterable[Iterable[str]], name: str = "custom"):
+        self.name = name
+        self._cluster_of: dict[str, int] = {}
+        self._members: list[tuple[str, ...]] = []
+        for group in clusters:
+            members = tuple(group)
+            if not members:
+                raise PhonemeError("empty phoneme cluster")
+            cluster_id = len(self._members)
+            for sym in members:
+                get_phoneme(sym)  # validates the symbol
+                if sym in self._cluster_of:
+                    raise PhonemeError(
+                        f"phoneme {sym!r} assigned to two clusters"
+                    )
+                self._cluster_of[sym] = cluster_id
+            self._members.append(members)
+        # Singleton clusters for anything the partition did not cover.
+        for sym in sorted(INVENTORY):
+            if sym not in self._cluster_of:
+                self._cluster_of[sym] = len(self._members)
+                self._members.append((sym,))
+
+    @property
+    def cluster_count(self) -> int:
+        """Total number of clusters, singletons included."""
+        return len(self._members)
+
+    def cluster_id(self, symbol: str) -> int:
+        """Cluster identifier of a phoneme symbol."""
+        try:
+            return self._cluster_of[symbol]
+        except KeyError:
+            raise PhonemeError(f"unknown phoneme symbol {symbol!r}") from None
+
+    def members(self, cluster_id: int) -> tuple[str, ...]:
+        """Phoneme symbols in the given cluster."""
+        return self._members[cluster_id]
+
+    def same_cluster(self, a: str, b: str) -> bool:
+        """True if two phonemes fall in the same cluster."""
+        return self.cluster_id(a) == self.cluster_id(b)
+
+    def map_string(self, phonemes: PhonemeString) -> tuple[int, ...]:
+        """Map a phoneme string to its cluster-identifier string.
+
+        This is the projection used both by the phonetic index and by the
+        cluster-domain q-gram filters (see DESIGN.md section 3).
+        """
+        return tuple(self._cluster_of[sym] for sym in phonemes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhonemeClustering):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._members))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhonemeClustering(name={self.name!r}, "
+            f"clusters={self.cluster_count})"
+        )
+
+
+# The hand-designed clustering used throughout the paper reproduction.
+# It extends the Soundex letter groups to the phoneme domain: stops by
+# place, sibilants, labial fricatives, nasals, liquids, glides, laryngeals,
+# and six coarse vowel regions.  Length, nasalization and aspiration
+# variants fall in the same cluster as their base phoneme, which is what
+# lets e.g. Hindi /d̪ʱ/ match English /d/ cheaply.
+_DEFAULT_CLUSTERS: tuple[tuple[str, ...], ...] = (
+    # labial stops
+    ("p", "pʰ", "b", "bʱ", "ɸ", "β"),
+    # coronal stops (dental/alveolar/retroflex) and interdental fricatives
+    ("t", "tʰ", "d", "dʱ", "t̪", "t̪ʰ", "d̪", "d̪ʱ", "ʈ", "ʈʰ", "ɖ", "ɖʱ",
+     "θ", "ð"),
+    # velar/uvular/palatal stops
+    ("k", "kʰ", "g", "gʱ", "c", "ɟ", "q", "ʔ", "x", "ɣ"),
+    # postalveolar affricates and fricatives
+    ("tʃ", "tʃʰ", "dʒ", "dʒʱ", "ʃ", "ʒ", "ts", "dz"),
+    # plain sibilants and retroflex fricatives
+    ("s", "z", "ʂ", "ʐ", "ç"),
+    # labiodental fricatives
+    ("f", "v"),
+    # nasals
+    ("m", "n", "n̪", "ɳ", "ɲ", "ŋ"),
+    # liquids: rhotics and laterals
+    ("r", "ɾ", "ɽ", "ɽʱ", "ɹ", "ɻ", "l", "ɭ", "ɫ", "ʎ"),
+    # glides
+    ("j", "w", "ʋ"),
+    # laryngeals
+    ("h", "ɦ"),
+)
+
+
+def _vowel_region(symbol: str) -> int:
+    """Coarse vowel region: one of five perceptual vowel classes.
+
+    0: high front (i, ɪ, y); 1: mid front (e, ɛ, ø, œ); 2: low/central
+    (a, ɑ, ɒ, æ, ɐ, ə, ɜ, ʌ); 3: mid back rounded (o, ɔ); 4: high back
+    (u, ʊ, ɯ).  Five regions is the granularity at which cross-script
+    vowel renderings of the same name reliably stay within one region.
+    """
+    ph = get_phoneme(symbol)
+    assert ph.height is not None and ph.backness is not None
+    h, b = ph.height.value, ph.backness.value
+    if h <= 1:  # close / near-close
+        return 0 if b == 0 else 4
+    if b == 1 or h >= 5:  # central, or (near-)open anywhere
+        return 2
+    if b == 0:  # front mid
+        return 1
+    # back mid: rounded o/ɔ vs unrounded ʌ (which patterns with a/ə)
+    return 3 if ph.rounded else 2
+
+
+def _default_vowel_clusters() -> list[list[str]]:
+    regions: dict[int, list[str]] = {r: [] for r in range(5)}
+    for sym, ph in sorted(INVENTORY.items()):
+        if ph.is_vowel:
+            regions[_vowel_region(sym)].append(sym)
+    return [regions[r] for r in range(5) if regions[r]]
+
+
+_DEFAULT: PhonemeClustering | None = None
+
+
+def default_clustering() -> PhonemeClustering:
+    """The library's standard phoneme clustering (cached singleton)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        clusters = [list(group) for group in _DEFAULT_CLUSTERS]
+        clusters.extend(_default_vowel_clusters())
+        _DEFAULT = PhonemeClustering(clusters, name="default")
+    return _DEFAULT
+
+
+def auto_clustering(
+    threshold: float = 0.72,
+    symbols: tuple[str, ...] | None = None,
+) -> PhonemeClustering:
+    """Derive a clustering from the feature-similarity matrix.
+
+    Average-linkage agglomerative clustering: repeatedly merge the two
+    clusters whose average pairwise phoneme similarity is highest, until
+    no pair exceeds ``threshold``.  Consonants and vowels never merge
+    (their similarity is 0).  This implements the paper's future-work item
+    of deriving "a more robust grouping of like phonemes" mechanically.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise PhonemeError(f"auto_clustering threshold {threshold} not in (0, 1]")
+    syms = tuple(sorted(INVENTORY)) if symbols is None else tuple(symbols)
+    clusters: list[list[str]] = [[s] for s in syms]
+    sims: dict[tuple[str, str], float] = {}
+
+    def avg_sim(a: list[str], b: list[str]) -> float:
+        total = 0.0
+        for x in a:
+            for y in b:
+                key = (x, y)
+                if key not in sims:
+                    sims[key] = phoneme_similarity(x, y)
+                total += sims[key]
+        return total / (len(a) * len(b))
+
+    while len(clusters) > 1:
+        best = -1.0
+        best_pair: tuple[int, int] | None = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                s = avg_sim(clusters[i], clusters[j])
+                if s > best:
+                    best = s
+                    best_pair = (i, j)
+        if best_pair is None or best < threshold:
+            break
+        i, j = best_pair
+        clusters[i].extend(clusters[j])
+        del clusters[j]
+    return PhonemeClustering(clusters, name=f"auto(threshold={threshold})")
+
+
+def singleton_clustering() -> PhonemeClustering:
+    """Every phoneme in its own cluster (degenerate clustering).
+
+    With this clustering the Clustered Edit Distance collapses to the
+    plain Levenshtein metric whatever the intra-cluster cost, because no
+    two distinct phonemes ever share a cluster.
+    """
+    return PhonemeClustering([], name="singleton")

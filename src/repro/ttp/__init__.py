@@ -1,0 +1,34 @@
+"""Text-to-Phoneme (TTP) converters.
+
+The paper's LexEQUAL operator assumes per-language TTP converters that
+turn a text string into "its phonetic representation in IPA alphabet"
+(``transform`` in paper Figure 8).  The paper used external resources
+(Oxford English Dictionary pronunciations, the Dhvani TTS for Hindi, hand
+conversion for Tamil); this package provides self-contained rule-based
+converters with the same interface and the same cross-language phoneme-set
+mismatches that make multiscript matching inherently fuzzy.
+
+Use :func:`repro.ttp.registry.converter_for` to obtain a converter, or
+:func:`repro.ttp.registry.transform` for the one-shot string → IPA path.
+"""
+
+from repro.ttp.base import TTPConverter, builtin_converters
+from repro.ttp.registry import (
+    TTPRegistry,
+    default_registry,
+    converter_for,
+    transform,
+    supported_languages,
+    detect_language,
+)
+
+__all__ = [
+    "TTPConverter",
+    "builtin_converters",
+    "TTPRegistry",
+    "default_registry",
+    "converter_for",
+    "transform",
+    "supported_languages",
+    "detect_language",
+]

@@ -1,0 +1,48 @@
+"""Input normalization shared by the TTP converters.
+
+The paper's preprocessing removes "those symbols specific to speech
+generation, such as the supra-segmentals, diacritics, tones and accents".
+On the *input* side we do the analogous cleanup per script family:
+
+* Latin text is case-folded and accent-stripped (``René`` → ``rene``,
+  ``École`` → ``ecole``) so the grapheme rules see plain ASCII letters;
+* Indic text is NFC-normalized so matras and nuktas combine predictably;
+* characters irrelevant to vocalization (apostrophes, hyphens, periods in
+  initials) are removed or treated as word separators.
+"""
+
+from __future__ import annotations
+
+import unicodedata
+
+_WORD_JOINERS = {"'", "’", "ʼ", "-", "–", "—", ".", ","}
+
+
+def strip_accents(text: str) -> str:
+    """Remove combining marks from Latin text (``é`` → ``e``)."""
+    decomposed = unicodedata.normalize("NFD", text)
+    return "".join(
+        ch for ch in decomposed if not unicodedata.combining(ch)
+    )
+
+
+def normalize_latin(text: str) -> str:
+    """Case-fold, strip accents and drop punctuation from Latin text."""
+    text = strip_accents(text).lower()
+    cleaned = []
+    for ch in text:
+        if ch in _WORD_JOINERS:
+            continue
+        cleaned.append(ch)
+    return "".join(cleaned)
+
+
+def normalize_indic(text: str) -> str:
+    """NFC-normalize Indic text and drop Latin punctuation."""
+    text = unicodedata.normalize("NFC", text)
+    return "".join(ch for ch in text if ch not in _WORD_JOINERS)
+
+
+def split_words(text: str) -> list[str]:
+    """Split on whitespace; converters transcribe word by word."""
+    return [w for w in text.split() if w]

@@ -1,0 +1,254 @@
+"""A context-sensitive grapheme-to-phoneme rule engine.
+
+The engine implements the rule formalism of the classic NRL letter-to-sound
+system (Elovitz et al., *Automatic Translation of English Text to
+Phonetics*, 1976), which the English converter instantiates with a full
+rule set and the French/Spanish converters reuse with smaller ones.
+
+A rule is ``(left, fragment, right, phonemes)``: when ``fragment`` occurs
+at the cursor with ``left`` matching the text before it and ``right`` the
+text after it, emit ``phonemes`` and advance past the fragment.  Rules are
+tried in order; the per-letter fallback rule at the end of each group makes
+the system total.
+
+Context pattern language (matched against normalized lowercase text):
+
+=========  ==========================================================
+symbol     matches
+=========  ==========================================================
+``#``      one or more vowels (``aeiouy``)
+``:``      zero or more consonants
+``^``      exactly one consonant
+``.``      one voiced consonant (``bdvgjlmnrwz``)
+``+``      one front vowel (``eiy``)
+``%``      one of the suffixes ``er e es ed ing ely`` (right only)
+``&``      a sibilant (``s c g z x j`` or digraph ``ch sh``)
+``@``      a coronal-ish consonant (``t s r d l z n j`` or digraph
+           ``th ch sh``)
+(space)    a word boundary
+letter     itself
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import TTPError
+from repro.phonetics.parse import PhonemeString, parse_ipa
+
+_VOWELS = frozenset("aeiouy")
+_CONSONANTS = frozenset("bcdfghjklmnpqrstvwxz")
+_VOICED = frozenset("bdvgjlmnrwz")
+_FRONT = frozenset("eiy")
+_SIBILANT_LETTERS = frozenset("scgzxj")
+_AT_LETTERS = frozenset("tsrdlzn j".replace(" ", ""))
+_SUFFIXES = ("er", "e", "es", "ed", "ing", "ely")
+
+
+class Rule(NamedTuple):
+    """One grapheme-to-phoneme rewrite rule."""
+
+    left: str
+    fragment: str
+    right: str
+    phonemes: PhonemeString
+
+
+def compile_rules(
+    table: list[tuple[str, str, str, str]]
+) -> dict[str, list[Rule]]:
+    """Compile ``(left, fragment, right, ipa)`` rows into a rule index.
+
+    The IPA output field is parsed once here, so a typo in a rule fails at
+    import time rather than at match time.  Rules are indexed by the first
+    letter of their fragment and kept in table order within each group.
+    """
+    index: dict[str, list[Rule]] = {}
+    for left, fragment, right, ipa in table:
+        if not fragment:
+            raise TTPError("rule with empty fragment")
+        rule = Rule(left, fragment, right, parse_ipa(ipa))
+        index.setdefault(fragment[0], []).append(rule)
+    return index
+
+
+def _match_right(text: str, pos: int, pattern: str) -> bool:
+    """Match ``pattern`` against ``text[pos:]`` (left-to-right)."""
+    if not pattern:
+        return True
+    ch = pattern[0]
+    rest = pattern[1:]
+    n = len(text)
+    if ch == " ":
+        return pos >= n and _match_right(text, pos, rest)
+    if ch == "#":
+        count = 0
+        while pos + count < n and text[pos + count] in _VOWELS:
+            count += 1
+        # one-or-more vowels, longest first with backtracking
+        for used in range(count, 0, -1):
+            if _match_right(text, pos + used, rest):
+                return True
+        return False
+    if ch == ":":
+        count = 0
+        while pos + count < n and text[pos + count] in _CONSONANTS:
+            count += 1
+        for used in range(count, -1, -1):
+            if _match_right(text, pos + used, rest):
+                return True
+        return False
+    if ch == "^":
+        return (
+            pos < n
+            and text[pos] in _CONSONANTS
+            and _match_right(text, pos + 1, rest)
+        )
+    if ch == ".":
+        return (
+            pos < n
+            and text[pos] in _VOICED
+            and _match_right(text, pos + 1, rest)
+        )
+    if ch == "+":
+        return (
+            pos < n
+            and text[pos] in _FRONT
+            and _match_right(text, pos + 1, rest)
+        )
+    if ch == "%":
+        for suffix in _SUFFIXES:
+            if text.startswith(suffix, pos) and _match_right(
+                text, pos + len(suffix), rest
+            ):
+                return True
+        return False
+    if ch == "&":
+        if pos + 1 < n and text[pos : pos + 2] in ("ch", "sh"):
+            if _match_right(text, pos + 2, rest):
+                return True
+        return (
+            pos < n
+            and text[pos] in _SIBILANT_LETTERS
+            and _match_right(text, pos + 1, rest)
+        )
+    if ch == "@":
+        if pos + 1 < n and text[pos : pos + 2] in ("th", "ch", "sh"):
+            if _match_right(text, pos + 2, rest):
+                return True
+        return (
+            pos < n
+            and text[pos] in _AT_LETTERS
+            and _match_right(text, pos + 1, rest)
+        )
+    # literal letter
+    return pos < n and text[pos] == ch and _match_right(text, pos + 1, rest)
+
+
+def _match_left(text: str, end: int, pattern: str) -> bool:
+    """Match ``pattern`` against ``text[:end]``, anchored at ``end``.
+
+    The pattern is written left-to-right but consumed right-to-left, so
+    ``"#:"`` means "vowels, then any consonants, immediately before the
+    fragment".
+    """
+    if not pattern:
+        return True
+    ch = pattern[-1]
+    rest = pattern[:-1]
+    if ch == " ":
+        return end <= 0 and _match_left(text, end, rest)
+    if ch == "#":
+        count = 0
+        while end - count - 1 >= 0 and text[end - count - 1] in _VOWELS:
+            count += 1
+        for used in range(count, 0, -1):
+            if _match_left(text, end - used, rest):
+                return True
+        return False
+    if ch == ":":
+        count = 0
+        while end - count - 1 >= 0 and text[end - count - 1] in _CONSONANTS:
+            count += 1
+        for used in range(count, -1, -1):
+            if _match_left(text, end - used, rest):
+                return True
+        return False
+    if ch == "^":
+        return (
+            end > 0
+            and text[end - 1] in _CONSONANTS
+            and _match_left(text, end - 1, rest)
+        )
+    if ch == ".":
+        return (
+            end > 0
+            and text[end - 1] in _VOICED
+            and _match_left(text, end - 1, rest)
+        )
+    if ch == "+":
+        return (
+            end > 0
+            and text[end - 1] in _FRONT
+            and _match_left(text, end - 1, rest)
+        )
+    if ch == "&":
+        if end >= 2 and text[end - 2 : end] in ("ch", "sh"):
+            if _match_left(text, end - 2, rest):
+                return True
+        return (
+            end > 0
+            and text[end - 1] in _SIBILANT_LETTERS
+            and _match_left(text, end - 1, rest)
+        )
+    if ch == "@":
+        if end >= 2 and text[end - 2 : end] in ("th", "ch", "sh"):
+            if _match_left(text, end - 2, rest):
+                return True
+        return (
+            end > 0
+            and text[end - 1] in _AT_LETTERS
+            and _match_left(text, end - 1, rest)
+        )
+    return end > 0 and text[end - 1] == ch and _match_left(text, end - 1, rest)
+
+
+def apply_rules(
+    word: str,
+    index: dict[str, list[Rule]],
+    language: str,
+) -> PhonemeString:
+    """Transcribe ``word`` with the compiled rule index.
+
+    Every position must be consumed by some rule; the per-letter fallback
+    rules of a complete table guarantee this for alphabetic input.  A
+    character with no rule group raises :class:`~repro.errors.TTPError`.
+    """
+    phonemes: list[str] = []
+    pos = 0
+    n = len(word)
+    while pos < n:
+        ch = word[pos]
+        group = index.get(ch)
+        if group is None:
+            raise TTPError(
+                f"{language} converter: no rule for character {ch!r} "
+                f"in word {word!r}"
+            )
+        for rule in group:
+            end = pos + len(rule.fragment)
+            if not word.startswith(rule.fragment, pos):
+                continue
+            if not _match_left(word, pos, rule.left):
+                continue
+            if not _match_right(word, end, rule.right):
+                continue
+            phonemes.extend(rule.phonemes)
+            pos = end
+            break
+        else:
+            raise TTPError(
+                f"{language} converter: no rule matched at {pos} in {word!r}"
+            )
+    return tuple(phonemes)

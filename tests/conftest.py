@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LexEqualMatcher, MatchConfig, NameCatalog
+from repro.data.lexicon import MultiscriptLexicon, build_lexicon
+
+
+@pytest.fixture(scope="session")
+def matcher() -> LexEqualMatcher:
+    """A matcher with library defaults (shared TTP cache)."""
+    return LexEqualMatcher()
+
+
+@pytest.fixture(scope="session")
+def small_lexicon() -> MultiscriptLexicon:
+    """A three-script lexicon over a small slice of each domain."""
+    return build_lexicon(limit_per_domain=25)
+
+
+@pytest.fixture()
+def nehru_catalog(matcher: LexEqualMatcher) -> NameCatalog:
+    """A small catalog with three tagged groups across three scripts."""
+    catalog = NameCatalog(matcher)
+    catalog.add_many(
+        [
+            ("Nehru", "english", 1),
+            ("नेहरु", "hindi", 1),
+            ("நேரு", "tamil", 1),
+            ("Nero", "english", 2),
+            ("Gandhi", "english", 3),
+            ("गांधी", "hindi", 3),
+            ("காந்தி", "tamil", 3),
+            ("Krishnan", "english", 4),
+            ("कृष्णन", "hindi", 4),
+            ("Smith", "english", 5),
+        ]
+    )
+    return catalog

@@ -1,0 +1,208 @@
+"""Tests for the inside-the-engine LexEQUAL acceleration."""
+
+import pytest
+
+from repro import Database, LangText, install_lexequal
+from repro.core import create_phonetic_accelerator
+from repro.errors import DatabaseError
+from repro.minidb.executor import RowidScan, SeqScan
+from repro.minidb.planner import plan_select
+from repro.minidb.sql import parse
+
+NAMES = [
+    ("Nehru", "Discovery of India"),
+    ("नेहरु", "भारत एक खोज"),
+    ("நேரு", "ஆசிய ஜோதி"),
+    ("Nero", "The Coronation"),
+    ("Gandhi", "Autobiography"),
+    ("गांधी", "आत्मकथा"),
+    ("Krishna", "Gita"),
+    ("Smith", "Wealth of Nations"),
+]
+
+LEXEQUAL_SQL = (
+    "SELECT author FROM books WHERE author LEXEQUAL :q THRESHOLD :e"
+)
+
+
+def make_db() -> Database:
+    db = Database()
+    install_lexequal(db)
+    db.execute("CREATE TABLE books (author TEXT, title TEXT)")
+    for author, title in NAMES:
+        db.insert("books", (author, title))
+    return db
+
+
+def plan_uses(db, sql: str, op_type) -> bool:
+    plan = plan_select(db, parse(sql), {"q": "Nehru", "e": 0.25})
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, op_type):
+            return True
+        for attr in ("child", "outer", "inner", "left", "right"):
+            nxt = getattr(node, attr, None)
+            if nxt is not None:
+                stack.append(nxt)
+    return False
+
+
+class TestQGramAccelerator:
+    def test_results_identical_to_full_scan(self):
+        plain = make_db()
+        accelerated = make_db()
+        create_phonetic_accelerator(accelerated, "books", "author")
+        for query in ["Nehru", "Gandhi", "Krishna", "Zzyzx"]:
+            for threshold in [0.1, 0.25, 0.4]:
+                expected = plain.execute(
+                    LEXEQUAL_SQL, q=query, e=threshold
+                ).rows
+                got = accelerated.execute(
+                    LEXEQUAL_SQL, q=query, e=threshold
+                ).rows
+                assert sorted(got) == sorted(expected), (query, threshold)
+
+    def test_plan_uses_rowid_scan(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author")
+        assert plan_uses(db, LEXEQUAL_SQL, RowidScan)
+
+    def test_without_accelerator_plan_is_seq_scan(self):
+        db = make_db()
+        assert not plan_uses(db, LEXEQUAL_SQL, RowidScan)
+        assert plan_uses(db, LEXEQUAL_SQL, SeqScan)
+
+    def test_insert_maintains_structures(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author")
+        db.execute("INSERT INTO books VALUES ('Nehroo', 'Variant')")
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("Nehroo",) in result.rows
+
+    def test_delete_maintains_structures(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author")
+        # rowid 0 is 'Nehru'
+        db.delete_row("books", 0)
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("Nehru",) not in result.rows
+        assert ("नेहरु",) in result.rows
+
+    def test_unsupported_language_rows_never_match(self):
+        db = make_db()
+        db.insert("books", ("נהרו", "Hebrew script"))
+        create_phonetic_accelerator(db, "books", "author")
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("נהרו",) not in result.rows
+
+    def test_arabic_rows_now_match(self):
+        """The paper's Figure 1 has an Arabic row; the abjad converter
+        lets it participate."""
+        db = make_db()
+        db.insert("books", ("نهرو", "Arabic script"))
+        create_phonetic_accelerator(db, "books", "author")
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("نهرو",) in result.rows
+
+    def test_null_column_values_handled(self):
+        db = make_db()
+        db.insert("books", (None, "Anonymous"))
+        acc = create_phonetic_accelerator(db, "books", "author")
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert (None,) not in result.rows
+
+    def test_other_conjuncts_still_applied(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author")
+        result = db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25 AND title = 'Discovery of India'"
+        )
+        assert result.rows == [("Nehru",)]
+
+    def test_inlanguages_restriction_applies(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author")
+        result = db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25 INLANGUAGES { english, hindi }"
+        )
+        assert sorted(result.rows) == [("Nehru",), ("नेहरु",)]
+
+    def test_langtext_column(self):
+        db = Database()
+        install_lexequal(db)
+        from repro.minidb.schema import Column
+        from repro.minidb.values import SqlType
+
+        db.create_table("t", [Column("name", SqlType.LANGTEXT)])
+        db.insert("t", (LangText("नेहरु", "hindi"),))
+        db.insert("t", (LangText("Nero", "english"),))
+        create_phonetic_accelerator(db, "t", "name")
+        result = db.execute(
+            "SELECT name FROM t WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.25"
+        )
+        assert result.rows == [(LangText("नेहरु", "hindi"),)]
+
+
+class TestIndexAccelerator:
+    def test_subset_of_full_scan(self):
+        plain = make_db()
+        accelerated = make_db()
+        create_phonetic_accelerator(
+            accelerated, "books", "author", method="index"
+        )
+        for query in ["Nehru", "Gandhi", "Krishna"]:
+            expected = set(
+                plain.execute(LEXEQUAL_SQL, q=query, e=0.25).rows
+            )
+            got = set(
+                accelerated.execute(LEXEQUAL_SQL, q=query, e=0.25).rows
+            )
+            assert got <= expected
+
+    def test_same_key_bucket_found(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author", method="index")
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("Nehru",) in result.rows
+        assert ("नेहरु",) in result.rows
+
+    def test_delete_maintains_key_tree(self):
+        db = make_db()
+        create_phonetic_accelerator(db, "books", "author", method="index")
+        db.delete_row("books", 1)  # नेहरु
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("नेहरु",) not in result.rows
+
+
+class TestLifecycle:
+    def test_invalid_method_rejected(self):
+        db = make_db()
+        with pytest.raises(DatabaseError):
+            create_phonetic_accelerator(db, "books", "author", method="x")
+
+    def test_drop_restores_full_scan(self):
+        db = make_db()
+        acc = create_phonetic_accelerator(db, "books", "author")
+        assert plan_uses(db, LEXEQUAL_SQL, RowidScan)
+        acc.drop()
+        assert not plan_uses(db, LEXEQUAL_SQL, RowidScan)
+        # Results unchanged after dropping.
+        result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+        assert ("Nehru",) in result.rows
+
+    def test_installs_udfs_if_missing(self):
+        db = Database()
+        db.execute("CREATE TABLE t (name TEXT)")
+        db.insert("t", ("Nehru",))
+        create_phonetic_accelerator(db, "t", "name")
+        assert db.has_udf("lexequal")
+
+    def test_accelerator_on_missing_table_rejected(self):
+        db = Database()
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            create_phonetic_accelerator(db, "ghost", "name")

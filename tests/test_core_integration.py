@@ -1,0 +1,149 @@
+"""Tests for the SQL integration: the paper's queries run verbatim."""
+
+import pytest
+
+from repro.core import LexEqualMatcher, install_lexequal
+from repro.minidb.catalog import Database
+from repro.minidb.schema import Column
+from repro.minidb.values import LangText, SqlType
+
+
+@pytest.fixture()
+def books_db(matcher) -> Database:
+    """The Books.com catalog of paper Figure 1 (subset)."""
+    db = Database()
+    install_lexequal(db, matcher)
+    db.create_table(
+        "books",
+        [
+            Column("author", SqlType.LANGTEXT),
+            Column("title", SqlType.TEXT),
+            Column("price", SqlType.REAL),
+            Column("language", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (LangText("Nehru", "english"), "Discovery of India", 9.95, "english"),
+        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
+        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
+        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
+        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
+        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
+    ]
+    for row in rows:
+        db.insert("books", row)
+    return db
+
+
+class TestFigure3Selection:
+    def test_paper_query_returns_figure_4(self, books_db):
+        result = books_db.execute(
+            "select Author, Title from Books "
+            "where Author LexEQUAL 'Nehru' Threshold 0.25 "
+            "inlanguages { English, Hindi, Tamil, Greek }"
+        )
+        authors = {str(row[0]) for row in result.rows}
+        assert authors == {"Nehru", "नेहरु", "நேரு"}
+
+    def test_wildcard_languages(self, books_db):
+        result = books_db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25 INLANGUAGES *"
+        )
+        assert len(result) == 3
+
+    def test_language_restriction_excludes(self, books_db):
+        result = books_db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25 INLANGUAGES { english, tamil }"
+        )
+        authors = {str(row[0]) for row in result.rows}
+        assert authors == {"Nehru", "நேரு"}
+
+    def test_higher_threshold_admits_nero(self, books_db):
+        result = books_db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.5 INLANGUAGES { english }"
+        )
+        authors = {str(row[0]) for row in result.rows}
+        assert "Nero" in authors
+
+    def test_threshold_as_param(self, books_db):
+        result = books_db.execute(
+            "SELECT author FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD :e",
+            e=0.25,
+        )
+        assert len(result) == 3
+
+
+class TestFigure5Join:
+    def test_equi_join_cross_language(self, books_db):
+        result = books_db.execute(
+            "select B1.Author from Books B1, Books B2 "
+            "where B1.Author LexEQUAL B2.Author Threshold 0.25 "
+            "and B1.Language <> B2.Language"
+        )
+        authors = {str(row[0]) for row in result.rows}
+        # Nehru appears in three languages: each matches the other two.
+        assert authors == {"Nehru", "नेहरु", "நேரு"}
+
+
+class TestHelperUdfs:
+    def test_ipa_of(self, books_db):
+        result = books_db.execute(
+            "SELECT ipa_of(author) FROM books WHERE language = 'hindi'"
+        )
+        assert result.scalar() == "nehru"
+
+    def test_language_of(self, books_db):
+        result = books_db.execute(
+            "SELECT language_of(author) FROM books WHERE price = 99.0"
+        )
+        assert result.scalar() == "english"
+
+    def test_plen_and_gpsid(self, books_db):
+        result = books_db.execute(
+            "SELECT plen_of(author), gpsid_of(author) FROM books "
+            "WHERE language = 'english' AND price < 50"
+        )
+        plen, gpsid = result.rows[0]
+        assert plen == 5
+        assert isinstance(gpsid, int)
+
+    def test_gpsid_join_equals_lexequal_candidates(self, books_db):
+        """Figure 15 shape: index-key equality finds the Nehru group."""
+        result = books_db.execute(
+            "SELECT b1.author, b2.author FROM books b1, books b2 "
+            "WHERE gpsid_of(b1.author) = gpsid_of(b2.author) "
+            "AND b1.language <> b2.language "
+            "AND lexequal(b1.author, b2.author, 0.25)"
+        )
+        assert len(result) == 6  # 3 names, ordered pairs both ways
+
+    def test_lexequal_ipa_udf(self, books_db):
+        result = books_db.execute(
+            "SELECT COUNT(*) FROM books "
+            "WHERE lexequal_ipa(ipa_of(author), 'nehru', 0.25)"
+        )
+        assert result.scalar() == 3
+
+    def test_null_propagation(self, books_db):
+        books_db.insert("books", (None, "Anon", 1.0, "english"))
+        result = books_db.execute(
+            "SELECT COUNT(*) FROM books WHERE author LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25"
+        )
+        assert result.scalar() == 3  # NULL author is never TRUE
+
+
+class TestNoResourceSemantics:
+    def test_unsupported_language_is_null_not_error(self, matcher):
+        db = Database()
+        install_lexequal(db, matcher)
+        db.create_table("t", [Column("name", SqlType.LANGTEXT)])
+        db.insert("t", (LangText("dilithium", "klingon"),))
+        result = db.execute(
+            "SELECT COUNT(*) FROM t WHERE name LEXEQUAL 'Nehru' THRESHOLD 0.3"
+        )
+        assert result.scalar() == 0

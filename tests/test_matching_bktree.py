@@ -1,0 +1,143 @@
+"""Tests for the BK metric tree and the metric-index strategy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LexEqualMatcher,
+    MetricIndexStrategy,
+    NaiveUdfStrategy,
+    NameCatalog,
+)
+from repro.errors import MatchConfigError
+from repro.matching.bktree import BKTree
+from repro.matching.costs import ClusteredCost, LevenshteinCost
+from repro.matching.editdist import edit_distance
+
+SYMBOLS = ["p", "b", "t", "d", "h", "ə", "a", "i", "u", "m", "n", "r", "s"]
+
+
+def unit_tree(items) -> BKTree:
+    tree = BKTree(lambda a, b: edit_distance(a, b), resolution=1.0)
+    for tokens in items:
+        tree.add(tokens, tokens)
+    return tree
+
+
+class TestBKTreeBasics:
+    def test_empty_search(self):
+        tree = BKTree(lambda a, b: edit_distance(a, b))
+        assert tree.search("abc", 2.0) == []
+        assert len(tree) == 0
+
+    def test_exact_lookup(self):
+        tree = unit_tree(["cat", "cot", "dog", "dot"])
+        hits = tree.search("cat", 0.0)
+        assert [item for _d, item in hits] == ["cat"]
+
+    def test_range_query(self):
+        tree = unit_tree(["cat", "cot", "dog", "dot", "cart"])
+        hits = {item for _d, item in tree.search("cat", 1.0)}
+        assert hits == {"cat", "cot", "cart"}
+
+    def test_results_sorted_by_distance(self):
+        tree = unit_tree(["cat", "cot", "dog", "cart", "coast"])
+        distances = [d for d, _item in tree.search("cat", 5.0)]
+        assert distances == sorted(distances)
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BKTree(lambda a, b: edit_distance(a, b))
+        tree.add("cat", 1)
+        tree.add("cat", 2)
+        assert len(tree) == 2
+        assert {item for _d, item in tree.search("cat", 0.0)} == {1, 2}
+
+    def test_invalid_resolution(self):
+        with pytest.raises(MatchConfigError):
+            BKTree(lambda a, b: 0.0, resolution=0.0)
+
+    def test_height_grows_sublinearly(self):
+        import random
+
+        rng = random.Random(0)
+        words = [
+            "".join(rng.choice("abcdef") for _ in range(6))
+            for _ in range(300)
+        ]
+        tree = unit_tree(words)
+        assert tree.height() < 40
+
+    def test_search_prunes(self):
+        import random
+
+        rng = random.Random(1)
+        words = [
+            "".join(rng.choice("abcdefgh") for _ in range(8))
+            for _ in range(400)
+        ]
+        tree = unit_tree(words)
+        tree.search(words[0], 1.0)
+        assert tree.last_search_distance_calls < len(words)
+
+
+class TestBKTreeExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(
+            st.lists(st.sampled_from(SYMBOLS), max_size=7).map(tuple),
+            min_size=1,
+            max_size=30,
+        ),
+        query=st.lists(st.sampled_from(SYMBOLS), max_size=7).map(tuple),
+        radius=st.sampled_from([0.0, 0.5, 1.0, 2.0, 3.5]),
+        fractional=st.booleans(),
+    )
+    def test_range_search_equals_linear_scan(
+        self, items, query, radius, fractional
+    ):
+        costs = ClusteredCost(0.25) if fractional else LevenshteinCost()
+        tree = BKTree(lambda a, b: edit_distance(a, b, costs))
+        for index, tokens in enumerate(items):
+            tree.add(tokens, index)
+        got = {item for _d, item in tree.search(query, radius)}
+        expected = {
+            index
+            for index, tokens in enumerate(items)
+            if edit_distance(query, tokens, costs) <= radius
+        }
+        assert got == expected
+
+
+class TestMetricIndexStrategy:
+    @pytest.fixture(scope="class")
+    def catalog(self, small_lexicon):
+        catalog = NameCatalog(LexEqualMatcher())
+        for entry in small_lexicon:
+            catalog.add(entry.name, entry.language, entry.tag, ipa=entry.ipa)
+        return catalog
+
+    def test_select_equals_naive(self, catalog):
+        metric = MetricIndexStrategy(catalog)
+        naive = NaiveUdfStrategy(catalog)
+        for query in ["Aakash", "Krishna", "Aaron", "Amazon", "Zzyzx"]:
+            assert [r.id for r in metric.select(query)] == [
+                r.id for r in naive.select(query)
+            ], query
+
+    def test_join_equals_naive(self, catalog):
+        metric = MetricIndexStrategy(catalog).join()
+        naive = NaiveUdfStrategy(catalog).join()
+        assert [(a.id, b.id) for a, b in metric] == [
+            (a.id, b.id) for a, b in naive
+        ]
+
+    def test_search_visits_fewer_nodes_than_scan(self, catalog):
+        metric = MetricIndexStrategy(catalog)
+        metric.select("Krishna")
+        assert metric.last_stats.udf_calls < len(catalog)
+
+    def test_language_restriction(self, catalog):
+        metric = MetricIndexStrategy(catalog)
+        results = metric.select("Krishna", languages=("hindi",))
+        assert all(r.language == "hindi" for r in results)

@@ -1,0 +1,109 @@
+"""Tests for the edit-distance cost models."""
+
+import pytest
+
+from repro.errors import MatchConfigError
+from repro.matching.costs import (
+    ClusteredCost,
+    LevenshteinCost,
+    UNIT_COST,
+    WEAK_PHONEMES,
+)
+from repro.phonetics.clusters import singleton_clustering
+
+
+class TestLevenshtein:
+    def test_unit_costs(self):
+        assert UNIT_COST.insert("a") == 1.0
+        assert UNIT_COST.delete("p") == 1.0
+        assert UNIT_COST.substitute("a", "b") == 1.0
+
+    def test_identity_substitution_free(self):
+        assert UNIT_COST.substitute("a", "a") == 0.0
+
+    def test_bounds(self):
+        assert UNIT_COST.min_op_cost() == 1.0
+        assert UNIT_COST.min_indel_cost() == 1.0
+        assert UNIT_COST.min_mapped_op_cost() == 1.0
+
+    def test_equality(self):
+        assert LevenshteinCost() == LevenshteinCost()
+        assert hash(LevenshteinCost()) == hash(LevenshteinCost())
+
+
+class TestClusteredCost:
+    def test_intra_cluster_discount(self):
+        costs = ClusteredCost(0.25)
+        assert costs.substitute("p", "b") == 0.25
+        assert costs.substitute("t", "ʈ") == 0.25
+
+    def test_cross_cluster_full_cost(self):
+        costs = ClusteredCost(0.25, vowel_cross_cost=1.0)
+        assert costs.substitute("p", "m") == 1.0
+        assert costs.substitute("p", "a") == 1.0
+
+    def test_vowel_cross_discount(self):
+        costs = ClusteredCost(0.25, vowel_cross_cost=0.5)
+        assert costs.substitute("i", "u") == 0.5  # different vowel clusters
+        assert costs.substitute("i", "e") == 0.5
+        assert costs.substitute("e", "ɛ") == 0.25  # same cluster wins
+
+    def test_identity_free(self):
+        assert ClusteredCost(0.25).substitute("p", "p") == 0.0
+
+    def test_weak_indel_discount(self):
+        costs = ClusteredCost(0.25, weak_indel_cost=0.5)
+        assert costs.insert("h") == 0.5
+        assert costs.delete("ə") == 0.5
+        assert costs.insert("p") == 1.0
+        assert costs.delete("m") == 1.0
+
+    def test_weak_set_contents(self):
+        assert "h" in WEAK_PHONEMES
+        assert "ə" in WEAK_PHONEMES
+        assert "p" not in WEAK_PHONEMES
+
+    def test_flat_costs_option(self):
+        costs = ClusteredCost(
+            0.5, weak_indel_cost=1.0, vowel_cross_cost=1.0
+        )
+        assert costs.insert("h") == 1.0
+        assert costs.substitute("i", "u") == 1.0
+
+    def test_cost_one_simulates_levenshtein_on_subs(self):
+        costs = ClusteredCost(
+            1.0, weak_indel_cost=1.0, vowel_cross_cost=1.0
+        )
+        assert costs.substitute("p", "b") == 1.0
+
+    def test_zero_cost_soundex_mode(self):
+        costs = ClusteredCost(0.0)
+        assert costs.substitute("p", "b") == 0.0
+        assert costs.min_op_cost() > 0.0
+
+    def test_singleton_clustering_disables_discount(self):
+        costs = ClusteredCost(0.0, singleton_clustering())
+        assert costs.substitute("p", "b") == 1.0
+
+    def test_min_bounds(self):
+        costs = ClusteredCost(0.25, weak_indel_cost=0.5, vowel_cross_cost=0.5)
+        assert costs.min_op_cost() == 0.25
+        assert costs.min_indel_cost() == 0.5
+        assert costs.min_mapped_op_cost() == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_invalid_intra_cost(self, bad):
+        with pytest.raises(MatchConfigError):
+            ClusteredCost(bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, 1.5])
+    def test_invalid_weak_cost(self, bad):
+        with pytest.raises(MatchConfigError):
+            ClusteredCost(0.5, weak_indel_cost=bad)
+
+    def test_equality_includes_all_knobs(self):
+        a = ClusteredCost(0.25, weak_indel_cost=0.5, vowel_cross_cost=0.5)
+        b = ClusteredCost(0.25, weak_indel_cost=0.5, vowel_cross_cost=0.5)
+        c = ClusteredCost(0.25, weak_indel_cost=0.5, vowel_cross_cost=0.75)
+        assert a == b and hash(a) == hash(b)
+        assert a != c

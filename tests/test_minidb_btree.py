@@ -1,0 +1,147 @@
+"""Tests for the B+ tree index, including hypothesis-driven invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatabaseError
+from repro.minidb.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        tree.insert(3, "c")
+        assert sorted(tree.search(5)) == ["a", "b"]
+        assert tree.search(3) == ["c"]
+        assert tree.search(99) == []
+        assert len(tree) == 3
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        assert tree.contains(1)
+        assert not tree.contains(2)
+
+    def test_order_validation(self):
+        with pytest.raises(DatabaseError):
+            BPlusTree(order=3)
+
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        for i in range(500, 0, -1):
+            tree.insert(i, i)
+        keys = list(tree.keys())
+        assert keys == sorted(keys)
+        tree.check_invariants()
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "mango", "fig", "apple"]:
+            tree.insert(word, word)
+        assert list(tree.keys()) == ["apple", "fig", "mango", "pear"]
+        assert len(tree.search("apple")) == 2
+
+
+class TestRangeScan:
+    @pytest.fixture()
+    def tree(self) -> BPlusTree:
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            tree.insert(i, i)
+        return tree
+
+    def test_inclusive_range(self, tree):
+        got = [k for k, _v in tree.range_scan(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        got = [
+            k
+            for k, _v in tree.range_scan(
+                10, 20, low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert got == [12, 14, 16, 18]
+
+    def test_open_ends(self, tree):
+        assert len(list(tree.range_scan())) == 50
+        assert [k for k, _ in tree.range_scan(low=96)] == [96, 98]
+        assert [k for k, _ in tree.range_scan(high=2)] == [0, 2]
+
+    def test_bounds_between_keys(self, tree):
+        got = [k for k, _v in tree.range_scan(11, 15)]
+        assert got == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(13, 13)) == []
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.search(1) == ["b"]
+        assert tree.delete(1, "b")
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert not tree.delete(2, "a")
+        assert not tree.delete(1, "zz")
+
+    def test_mass_delete_keeps_invariants(self):
+        import random
+
+        rng = random.Random(5)
+        tree = BPlusTree(order=4)
+        entries = [(rng.randint(0, 50), i) for i in range(800)]
+        for k, v in entries:
+            tree.insert(k, v)
+        rng.shuffle(entries)
+        for i, (k, v) in enumerate(entries):
+            assert tree.delete(k, v)
+            if i % 97 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=300,
+    )
+)
+def test_btree_matches_reference_model(ops):
+    """Property: the B+ tree behaves like a dict of multisets."""
+    tree = BPlusTree(order=4)
+    reference: dict[int, list[int]] = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            reference.setdefault(key, []).append(value)
+        else:
+            expected = key in reference and value in reference[key]
+            assert tree.delete(key, value) == expected
+            if expected:
+                reference[key].remove(value)
+                if not reference[key]:
+                    del reference[key]
+    tree.check_invariants()
+    assert sorted(tree.keys()) == sorted(reference.keys())
+    for key, values in reference.items():
+        assert sorted(tree.search(key)) == sorted(values)
+    scanned = [(k, v) for k, v in tree.range_scan()]
+    assert len(scanned) == sum(len(v) for v in reference.values())

@@ -1,0 +1,249 @@
+"""Tests for physical operators and expression evaluation."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.minidb.catalog import Database
+from repro.minidb.executor import (
+    Distinct,
+    Filter,
+    GroupBy,
+    HashJoin,
+    IndexEqualScan,
+    IndexNestedLoopJoin,
+    IndexRangeScan,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+)
+from repro.minidb.expr import (
+    Aggregate,
+    BinaryOp,
+    ColumnRef,
+    Literal,
+    RowLayout,
+    compile_expr,
+)
+from repro.minidb.schema import Column
+from repro.minidb.values import SqlType
+
+
+@pytest.fixture()
+def db() -> Database:
+    db = Database()
+    db.create_table(
+        "people",
+        [
+            Column("id", SqlType.INTEGER),
+            Column("name", SqlType.TEXT),
+            Column("age", SqlType.INTEGER),
+            Column("city", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (1, "Asha", 30, "Bangalore"),
+        (2, "Bob", 25, "Boston"),
+        (3, "Chen", 35, "Boston"),
+        (4, "Devi", 28, "Bangalore"),
+        (5, "Emil", 25, None),
+    ]
+    for row in rows:
+        db.insert("people", row)
+    db.create_index("idx_city", "people", "city")
+    db.create_index("idx_age", "people", "age")
+    return db
+
+
+def col(table, name):
+    return ColumnRef(table, name)
+
+
+class TestScans:
+    def test_seq_scan(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        assert len(list(scan.rows())) == 5
+        assert scan.layout.names[0] == "p.id"
+
+    def test_seq_scan_reiterable(self, db):
+        scan = SeqScan(db.table("people"))
+        assert len(list(scan.rows())) == len(list(scan.rows()))
+
+    def test_index_equal_scan(self, db):
+        scan = IndexEqualScan(
+            db.table("people"), db.index("idx_city").tree, "Boston"
+        )
+        names = sorted(row[1] for row in scan.rows())
+        assert names == ["Bob", "Chen"]
+
+    def test_index_range_scan(self, db):
+        scan = IndexRangeScan(
+            db.table("people"), db.index("idx_age").tree, 25, 30
+        )
+        ages = [row[2] for row in scan.rows()]
+        assert ages == sorted(ages)
+        assert set(ages) == {25, 28, 30}
+
+
+class TestFilterProject:
+    def test_filter(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        predicate = BinaryOp(">", col("p", "age"), Literal(27))
+        out = list(Filter(scan, predicate, db.udf).rows())
+        assert {row[1] for row in out} == {"Asha", "Chen", "Devi"}
+
+    def test_filter_null_is_not_true(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        predicate = BinaryOp("=", col("p", "city"), Literal("Boston"))
+        out = list(Filter(scan, predicate, db.udf).rows())
+        # Emil has NULL city: excluded, not an error
+        assert {row[1] for row in out} == {"Bob", "Chen"}
+
+    def test_project_expressions(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        out = Project(
+            scan,
+            [
+                (col("p", "name"), "name"),
+                (
+                    BinaryOp("*", col("p", "age"), Literal(2)),
+                    "double_age",
+                ),
+            ],
+            db.udf,
+        )
+        rows = list(out.rows())
+        assert rows[0] == ("Asha", 60)
+        assert out.layout.names == ["q.name", "q.double_age"]
+
+
+class TestJoins:
+    def test_nested_loop_cross_product(self, db):
+        left = SeqScan(db.table("people"), "a")
+        right = SeqScan(db.table("people"), "b")
+        join = NestedLoopJoin(left, right)
+        assert len(list(join.rows())) == 25
+
+    def test_nested_loop_with_predicate(self, db):
+        left = SeqScan(db.table("people"), "a")
+        right = SeqScan(db.table("people"), "b")
+        predicate = BinaryOp("<", col("a", "id"), col("b", "id"))
+        join = NestedLoopJoin(left, right, predicate, db.udf)
+        assert len(list(join.rows())) == 10
+
+    def test_hash_join(self, db):
+        left = SeqScan(db.table("people"), "a")
+        right = SeqScan(db.table("people"), "b")
+        lkey = compile_expr(col("a", "city"), left.layout, db.udf)
+        rkey = compile_expr(col("b", "city"), right.layout, db.udf)
+        join = HashJoin(left, right, lkey, rkey)
+        rows = list(join.rows())
+        # Boston pair 2x2 + Bangalore 2x2; NULL city never joins
+        assert len(rows) == 8
+
+    def test_index_nested_loop_join(self, db):
+        outer = SeqScan(db.table("people"), "a")
+        pos = outer.layout.position(col("a", "city"))
+        join = IndexNestedLoopJoin(
+            outer,
+            db.table("people"),
+            db.index("idx_city").tree,
+            outer_key=lambda row: row[pos],
+            inner_alias="b",
+        )
+        rows = list(join.rows())
+        assert len(rows) == 8  # NULL outer keys skipped
+
+
+class TestGroupBy:
+    def test_count_sum_avg_min_max(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        aggs = [
+            Aggregate("COUNT", None),
+            Aggregate("SUM", col("p", "age")),
+            Aggregate("AVG", col("p", "age")),
+            Aggregate("MIN", col("p", "age")),
+            Aggregate("MAX", col("p", "age")),
+        ]
+        group = GroupBy(scan, [col("p", "city")], aggs, db.udf)
+        result = {row[0]: row[1:] for row in group.rows()}
+        assert result["Boston"] == (2, 60, 30.0, 25, 35)
+        assert result["Bangalore"] == (2, 58, 29.0, 28, 30)
+        assert None in result
+
+    def test_count_expr_skips_nulls(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        group = GroupBy(
+            scan, [], [Aggregate("COUNT", col("p", "city"))], db.udf
+        )
+        assert list(group.rows()) == [(4,)]
+
+    def test_global_aggregate_over_empty_input(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        empty = Filter(
+            scan, BinaryOp("=", col("p", "id"), Literal(-1)), db.udf
+        )
+        group = GroupBy(
+            empty,
+            [],
+            [Aggregate("COUNT", None), Aggregate("SUM", col("p", "age"))],
+            db.udf,
+        )
+        assert list(group.rows()) == [(0, None)]
+
+
+class TestSortLimitDistinct:
+    def test_sort_asc_desc(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        out = Sort(scan, [(col("p", "age"), False)], db.udf)
+        ages = [row[2] for row in out.rows()]
+        assert ages == sorted(ages)
+        out = Sort(scan, [(col("p", "age"), True)], db.udf)
+        ages = [row[2] for row in out.rows()]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_sort_nulls_first_ascending(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        out = Sort(scan, [(col("p", "city"), False)], db.udf)
+        cities = [row[3] for row in out.rows()]
+        assert cities[0] is None
+
+    def test_multi_key_sort_stable(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        out = Sort(
+            scan,
+            [(col("p", "age"), False), (col("p", "name"), False)],
+            db.udf,
+        )
+        rows = list(out.rows())
+        assert [r[1] for r in rows][:2] == ["Bob", "Emil"]  # both age 25
+
+    def test_limit(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        assert len(list(Limit(scan, 2).rows())) == 2
+        assert len(list(Limit(scan, 0).rows())) == 0
+
+    def test_distinct(self, db):
+        scan = SeqScan(db.table("people"), "p")
+        cities = Project(scan, [(col("p", "city"), "city")], db.udf)
+        assert len(list(Distinct(cities).rows())) == 3
+
+
+class TestRowLayout:
+    def test_ambiguous_unqualified_reference(self):
+        layout = RowLayout.for_table("a", ["id", "name"]).merge(
+            RowLayout.for_table("b", ["id", "qty"])
+        )
+        with pytest.raises(PlanningError):
+            layout.position(ColumnRef(None, "id"))
+        assert layout.position(ColumnRef(None, "qty")) == 3
+        assert layout.position(ColumnRef("a", "id")) == 0
+        assert layout.position(ColumnRef("b", "id")) == 2
+
+    def test_unknown_reference(self):
+        layout = RowLayout.for_table("a", ["id"])
+        with pytest.raises(PlanningError):
+            layout.position(ColumnRef("a", "missing"))
+        with pytest.raises(PlanningError):
+            layout.position(ColumnRef("z", "id"))

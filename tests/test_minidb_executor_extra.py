@@ -1,0 +1,73 @@
+"""Additional executor coverage: Materialize, FnFilter, RowidScan."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.minidb.catalog import Database
+from repro.minidb.executor import (
+    FnFilter,
+    Limit,
+    Materialize,
+    RowidScan,
+    SeqScan,
+)
+from repro.minidb.expr import RowLayout
+from repro.minidb.schema import Column
+from repro.minidb.values import SqlType
+
+
+@pytest.fixture()
+def db() -> Database:
+    db = Database()
+    db.create_table(
+        "t", [Column("id", SqlType.INTEGER), Column("v", SqlType.TEXT)]
+    )
+    for i in range(5):
+        db.insert("t", (i, f"v{i}"))
+    return db
+
+
+class TestMaterialize:
+    def test_yields_given_rows(self):
+        layout = RowLayout.for_table("q", ["x"])
+        op = Materialize([(1,), (2,)], layout)
+        assert list(op.rows()) == [(1,), (2,)]
+        assert list(op.rows()) == [(1,), (2,)]  # re-iterable
+
+    def test_layout_names(self):
+        layout = RowLayout.for_table("q", ["x", "y"])
+        op = Materialize([], layout)
+        assert op.layout.names == ["q.x", "q.y"]
+
+
+class TestFnFilter:
+    def test_predicate_applied(self, db):
+        scan = SeqScan(db.table("t"))
+        out = FnFilter(scan, lambda row: row[0] % 2 == 0)
+        assert [row[0] for row in out.rows()] == [0, 2, 4]
+
+    def test_layout_passthrough(self, db):
+        scan = SeqScan(db.table("t"))
+        assert FnFilter(scan, bool).layout is scan.layout
+
+
+class TestRowidScan:
+    def test_fetches_listed_rowids_in_order(self, db):
+        op = RowidScan(db.table("t"), [3, 1])
+        assert [row[0] for row in op.rows()] == [3, 1]
+
+    def test_empty_list(self, db):
+        assert list(RowidScan(db.table("t"), []).rows()) == []
+
+    def test_deleted_rowid_raises(self, db):
+        db.delete_row("t", 2)
+        op = RowidScan(db.table("t"), [2])
+        with pytest.raises(ExecutionError):
+            list(op.rows())
+
+
+class TestLimitValidation:
+    def test_negative_limit_rejected(self, db):
+        scan = SeqScan(db.table("t"))
+        with pytest.raises(ExecutionError):
+            Limit(scan, -1)

@@ -1,0 +1,167 @@
+"""Unit tests for SQL expression compilation and three-valued logic."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.minidb.expr import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    LexEqual,
+    Literal,
+    Param,
+    RowLayout,
+    UnaryOp,
+    compile_expr,
+    contains_aggregate,
+    walk,
+)
+
+
+def no_udf(name):
+    raise PlanningError(f"no udf {name}")
+
+
+def evaluate(expr, row=(), layout=None, udfs=no_udf, params=None):
+    layout = layout or RowLayout()
+    return compile_expr(expr, layout, udfs, params)(row)
+
+
+LAYOUT = RowLayout.for_table("t", ["a", "b"])
+
+
+def col(name):
+    return ColumnRef("t", name)
+
+
+class TestScalars:
+    def test_literal(self):
+        assert evaluate(Literal(42)) == 42
+
+    def test_param_binding(self):
+        assert evaluate(Param("x"), params={"x": 7}) == 7
+
+    def test_unbound_param_raises_at_compile(self):
+        with pytest.raises(PlanningError):
+            compile_expr(Param("x"), RowLayout(), no_udf, {})
+
+    def test_column_reference(self):
+        fn = compile_expr(col("b"), LAYOUT, no_udf)
+        assert fn((1, 2)) == 2
+
+    def test_arithmetic(self):
+        expr = BinaryOp("*", BinaryOp("+", Literal(2), Literal(3)), Literal(4))
+        assert evaluate(expr) == 20
+
+    def test_division(self):
+        assert evaluate(BinaryOp("/", Literal(7), Literal(2))) == 3.5
+
+    def test_concat(self):
+        assert evaluate(BinaryOp("||", Literal("a"), Literal("b"))) == "ab"
+
+    def test_unary_minus(self):
+        assert evaluate(UnaryOp("-", Literal(5))) == -5
+
+    def test_builtins(self):
+        assert evaluate(FuncCall("abs", (Literal(-3),))) == 3
+        assert evaluate(FuncCall("length", (Literal("abcd"),))) == 4
+        assert evaluate(FuncCall("upper", (Literal("ab"),))) == "AB"
+        assert evaluate(FuncCall("lower", (Literal("AB"),))) == "ab"
+        assert (
+            evaluate(
+                FuncCall("coalesce", (Literal(None), Literal(None), Literal(3)))
+            )
+            == 3
+        )
+
+    def test_udf_resolution(self):
+        def resolver(name):
+            assert name == "twice"
+            return lambda x: x * 2
+
+        assert evaluate(FuncCall("twice", (Literal(21),)), udfs=resolver) == 42
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert evaluate(BinaryOp(op, Literal(None), Literal(1))) is None
+
+    def test_arithmetic_with_null_is_null(self):
+        assert evaluate(BinaryOp("+", Literal(None), Literal(1))) is None
+
+    def test_kleene_and(self):
+        T, F, N = Literal(True), Literal(False), Literal(None)
+        assert evaluate(BoolOp("AND", (T, T))) is True
+        assert evaluate(BoolOp("AND", (T, F))) is False
+        assert evaluate(BoolOp("AND", (F, N))) is False  # false dominates
+        assert evaluate(BoolOp("AND", (T, N))) is None
+
+    def test_kleene_or(self):
+        T, F, N = Literal(True), Literal(False), Literal(None)
+        assert evaluate(BoolOp("OR", (F, F))) is False
+        assert evaluate(BoolOp("OR", (F, T))) is True
+        assert evaluate(BoolOp("OR", (T, N))) is True  # true dominates
+        assert evaluate(BoolOp("OR", (F, N))) is None
+
+    def test_not_null_is_null(self):
+        assert evaluate(UnaryOp("NOT", Literal(None))) is None
+
+    def test_between_null(self):
+        expr = Between(Literal(None), Literal(1), Literal(2))
+        assert evaluate(expr) is None
+
+    def test_between_negated(self):
+        expr = Between(Literal(5), Literal(1), Literal(2), negated=True)
+        assert evaluate(expr) is True
+
+    def test_in_list(self):
+        expr = InList(Literal(2), (Literal(1), Literal(2)))
+        assert evaluate(expr) is True
+        expr = InList(Literal(None), (Literal(1),))
+        assert evaluate(expr) is None
+
+    def test_is_null(self):
+        assert evaluate(IsNull(Literal(None))) is True
+        assert evaluate(IsNull(Literal(1))) is False
+        assert evaluate(IsNull(Literal(1), negated=True)) is True
+
+
+class TestCompileErrors:
+    def test_aggregate_outside_group_by(self):
+        with pytest.raises(PlanningError):
+            compile_expr(Aggregate("COUNT", None), RowLayout(), no_udf)
+
+    def test_unlowered_lexequal(self):
+        expr = LexEqual(Literal("a"), Literal("b"), Literal(0.2))
+        with pytest.raises(PlanningError):
+            compile_expr(expr, RowLayout(), no_udf)
+
+
+class TestTreeUtilities:
+    def test_walk_visits_all_nodes(self):
+        expr = BoolOp(
+            "AND",
+            (
+                BinaryOp("=", col("a"), Literal(1)),
+                IsNull(col("b")),
+            ),
+        )
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds.count("ColumnRef") == 2
+        assert "BoolOp" in kinds and "IsNull" in kinds
+
+    def test_contains_aggregate(self):
+        assert contains_aggregate(
+            BinaryOp(">", Aggregate("COUNT", None), Literal(2))
+        )
+        assert not contains_aggregate(BinaryOp(">", col("a"), Literal(2)))
+
+    def test_walk_lexequal(self):
+        expr = LexEqual(col("a"), Literal("x"), Literal(0.2))
+        assert sum(isinstance(n, ColumnRef) for n in walk(expr)) == 1

@@ -1,0 +1,204 @@
+"""End-to-end SQL tests through the planner and executor."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.minidb.catalog import Database
+
+
+@pytest.fixture()
+def db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE books (id INTEGER, author TEXT, title TEXT, "
+        "price REAL, language TEXT)"
+    )
+    db.execute(
+        "INSERT INTO books VALUES "
+        "(1, 'Nehru', 'Discovery of India', 9.95, 'english'), "
+        "(2, 'Nero', 'Coronation', 99.0, 'english'), "
+        "(3, 'Sarma', 'Vedas', 5.0, 'english'), "
+        "(4, 'Nehru', 'Glimpses', 12.0, 'english'), "
+        "(5, 'Zafar', 'Diwan', 7.5, 'urdu')"
+    )
+    db.execute("CREATE TABLE sales (author TEXT, qty INTEGER)")
+    db.execute(
+        "INSERT INTO sales VALUES ('Nehru', 10), ('Nero', 3), ('Ghalib', 2)"
+    )
+    return db
+
+
+class TestSelect:
+    def test_projection_and_filter(self, db):
+        result = db.execute(
+            "SELECT title FROM books WHERE price < 10 ORDER BY title"
+        )
+        assert result.rows == [
+            ("Discovery of India",),
+            ("Diwan",),
+            ("Vedas",),
+        ]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM books LIMIT 1")
+        assert result.columns == ["id", "author", "title", "price", "language"]
+
+    def test_expressions_in_select(self, db):
+        result = db.execute(
+            "SELECT price * 2 AS double_price FROM books WHERE id = 1"
+        )
+        assert result.scalar() == 19.9
+
+    def test_between_and_in(self, db):
+        result = db.execute(
+            "SELECT id FROM books WHERE price BETWEEN 5 AND 10 "
+            "AND language IN ('english', 'urdu') ORDER BY id"
+        )
+        assert [r[0] for r in result.rows] == [1, 3, 5]
+
+    def test_params(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM books WHERE price > :floor", floor=8.0
+        )
+        assert result.scalar() == 3
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT author FROM books")
+        assert len(result) == 4
+
+    def test_order_by_expression_not_in_select(self, db):
+        result = db.execute("SELECT title FROM books ORDER BY price DESC")
+        assert result.rows[0] == ("Coronation",)
+
+    def test_builtin_functions(self, db):
+        result = db.execute(
+            "SELECT upper(author) FROM books WHERE length(author) = 4"
+        )
+        assert result.rows == [("NERO",)]
+
+    def test_is_null(self, db):
+        db.execute("INSERT INTO books VALUES (6, null, 'Anon', 1.0, 'english')")
+        result = db.execute("SELECT id FROM books WHERE author IS NULL")
+        assert result.rows == [(6,)]
+
+
+class TestIndexUsage:
+    def test_equality_uses_index(self, db):
+        db.execute("CREATE INDEX idx_author ON books (author)")
+        from repro.minidb.executor import IndexEqualScan
+        from repro.minidb.planner import plan_select
+        from repro.minidb.sql import parse
+
+        stmt = parse("SELECT id FROM books WHERE author = 'Nehru'")
+        plan = plan_select(db, stmt, {})
+
+        def find_scan(op):
+            found = []
+            stack = [op]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, IndexEqualScan):
+                    found.append(node)
+                for attr in ("child", "outer", "inner", "left", "right"):
+                    nxt = getattr(node, attr, None)
+                    if nxt is not None:
+                        stack.append(nxt)
+            return found
+
+        assert find_scan(plan), "planner should use the index"
+        result = db.execute("SELECT id FROM books WHERE author = 'Nehru'")
+        assert sorted(r[0] for r in result.rows) == [1, 4]
+
+
+class TestJoins:
+    def test_hash_equi_join(self, db):
+        result = db.execute(
+            "SELECT b.title, s.qty FROM books b, sales s "
+            "WHERE b.author = s.author AND s.qty > 2 ORDER BY b.title"
+        )
+        assert result.rows == [
+            ("Coronation", 3),
+            ("Discovery of India", 10),
+            ("Glimpses", 10),
+        ]
+
+    def test_cross_join_with_residual(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM books b, sales s WHERE b.price > 50"
+        )
+        assert result.scalar() == 3  # 1 book x 3 sales rows
+
+    def test_self_join(self, db):
+        result = db.execute(
+            "SELECT b1.id, b2.id FROM books b1, books b2 "
+            "WHERE b1.author = b2.author AND b1.id < b2.id"
+        )
+        assert result.rows == [(1, 4)]
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT a.id FROM books a, sales a")
+
+
+class TestGroupBy:
+    def test_group_by_having(self, db):
+        result = db.execute(
+            "SELECT author, COUNT(*) AS n, SUM(price) FROM books "
+            "GROUP BY author HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [("Nehru", 2, 21.95)]
+
+    def test_global_aggregates(self, db):
+        result = db.execute("SELECT COUNT(*), MIN(price), MAX(price) FROM books")
+        assert result.rows == [(5, 5.0, 99.0)]
+
+    def test_group_by_with_order(self, db):
+        result = db.execute(
+            "SELECT language, COUNT(*) FROM books GROUP BY language "
+            "ORDER BY COUNT(*) DESC"
+        )
+        assert result.rows[0] == ("english", 4)
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT author, COUNT(*) FROM books GROUP BY language")
+
+    def test_having_without_group_by(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM books HAVING COUNT(*) > 100"
+        )
+        assert result.rows == []
+
+
+class TestDml:
+    def test_insert_returns_count(self, db):
+        count = db.execute("INSERT INTO sales VALUES ('A', 1), ('B', 2)")
+        assert count == 2
+
+    def test_insert_with_params(self, db):
+        db.execute(
+            "INSERT INTO sales VALUES (:author, :qty)", author="X", qty=7
+        )
+        result = db.execute("SELECT qty FROM sales WHERE author = 'X'")
+        assert result.scalar() == 7
+
+    def test_create_and_drop(self, db):
+        db.execute("CREATE TABLE tmp (x INTEGER)")
+        db.execute("DROP TABLE tmp")
+        assert not db.has_table("tmp")
+
+
+class TestResultSet:
+    def test_to_dicts(self, db):
+        result = db.execute("SELECT id, author FROM books WHERE id = 1")
+        assert result.to_dicts() == [{"id": 1, "author": "Nehru"}]
+
+    def test_first_and_len(self, db):
+        result = db.execute("SELECT id FROM books ORDER BY id")
+        assert result.first() == (1,)
+        assert len(result) == 5
+
+    def test_scalar_requires_1x1(self, db):
+        result = db.execute("SELECT id FROM books")
+        with pytest.raises(PlanningError):
+            result.scalar()

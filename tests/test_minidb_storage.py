@@ -1,0 +1,179 @@
+"""Tests for values, schemas, heap tables and the catalog."""
+
+import pytest
+
+from repro.errors import ExecutionError, SchemaError, DatabaseError
+from repro.minidb.catalog import Database
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.table import HeapTable
+from repro.minidb.values import LangText, SqlType
+
+
+class TestSqlTypes:
+    def test_integer_accepts_int(self):
+        assert SqlType.INTEGER.validate(5) == 5
+
+    def test_integer_rejects_bool_and_str(self):
+        with pytest.raises(SchemaError):
+            SqlType.INTEGER.validate(True)
+        with pytest.raises(SchemaError):
+            SqlType.INTEGER.validate("5")
+
+    def test_real_coerces_int(self):
+        assert SqlType.REAL.validate(5) == 5.0
+        assert isinstance(SqlType.REAL.validate(5), float)
+
+    def test_text_accepts_langtext(self):
+        assert SqlType.TEXT.validate(LangText("नेहरु", "hindi")) == "नेहरु"
+
+    def test_langtext_requires_langtext(self):
+        with pytest.raises(SchemaError):
+            SqlType.LANGTEXT.validate("plain")
+        value = LangText("नेहरु", "hindi")
+        assert SqlType.LANGTEXT.validate(value) is value
+
+    def test_null_always_ok(self):
+        for t in SqlType:
+            assert t.validate(None) is None
+
+    def test_langtext_str(self):
+        assert str(LangText("नेहरु", "hindi")) == "नेहरु"
+
+
+class TestSchema:
+    def test_position_lookup_case_insensitive(self):
+        schema = TableSchema(
+            "t", (Column("Author", SqlType.TEXT), Column("id", SqlType.INTEGER))
+        )
+        assert schema.position("author") == 0
+        assert schema.position("ID") == 1
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", SqlType.TEXT), Column("A", SqlType.TEXT)),
+            )
+
+    def test_unknown_column(self):
+        schema = TableSchema("t", (Column("a", SqlType.TEXT),))
+        with pytest.raises(SchemaError):
+            schema.position("b")
+
+    def test_validate_row_arity(self):
+        schema = TableSchema("t", (Column("a", SqlType.TEXT),))
+        with pytest.raises(SchemaError):
+            schema.validate_row(("x", "y"))
+
+    def test_not_null_enforced(self):
+        schema = TableSchema(
+            "t", (Column("a", SqlType.TEXT, nullable=False),)
+        )
+        with pytest.raises(SchemaError):
+            schema.validate_row((None,))
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name!", SqlType.TEXT)
+
+
+class TestHeapTable:
+    @pytest.fixture()
+    def table(self) -> HeapTable:
+        schema = TableSchema(
+            "names",
+            (Column("id", SqlType.INTEGER), Column("name", SqlType.TEXT)),
+        )
+        return HeapTable(schema)
+
+    def test_insert_fetch(self, table):
+        rowid = table.insert((1, "Nehru"))
+        assert table.fetch(rowid) == (1, "Nehru")
+
+    def test_rowids_stable_after_delete(self, table):
+        r0 = table.insert((0, "a"))
+        r1 = table.insert((1, "b"))
+        table.delete(r0)
+        assert table.fetch(r1) == (1, "b")
+        assert len(table) == 1
+
+    def test_fetch_deleted_raises(self, table):
+        rowid = table.insert((1, "x"))
+        table.delete(rowid)
+        with pytest.raises(ExecutionError):
+            table.fetch(rowid)
+
+    def test_fetch_out_of_range(self, table):
+        with pytest.raises(ExecutionError):
+            table.fetch(5)
+
+    def test_scan_skips_tombstones(self, table):
+        ids = table.insert_many([(i, str(i)) for i in range(5)])
+        table.delete(ids[2])
+        assert [row[0] for _rid, row in table.scan()] == [0, 1, 3, 4]
+
+
+class TestDatabase:
+    @pytest.fixture()
+    def db(self) -> Database:
+        db = Database()
+        db.create_table(
+            "names",
+            [Column("id", SqlType.INTEGER), Column("name", SqlType.TEXT)],
+        )
+        return db
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table("names", [Column("x", SqlType.TEXT)])
+
+    def test_drop_table(self, db):
+        db.drop_table("names")
+        assert not db.has_table("names")
+        with pytest.raises(SchemaError):
+            db.table("names")
+
+    def test_index_maintained_on_insert(self, db):
+        db.create_index("idx_name", "names", "name")
+        rowid = db.insert("names", (1, "Nehru"))
+        assert db.index("idx_name").tree.search("Nehru") == [rowid]
+
+    def test_index_backfilled_on_create(self, db):
+        rowid = db.insert("names", (1, "Nehru"))
+        db.create_index("idx_late", "names", "name")
+        assert db.index("idx_late").tree.search("Nehru") == [rowid]
+
+    def test_index_maintained_on_delete(self, db):
+        db.create_index("idx_name", "names", "name")
+        rowid = db.insert("names", (1, "Nehru"))
+        db.delete_row("names", rowid)
+        assert db.index("idx_name").tree.search("Nehru") == []
+
+    def test_index_on_lookup(self, db):
+        db.create_index("idx_name", "names", "name")
+        assert db.index_on("names", "name") is not None
+        assert db.index_on("names", "id") is None
+
+    def test_drop_index(self, db):
+        db.create_index("idx_name", "names", "name")
+        db.drop_index("idx_name")
+        assert db.index_on("names", "name") is None
+        with pytest.raises(SchemaError):
+            db.index("idx_name")
+
+    def test_drop_table_drops_indexes(self, db):
+        db.create_index("idx_name", "names", "name")
+        db.drop_table("names")
+        with pytest.raises(SchemaError):
+            db.index("idx_name")
+
+    def test_udf_registry(self, db):
+        db.register_udf("double", lambda x: x * 2)
+        assert db.udf("DOUBLE")(21) == 42
+        assert db.has_udf("double")
+        with pytest.raises(DatabaseError):
+            db.udf("missing")
+
+    def test_udf_must_be_callable(self, db):
+        with pytest.raises(DatabaseError):
+            db.register_udf("bad", 42)

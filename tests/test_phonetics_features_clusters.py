@@ -1,0 +1,160 @@
+"""Tests for phoneme similarity and clustering."""
+
+import pytest
+
+from repro.errors import PhonemeError
+from repro.phonetics.clusters import (
+    PhonemeClustering,
+    auto_clustering,
+    default_clustering,
+    singleton_clustering,
+)
+from repro.phonetics.features import phoneme_similarity, similarity_matrix
+from repro.phonetics.inventory import INVENTORY
+
+
+class TestSimilarity:
+    def test_identity_is_one(self):
+        for sym in ["p", "a", "tʃ", "kʰ", "aː"]:
+            assert phoneme_similarity(sym, sym) == 1.0
+
+    def test_symmetry(self):
+        pairs = [("p", "b"), ("t", "ʈ"), ("a", "i"), ("s", "ʃ"), ("m", "ŋ")]
+        for a, b in pairs:
+            assert phoneme_similarity(a, b) == phoneme_similarity(b, a)
+
+    def test_range(self):
+        symbols = ["p", "b", "t", "d", "k", "g", "m", "n", "a", "i", "u"]
+        for a in symbols:
+            for b in symbols:
+                assert 0.0 <= phoneme_similarity(a, b) <= 1.0
+
+    def test_voicing_pair_closer_than_random_pair(self):
+        assert phoneme_similarity("p", "b") > phoneme_similarity("p", "m")
+        assert phoneme_similarity("t", "d") > phoneme_similarity("t", "l")
+
+    def test_consonant_vowel_similarity_zero(self):
+        assert phoneme_similarity("p", "a") == 0.0
+
+    def test_near_places_closer_than_far_places(self):
+        # dental vs alveolar closer than dental vs glottal
+        assert phoneme_similarity("t̪", "t") > phoneme_similarity("t̪", "ʔ")
+
+    def test_aspiration_pair_very_close(self):
+        assert phoneme_similarity("k", "kʰ") > 0.85
+
+    def test_vowel_height_gradient(self):
+        # i is closer to e than to a
+        assert phoneme_similarity("i", "e") > phoneme_similarity("i", "a")
+
+    def test_similarity_matrix_diagonal(self):
+        matrix = similarity_matrix(("p", "b", "a"))
+        assert matrix[("p", "p")] == 1.0
+        assert matrix[("p", "b")] == matrix[("b", "p")]
+
+
+class TestDefaultClustering:
+    def test_total_over_inventory(self):
+        clustering = default_clustering()
+        for sym in INVENTORY:
+            clustering.cluster_id(sym)  # must not raise
+
+    def test_soundex_like_groups(self):
+        c = default_clustering()
+        assert c.same_cluster("p", "b")
+        assert c.same_cluster("t", "ʈ")
+        assert c.same_cluster("t", "d̪")
+        assert c.same_cluster("k", "g")
+        assert c.same_cluster("m", "n")
+        assert c.same_cluster("r", "l")
+        assert c.same_cluster("tʃ", "dʒ")
+        assert c.same_cluster("s", "z")
+        assert c.same_cluster("h", "ɦ")
+
+    def test_cross_type_never_clustered(self):
+        c = default_clustering()
+        assert not c.same_cluster("p", "a")
+        assert not c.same_cluster("p", "m")
+        assert not c.same_cluster("k", "tʃ")
+
+    def test_length_and_nasal_variants_cluster_with_base(self):
+        c = default_clustering()
+        assert c.same_cluster("a", "aː")
+        assert c.same_cluster("e", "ẽ")
+        assert c.same_cluster("k", "kʰ")
+
+    def test_vowel_regions(self):
+        c = default_clustering()
+        assert c.same_cluster("i", "ɪ")
+        assert c.same_cluster("u", "ʊ")
+        assert c.same_cluster("e", "ɛ")
+        assert c.same_cluster("a", "ə")
+        assert c.same_cluster("o", "ɔ")
+        assert not c.same_cluster("i", "u")
+        assert not c.same_cluster("e", "o")
+
+    def test_map_string(self):
+        c = default_clustering()
+        mapped = c.map_string(("n", "e", "h", "r", "u"))
+        assert len(mapped) == 5
+        assert mapped == c.map_string(("n", "eː", "ɦ", "r", "ʊ"))
+
+
+class TestCustomClustering:
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(PhonemeError):
+            PhonemeClustering([["p", "b"], ["b", "m"]])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(PhonemeError):
+            PhonemeClustering([[]])
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(PhonemeError):
+            PhonemeClustering([["p", "??"]])
+
+    def test_uncovered_symbols_become_singletons(self):
+        c = PhonemeClustering([["p", "b"]])
+        assert c.same_cluster("p", "b")
+        assert not c.same_cluster("t", "d")
+
+    def test_members_roundtrip(self):
+        c = PhonemeClustering([["p", "b"]])
+        assert c.members(c.cluster_id("p")) == ("p", "b")
+
+    def test_equality_and_hash(self):
+        a = PhonemeClustering([["p", "b"]])
+        b = PhonemeClustering([["p", "b"]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestSingletonClustering:
+    def test_no_two_symbols_share(self):
+        c = singleton_clustering()
+        assert not c.same_cluster("p", "b")
+        assert not c.same_cluster("a", "aː")
+
+
+class TestAutoClustering:
+    def test_voicing_pairs_merge_first(self):
+        c = auto_clustering(
+            0.8, symbols=("p", "b", "t", "d", "m", "i", "e", "a")
+        )
+        assert c.same_cluster("p", "b")
+        assert c.same_cluster("t", "d")
+        assert not c.same_cluster("p", "m")
+
+    def test_threshold_one_merges_nothing(self):
+        c = auto_clustering(1.0, symbols=("p", "b", "t"))
+        assert not c.same_cluster("p", "b")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(PhonemeError):
+            auto_clustering(0.0)
+        with pytest.raises(PhonemeError):
+            auto_clustering(1.5)
+
+    def test_consonants_never_merge_with_vowels(self):
+        c = auto_clustering(0.2, symbols=("p", "b", "a", "e"))
+        assert not c.same_cluster("p", "a")

@@ -1,0 +1,112 @@
+"""Tests for the IPA phoneme inventory."""
+
+import pytest
+
+from repro.errors import PhonemeError
+from repro.phonetics.inventory import (
+    INVENTORY,
+    Backness,
+    Height,
+    Manner,
+    Phoneme,
+    PhonemeClass,
+    Place,
+    base_symbol,
+    get_phoneme,
+    is_known_symbol,
+)
+
+
+class TestInventoryContents:
+    def test_core_consonants_present(self):
+        for sym in ["p", "b", "t", "d", "k", "g", "m", "n", "s", "z",
+                    "ʃ", "ʒ", "tʃ", "dʒ", "r", "l", "j", "w", "h"]:
+            assert is_known_symbol(sym)
+
+    def test_indic_series_present(self):
+        for sym in ["ʈ", "ɖ", "ɳ", "t̪", "d̪", "ʋ", "ɽ", "ɦ", "ʂ"]:
+            assert is_known_symbol(sym)
+
+    def test_aspirated_stops_present(self):
+        for sym in ["kʰ", "gʱ", "tʃʰ", "dʒʱ", "t̪ʰ", "d̪ʱ", "bʱ", "pʰ"]:
+            assert is_known_symbol(sym)
+            assert get_phoneme(sym).aspirated
+
+    def test_vowels_have_long_and_nasal_variants(self):
+        for sym in ["a", "i", "u", "e", "o", "ɛ", "ɔ"]:
+            assert is_known_symbol(sym + "ː")
+            assert is_known_symbol(sym + "̃")
+            assert get_phoneme(sym + "ː").long
+            assert get_phoneme(sym + "̃").nasal
+
+    def test_front_rounded_vowels_for_french(self):
+        assert get_phoneme("y").rounded
+        assert get_phoneme("ø").rounded
+        assert get_phoneme("œ").rounded
+
+    def test_inventory_is_reasonably_large(self):
+        # consonants + aspirates + vowels x {plain, long, nasal, ...}
+        assert len(INVENTORY) > 120
+
+    def test_aspirated_voiced_stops_use_breathy_mark(self):
+        assert "bʱ" in INVENTORY
+        assert "bʰ" not in INVENTORY
+        assert "pʰ" in INVENTORY
+        assert "pʱ" not in INVENTORY
+
+
+class TestPhonemeFeatures:
+    def test_consonants_have_place_and_manner(self):
+        for ph in INVENTORY.values():
+            if ph.is_consonant:
+                assert ph.place is not None
+                assert ph.manner is not None
+
+    def test_vowels_have_height_and_backness(self):
+        for ph in INVENTORY.values():
+            if ph.is_vowel:
+                assert ph.height is not None
+                assert ph.backness is not None
+
+    def test_nasals_flagged_nasal(self):
+        for sym in ["m", "n", "ɳ", "ɲ", "ŋ"]:
+            assert get_phoneme(sym).nasal
+
+    def test_voicing(self):
+        assert not get_phoneme("p").voiced
+        assert get_phoneme("b").voiced
+        assert not get_phoneme("s").voiced
+        assert get_phoneme("z").voiced
+
+    def test_phoneme_is_frozen(self):
+        with pytest.raises(AttributeError):
+            get_phoneme("p").voiced = True  # type: ignore[misc]
+
+    def test_invalid_consonant_definition_rejected(self):
+        with pytest.raises(PhonemeError):
+            Phoneme(symbol="x1", klass=PhonemeClass.CONSONANT)
+
+    def test_invalid_vowel_definition_rejected(self):
+        with pytest.raises(PhonemeError):
+            Phoneme(symbol="x2", klass=PhonemeClass.VOWEL)
+
+
+class TestLookup:
+    def test_get_phoneme_known(self):
+        ph = get_phoneme("tʃ")
+        assert ph.manner is Manner.AFFRICATE
+        assert ph.place is Place.POSTALVEOLAR
+
+    def test_get_phoneme_unknown_raises(self):
+        with pytest.raises(PhonemeError):
+            get_phoneme("Q")
+
+    def test_base_symbol_strips_modifiers(self):
+        assert base_symbol("aː") == "a"
+        assert base_symbol("kʰ") == "k"
+        assert base_symbol("ã") in ("a",)  # NFC form of a + tilde
+        assert base_symbol("p") == "p"
+
+    def test_vowel_ordering_enums(self):
+        assert Height.CLOSE.value < Height.OPEN.value
+        assert Backness.FRONT.value < Backness.BACK.value

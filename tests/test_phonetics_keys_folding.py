@@ -1,0 +1,148 @@
+"""Tests for phonetic keys (grouped key, Soundex) and phoneme folding."""
+
+import pytest
+
+from repro.errors import PhonemeError
+from repro.phonetics.clusters import default_clustering
+from repro.phonetics.folding import fold_phonemes, fold_symbol
+from repro.phonetics.keys import grouped_key, grouped_key_string, soundex
+from repro.phonetics.parse import parse_ipa
+
+
+class TestGroupedKeySkeleton:
+    def test_intra_cluster_substitution_preserves_key(self):
+        # b and p share a cluster: same skeleton key.
+        assert grouped_key(parse_ipa("bala")) == grouped_key(
+            parse_ipa("pala")
+        )
+
+    def test_vowel_changes_preserve_key(self):
+        assert grouped_key(parse_ipa("nehru")) == grouped_key(
+            parse_ipa("nahri")
+        )
+
+    def test_laryngeal_presence_preserves_key(self):
+        assert grouped_key(parse_ipa("nehru")) == grouped_key(
+            parse_ipa("neru")
+        )
+
+    def test_consonant_cross_cluster_changes_key(self):
+        assert grouped_key(parse_ipa("mala")) != grouped_key(
+            parse_ipa("mana")
+        )
+
+    def test_consonant_insertion_changes_key(self):
+        assert grouped_key(parse_ipa("rajan")) != grouped_key(
+            parse_ipa("ranjan")
+        )
+
+    def test_nehru_triple_shares_key(self, matcher):
+        from repro.minidb.values import LangText
+
+        keys = {
+            matcher.grouped_key_of("Nehru"),
+            matcher.grouped_key_of(LangText("नेहरु", "hindi")),
+            matcher.grouped_key_of(LangText("நேரு", "tamil")),
+        }
+        assert len(keys) == 1
+
+
+class TestGroupedKeyFull:
+    def test_full_mode_sensitive_to_length(self):
+        a = grouped_key(parse_ipa("nehru"), mode="full")
+        b = grouped_key(parse_ipa("neru"), mode="full")
+        assert a != b
+
+    def test_full_mode_vowel_cluster_preserved(self):
+        assert grouped_key(parse_ipa("neru"), mode="full") == grouped_key(
+            parse_ipa("nɛru"), mode="full"
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PhonemeError):
+            grouped_key(parse_ipa("na"), mode="bogus")
+
+    def test_encoding_is_injective_for_distinct_cluster_strings(self):
+        # multi-digit cluster ids must not collide positionally
+        c = default_clustering()
+        strings = [
+            parse_ipa(s)
+            for s in ["pata", "taka", "napa", "sala", "mara", "tʃapa"]
+        ]
+        keys = [grouped_key(s, c, mode="full") for s in strings]
+        assert len(set(keys)) == len(keys)
+
+    def test_key_string_readable(self):
+        text = grouped_key_string(parse_ipa("na"), mode="full")
+        assert "." in text
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Jackson", "J250"),
+            ("Washington", "W252"),
+        ],
+    )
+    def test_knuth_examples(self, name, code):
+        assert soundex(name) == code
+
+    def test_case_insensitive(self):
+        assert soundex("nehru") == soundex("NEHRU")
+
+    def test_short_names_padded(self):
+        assert len(soundex("Lee")) == 4
+
+    def test_non_latin_returns_empty(self):
+        assert soundex("नेहरु") == ""
+
+
+class TestFolding:
+    def test_length_folds(self):
+        assert fold_symbol("aː") == "a"
+        assert fold_symbol("iː") == "i"
+
+    def test_dental_folds(self):
+        assert fold_symbol("t̪") == "t"
+        assert fold_symbol("d̪ʱ") == "dʱ"
+
+    def test_rhotics_fold_to_r(self):
+        for sym in ["ɹ", "ɾ", "ɽ", "ɻ"]:
+            assert fold_symbol(sym) == "r"
+
+    def test_laterals_fold_to_l(self):
+        for sym in ["ɭ", "ɫ", "ʎ"]:
+            assert fold_symbol(sym) == "l"
+
+    def test_lax_vowels_fold(self):
+        assert fold_symbol("ɪ") == "i"
+        assert fold_symbol("ʊ") == "u"
+        assert fold_symbol("ɜ") == "ə"
+
+    def test_aspiration_survives_folding(self):
+        assert fold_symbol("t̪ʰ") == "tʰ"
+        assert fold_symbol("ɖʱ") == "ɖʱ"
+
+    def test_retroflex_flap_aspiration_dropped_with_r(self):
+        assert fold_symbol("ɽʱ") == "r"
+
+    def test_fold_phonemes_preserves_length(self):
+        phonemes = parse_ipa("n̪eːɾʋaːɳ")
+        folded = fold_phonemes(phonemes)
+        assert len(folded) == len(phonemes)
+
+    def test_folded_output_is_valid(self):
+        from repro.phonetics.parse import validate_phoneme_string
+
+        validate_phoneme_string(fold_phonemes(parse_ipa("ẽɦɽʱʂt̪ʰɪʊœø")))
+
+    def test_folding_idempotent(self):
+        phonemes = parse_ipa("dʒəʋaːɦərlaːl")
+        once = fold_phonemes(phonemes)
+        assert fold_phonemes(once) == once

@@ -1,0 +1,90 @@
+"""Tests for the Arabic (abjad) converter."""
+
+import pytest
+
+from repro.core import LexEqualMatcher, MatchConfig
+from repro.errors import TTPError
+from repro.ttp.arabic import ArabicConverter
+
+
+@pytest.fixture(scope="module")
+def ara() -> ArabicConverter:
+    return ArabicConverter()
+
+
+class TestArabicBasics:
+    def test_consonant_skeleton(self, ara):
+        phonemes = ara.to_phonemes("نهرو")
+        consonants = [p for p in phonemes if p not in ("ə", "a", "aː", "uː")]
+        assert consonants[:3] == ["n", "h", "r"]
+
+    def test_epenthesis_breaks_clusters(self, ara):
+        # محمد is written m-h-m-d; vowels are inferred.
+        phonemes = ara.to_phonemes("محمد")
+        for first, second in zip(phonemes, phonemes[1:]):
+            from repro.phonetics.inventory import get_phoneme
+
+            assert not (
+                get_phoneme(first).is_consonant
+                and get_phoneme(second).is_consonant
+            )
+
+    def test_long_vowels_honoured(self, ara):
+        assert "aː" in ara.to_phonemes("سالم")   # alef
+        assert "uː" in ara.to_phonemes("نور")    # waw after consonant
+        assert "iː" in ara.to_phonemes("سليم".replace("سليم", "كريم"))
+
+    def test_waw_yeh_initial_are_glides(self, ara):
+        assert ara.to_phonemes("وليد")[0] == "w"
+        assert ara.to_phonemes("يوسف")[0] == "j"
+
+    def test_harakat_respected(self, ara):
+        # With explicit fatha/kasra the written vowels are used.
+        phonemes = ara.to_phonemes("مُحَمَّد")
+        assert "u" in phonemes
+        assert "a" in phonemes
+
+    def test_teh_marbuta_final_a(self, ara):
+        assert ara.to_phonemes("فاطمة")[-1] == "a"
+
+    def test_emphatics_fold_to_plain(self, ara):
+        assert ara.to_phonemes("طه")[0] == "t̪"
+        assert ara.to_phonemes("صالح")[0] == "s"
+
+    def test_qaf_stays_uvular(self, ara):
+        assert ara.to_phonemes("قاسم")[0] == "q"
+
+    def test_unknown_character_raises(self, ara):
+        with pytest.raises(TTPError):
+            ara.to_phonemes("نهQرو")
+
+    def test_detection(self):
+        from repro.ttp.registry import detect_language
+
+        assert detect_language("نهرو") == "arabic"
+
+
+class TestArabicMatching:
+    """The paper's opening scenario: Arabic names match Latin renderings."""
+
+    @pytest.mark.parametrize(
+        "latin,arabic",
+        [
+            ("Nehru", "نهرو"),
+            ("Muhammad", "محمد"),
+            ("Karim", "كريم"),
+            ("Salim", "سليم"),
+        ],
+    )
+    def test_names_match_at_default_threshold(self, matcher, latin, arabic):
+        assert matcher.matches(latin, arabic)
+
+    def test_al_qaeda_example(self):
+        """Paper §1: matching 'Al-Qaeda' across scripts "could be
+        immensely useful for news organizations or security agencies"."""
+        loose = LexEqualMatcher(MatchConfig(threshold=0.45))
+        assert loose.matches("Al-Qaeda", "القاعدة")
+
+    def test_non_matches_stay_non_matches(self, matcher):
+        assert not matcher.matches("Smith", "محمد")
+        assert not matcher.matches("Krishna", "نهرو")

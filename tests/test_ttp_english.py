@@ -1,0 +1,111 @@
+"""Tests for the English grapheme-to-phoneme converter.
+
+These pin down the *raw* converter output (no folding); registry-level
+folding is covered in test_ttp_registry.py.
+"""
+
+import pytest
+
+from repro.errors import TTPError
+from repro.ttp.english import EnglishConverter
+
+
+@pytest.fixture(scope="module")
+def eng() -> EnglishConverter:
+    return EnglishConverter()
+
+
+class TestCommonWords:
+    @pytest.mark.parametrize(
+        "word,ipa",
+        [
+            ("university", "junɪvɜɹsɪti"),
+            ("smith", "smɪθ"),
+            ("oxygen", "ɑksɪdʒɛn"),
+            ("church", "tʃɜɹtʃ"),
+            ("knight", "naɪt"),
+            ("phone", "foʊn"),
+            ("quick", "kwɪk"),
+            ("shine", "ʃaɪn"),
+            ("through", "θɹu"),
+            ("measure", "mɛʒɜɹ"),
+        ],
+    )
+    def test_pronunciations(self, eng, word, ipa):
+        assert eng.to_ipa(word) == ipa
+
+    def test_silent_letters(self, eng):
+        assert eng.to_ipa("knee")[0] == "n"  # silent k
+        assert "h" not in eng.to_ipa("where")  # wh -> w
+        assert eng.to_phonemes("wright")[0] == "ɹ"  # wr -> r
+
+    def test_soft_and_hard_c(self, eng):
+        assert eng.to_phonemes("cent")[0] == "s"
+        assert eng.to_phonemes("cat")[0] == "k"
+
+    def test_soft_and_hard_g(self, eng):
+        assert eng.to_phonemes("gem")[0] == "dʒ"
+        assert eng.to_phonemes("gold")[0] == "g"
+
+    def test_doubled_consonants_collapse(self, eng):
+        assert eng.to_phonemes("hammer").count("m") == 1
+        assert eng.to_phonemes("jennifer").count("n") == 1
+
+
+class TestNames:
+    def test_rhotic_american_er(self, eng):
+        # word-final -er keeps the r (American English)
+        phonemes = eng.to_phonemes("fisher")
+        assert phonemes[-1] == "ɹ"
+
+    def test_exception_lexicon(self, eng):
+        assert eng.to_ipa("Nehru") == "nɛhɹu"
+        assert eng.to_ipa("Sean") == "ʃɔn"
+        assert eng.to_ipa("Thomas")[0] == "t"
+
+    def test_extra_exceptions(self):
+        conv = EnglishConverter(extra_exceptions={"Xyz": "zaɪz"})
+        assert conv.to_ipa("xyz") == "zaɪz"
+
+    def test_case_insensitive(self, eng):
+        assert eng.to_phonemes("NEHRU") == eng.to_phonemes("nehru")
+
+    def test_accents_folded(self, eng):
+        assert eng.to_phonemes("René") == eng.to_phonemes("Rene")
+
+    def test_indic_digraph_names(self, eng):
+        # word-initial Ch/Bh/Dh/Kh/Gh: no stray /h/
+        assert "h" not in eng.to_phonemes("Bhavesh")
+        assert "h" not in eng.to_phonemes("Dharma")
+        assert "h" not in eng.to_phonemes("Khanna")
+        assert "h" not in eng.to_phonemes("Ghosh")
+
+    def test_multi_word_input(self, eng):
+        combined = eng.to_phonemes("Jawaharlal Nehru")
+        assert combined == eng.to_phonemes("Jawaharlal") + eng.to_phonemes(
+            "Nehru"
+        )
+
+
+class TestTotality:
+    def test_every_letter_has_fallback(self, eng):
+        import string
+
+        for letter in string.ascii_lowercase:
+            assert eng.to_phonemes(letter * 3) is not None
+
+    def test_name_lists_fully_convertible(self, eng):
+        from repro.data.names_american import AMERICAN_NAMES
+        from repro.data.names_generic import GENERIC_NAMES
+        from repro.data.names_indian import INDIAN_NAMES
+
+        for name in INDIAN_NAMES + AMERICAN_NAMES + GENERIC_NAMES:
+            phonemes = eng.to_phonemes(name)
+            assert phonemes, name
+
+    def test_digits_rejected(self, eng):
+        with pytest.raises(TTPError):
+            eng.to_phonemes("route66")
+
+    def test_empty_after_normalization(self, eng):
+        assert eng.to_phonemes("-") == ()

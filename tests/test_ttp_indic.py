@@ -1,0 +1,181 @@
+"""Tests for the Hindi (Devanagari) and Tamil converters."""
+
+import pytest
+
+from repro.errors import TTPError
+from repro.ttp.hindi import HindiConverter
+from repro.ttp.tamil import TamilConverter
+
+
+@pytest.fixture(scope="module")
+def hin() -> HindiConverter:
+    return HindiConverter()
+
+
+@pytest.fixture(scope="module")
+def tam() -> TamilConverter:
+    return TamilConverter()
+
+
+class TestHindiBasics:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("नेहरु", "neːɦrʊ"),
+            ("भारत", "bʱaːrət̪"),
+            ("राम", "raːm"),
+            ("जवाहरलाल", "dʒəʋaːɦərlaːl"),
+            ("इंडिया", "ɪɳɖɪjaː"),
+            ("क़ानून", "qaːnuːn"),
+        ],
+    )
+    def test_pronunciations(self, hin, text, ipa):
+        assert hin.to_ipa(text) == ipa
+
+    def test_inherent_schwa(self, hin):
+        # कल = k + inherent ə + l (final schwa of l deleted)
+        assert hin.to_phonemes("कल") == ("k", "ə", "l")
+
+    def test_virama_suppresses_schwa(self, hin):
+        assert hin.to_phonemes("क्रम") == ("k", "r", "ə", "m")
+
+    def test_final_schwa_deletion(self, hin):
+        assert hin.to_phonemes("राम")[-1] == "m"
+
+    def test_medial_schwa_deletion_right_to_left(self, hin):
+        # जवाहरलाल keeps the schwa after व़...ह and drops the one after र
+        assert hin.to_ipa("जवाहरलाल") == "dʒəʋaːɦərlaːl"
+
+    def test_medial_schwa_can_be_disabled(self):
+        conv = HindiConverter(delete_medial_schwa=False)
+        assert conv.to_ipa("जवाहरलाल") == "dʒəʋaːɦərəlaːl"
+
+    def test_aspirates(self, hin):
+        assert hin.to_phonemes("खग")[0] == "kʰ"
+        assert hin.to_phonemes("घर")[0] == "gʱ"
+        assert hin.to_phonemes("धन")[0] == "d̪ʱ"
+
+    def test_retroflex_vs_dental(self, hin):
+        assert hin.to_phonemes("टन")[0] == "ʈ"
+        assert hin.to_phonemes("तन")[0] == "t̪"
+
+    def test_nukta_consonants(self, hin):
+        assert hin.to_phonemes("फ़न")[0] == "f"
+        assert hin.to_phonemes("ज़न")[0] == "z"
+        assert hin.to_phonemes("बड़ा") == ("b", "ə", "ɽ", "aː")
+
+    def test_anusvara_assimilates(self, hin):
+        assert "ŋ" in hin.to_phonemes("गंगा")  # before velar
+        assert "m" in hin.to_phonemes("संपत")  # before labial
+        assert "n" in hin.to_phonemes("संत")  # before coronal
+
+    def test_candrabindu_nasalizes_vowel(self, hin):
+        phonemes = hin.to_phonemes("माँ")
+        assert phonemes[-1].endswith("̃")
+
+    def test_visarga(self, hin):
+        assert hin.to_phonemes("दुःख")[2] == "h"
+
+    def test_unknown_character_raises(self, hin):
+        with pytest.raises(TTPError):
+            hin.to_phonemes("नेQहरु")
+
+    def test_matra_without_consonant_raises(self, hin):
+        with pytest.raises(TTPError):
+            hin.to_phonemes("ा")
+
+
+class TestTamilBasics:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("நேரு", "n̪eːɾu"),
+            ("இந்தியா", "in̪d̪ijaː"),
+            ("ராமா", "ɾaːmaː"),
+            ("காந்தி", "kaːn̪d̪i"),
+        ],
+    )
+    def test_pronunciations(self, tam, text, ipa):
+        assert tam.to_ipa(text) == ipa
+
+    def test_initial_stop_voiceless(self, tam):
+        assert tam.to_phonemes("கமல்")[0] == "k"
+        assert tam.to_phonemes("படம்")[0] == "p"
+
+    def test_intervocalic_stop_voiced(self, tam):
+        # புகழ்: க between vowels -> g
+        assert "g" in tam.to_phonemes("புகழ்")
+
+    def test_stop_after_nasal_voiced(self, tam):
+        phonemes = tam.to_phonemes("பங்கு")
+        assert "g" in phonemes
+
+    def test_geminate_voiceless_and_single(self, tam):
+        # க்க between vowels reads as a single voiceless k
+        phonemes = tam.to_phonemes("பக்கம்")
+        assert phonemes.count("k") == 1
+        assert "g" not in phonemes
+
+    def test_intervocalic_cha_is_s(self, tam):
+        phonemes = tam.to_phonemes("பசி")
+        assert "s" in phonemes
+
+    def test_coda_stop_voiceless(self, tam):
+        # ஸ்மித்: final த் voiceless
+        assert tam.to_phonemes("ஸ்மித்")[-1] == "t̪"
+
+    def test_grantha_letters(self, tam):
+        assert tam.to_phonemes("ஜய")[0] == "dʒ"
+        assert tam.to_phonemes("ஷா")[0] == "ʂ"
+        assert tam.to_phonemes("ஸda".replace("da", "ா"))[0] == "s"
+        assert tam.to_phonemes("ஹரி")[0] == "h"
+
+    def test_ksha_conjunct(self, tam):
+        phonemes = tam.to_phonemes("லக்ஷ்மி")
+        assert "k" in phonemes and "ʂ" in phonemes
+
+    def test_aytham_f(self, tam):
+        assert tam.to_phonemes("ஃபேன்")[0] == "f"
+
+    def test_retroflex_laterals_and_approximants(self, tam):
+        assert "ɭ" in tam.to_phonemes("வள்ளி")
+        assert "ɻ" in tam.to_phonemes("தமிழ்")
+
+    def test_trill_vs_tap(self, tam):
+        assert "r" in tam.to_phonemes("மறவன்")  # ற lone = trill
+        assert "ɾ" in tam.to_phonemes("மரம்")  # ர = tap
+
+    def test_unknown_character_raises(self, tam):
+        with pytest.raises(TTPError):
+            tam.to_phonemes("நேXரு")
+
+
+class TestIndicRoundTripWithTransliteration:
+    """The transliteration channel must produce readable orthography."""
+
+    def test_devanagari_roundtrip_close(self, hin):
+        from repro.data.transliterate import (
+            romanization_to_indic_phonemes,
+            to_devanagari,
+        )
+
+        for name in ["Krishna", "Gopal", "Meena", "Jawahar", "Sundaram"]:
+            intent = romanization_to_indic_phonemes(name)
+            written = to_devanagari(intent)
+            read_back = hin.to_phonemes(written)
+            # The round trip may lose schwas but never consonant skeleta.
+            skeleton = lambda ps: [
+                p for p in ps if p not in ("ə",)
+            ]
+            assert len(read_back) >= len(intent) - 2
+
+    def test_tamil_roundtrip_produces_valid_text(self, tam):
+        from repro.data.transliterate import (
+            romanization_to_indic_phonemes,
+            to_tamil,
+        )
+
+        for name in ["Krishna", "Gopal", "Meena", "Jawahar", "Sundaram"]:
+            intent = romanization_to_indic_phonemes(name)
+            written = to_tamil(intent)
+            assert tam.to_phonemes(written)

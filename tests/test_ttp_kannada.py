@@ -1,0 +1,102 @@
+"""Tests for the Kannada converter and its transliteration channel."""
+
+import pytest
+
+from repro.data.transliterate import (
+    romanization_to_indic_phonemes,
+    to_kannada,
+)
+from repro.errors import TTPError
+from repro.phonetics.parse import parse_ipa
+from repro.ttp.kannada import KannadaConverter
+
+
+@pytest.fixture(scope="module")
+def kan() -> KannadaConverter:
+    return KannadaConverter()
+
+
+class TestKannadaBasics:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("ರಾಮ", "raːma"),
+            ("ನೆಹರು", "nehəru".replace("ə", "a")),
+            ("ಕೃಷ್ಣ", "kriʂɳa"),
+            ("ಬೆಂಗಳೂರು", "beŋgaɭuːru"),
+        ],
+    )
+    def test_pronunciations(self, kan, text, ipa):
+        assert kan.to_ipa(text) == ipa
+
+    def test_no_final_vowel_deletion(self, kan):
+        # Unlike Hindi, the final inherent vowel is pronounced.
+        assert kan.to_phonemes("ರಾಮ")[-1] == "a"
+
+    def test_virama_suppresses_vowel(self, kan):
+        assert kan.to_phonemes("ಕ್ರಮ") == ("k", "r", "a", "m", "a")
+
+    def test_short_long_mid_vowels_contrast(self, kan):
+        assert kan.to_phonemes("ಎ") == ("e",)
+        assert kan.to_phonemes("ಏ") == ("eː",)
+        assert kan.to_phonemes("ಒ") == ("o",)
+        assert kan.to_phonemes("ಓ") == ("oː",)
+
+    def test_aspirates_preserved(self, kan):
+        assert kan.to_phonemes("ಭರತ")[0] == "bʱ"
+        assert kan.to_phonemes("ಖಗ")[0] == "kʰ"
+
+    def test_retroflex_lateral(self, kan):
+        assert "ɭ" in kan.to_phonemes("ಳಿ".replace("ಳಿ", "ಕಳಿ"))
+
+    def test_anusvara_assimilation(self, kan):
+        assert "ŋ" in kan.to_phonemes("ಗಂಗಾ")
+        assert "m" in kan.to_phonemes("ಸಂಪತ")
+
+    def test_unknown_character_raises(self, kan):
+        with pytest.raises(TTPError):
+            kan.to_phonemes("ರಾQಮ")
+
+    def test_matra_without_consonant_raises(self, kan):
+        with pytest.raises(TTPError):
+            kan.to_phonemes("ಾ")
+
+
+class TestKannadaChannel:
+    def test_transliteration_roundtrip(self, kan):
+        for name in ["Krishna", "Gopal", "Meena", "Sundaram", "Nehru"]:
+            intent = romanization_to_indic_phonemes(name)
+            written = to_kannada(intent)
+            assert kan.to_phonemes(written)
+
+    def test_every_inventory_phoneme_spellable(self):
+        from repro.phonetics.inventory import INVENTORY
+
+        for sym in INVENTORY:
+            to_kannada((sym,))
+
+    def test_four_script_lexicon(self):
+        from repro.data.lexicon import build_lexicon
+
+        lexicon = build_lexicon(
+            limit_per_domain=10,
+            languages=("english", "hindi", "tamil", "kannada"),
+        )
+        for entries in lexicon.groups().values():
+            assert sorted(e.language for e in entries) == [
+                "english",
+                "hindi",
+                "kannada",
+                "tamil",
+            ]
+
+    def test_cross_script_matching_with_kannada(self, matcher):
+        from repro.minidb.values import LangText
+
+        assert matcher.matches("Krishna", LangText("ಕೃಷ್ಣ", "kannada"))
+        assert matcher.matches("Nehru", "ನೆಹರು")
+
+    def test_kannada_detected_from_script(self):
+        from repro.ttp.registry import detect_language
+
+        assert detect_language("ನೆಹರು") == "kannada"

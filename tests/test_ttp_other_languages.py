@@ -1,0 +1,128 @@
+"""Tests for the Greek, Spanish and French converters."""
+
+import pytest
+
+from repro.errors import TTPError
+from repro.ttp.french import FrenchConverter
+from repro.ttp.greek import GreekConverter
+from repro.ttp.spanish import SpanishConverter
+
+
+@pytest.fixture(scope="module")
+def grk() -> GreekConverter:
+    return GreekConverter()
+
+
+@pytest.fixture(scope="module")
+def spa() -> SpanishConverter:
+    return SpanishConverter()
+
+
+@pytest.fixture(scope="module")
+def fra() -> FrenchConverter:
+    return FrenchConverter()
+
+
+class TestGreek:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("Νερου", "nɛru"),
+            ("Αθηνα", "aθina"),
+            ("μπαρ", "bar"),
+            ("ντοματα", "domata"),
+            ("τζατζικι", "dzadziki"),
+            ("ουζο", "uzo"),
+        ],
+    )
+    def test_pronunciations(self, grk, text, ipa):
+        assert grk.to_ipa(text) == ipa
+
+    def test_digraph_vowels(self, grk):
+        assert grk.to_phonemes("και") == ("k", "ɛ")
+        assert grk.to_phonemes("ειναι") == ("i", "n", "ɛ")
+
+    def test_av_ev_voicing(self, grk):
+        # αυ before voiced -> av; before voiceless -> af
+        assert grk.to_ipa("αυγο") == "avɣo"
+        assert grk.to_ipa("αυτο") == "afto"
+
+    def test_gamma_palatalizes(self, grk):
+        assert grk.to_phonemes("γη")[0] == "j"
+        assert grk.to_phonemes("γατα")[0] == "ɣ"
+
+    def test_accents_folded(self, grk):
+        assert grk.to_phonemes("Νίκος") == grk.to_phonemes("Νικος")
+
+    def test_final_sigma(self, grk):
+        assert grk.to_phonemes("Σαρρης")[-1] == "s"
+
+    def test_unknown_character_raises(self, grk):
+        with pytest.raises(TTPError):
+            grk.to_phonemes("νεQρου")
+
+
+class TestSpanish:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("Jesus", "xesus"),
+            ("Quito", "kito"),
+            ("cerveza", "seɾbesa"),
+            ("llama", "ʎama"),
+            ("año", "aɲo"),
+            ("guerra", "gera"),
+            ("chico", "tʃiko"),
+        ],
+    )
+    def test_pronunciations(self, spa, text, ipa):
+        assert spa.to_ipa(text) == ipa
+
+    def test_h_silent(self, spa):
+        assert spa.to_ipa("hola") == "ola"
+
+    def test_initial_r_trill_medial_tap(self, spa):
+        assert spa.to_phonemes("rosa")[0] == "r"
+        assert "ɾ" in spa.to_phonemes("pero")
+
+    def test_v_is_b(self, spa):
+        assert spa.to_phonemes("victor")[0] == "b"
+
+    def test_language_dependent_vocalization_scenario(self, spa):
+        """Paper Section 2.1: Jesus differs between English and Spanish."""
+        from repro.ttp.english import EnglishConverter
+
+        assert spa.to_phonemes("Jesus")[0] == "x"
+        assert EnglishConverter().to_phonemes("Jesus")[0] == "dʒ"
+
+
+class TestFrench:
+    @pytest.mark.parametrize(
+        "text,ipa",
+        [
+            ("René", "ɾəne"),
+            ("École", "ekɔl"),
+            ("Descartes", "dɛskaɾt"),
+            ("Bordeaux", "bɔɾdo"),
+            ("Chantal", "ʃɑ̃tal"),
+        ],
+    )
+    def test_pronunciations(self, fra, text, ipa):
+        assert fra.to_ipa(text) == ipa
+
+    def test_silent_final_consonants(self, fra):
+        assert fra.to_phonemes("Paris")[-1] != "s"
+        assert fra.to_phonemes("petit")[-1] != "t"
+
+    def test_nasal_vowels(self, fra):
+        phonemes = fra.to_phonemes("bon")
+        assert phonemes[-1].endswith("̃")
+
+    def test_u_is_front_rounded(self, fra):
+        assert "y" in fra.to_phonemes("du")
+
+    def test_oi_is_wa(self, fra):
+        assert fra.to_ipa("roi") == "ɾwa"
+
+    def test_gn(self, fra):
+        assert "ɲ" in fra.to_phonemes("Agnès")

@@ -1,0 +1,129 @@
+"""Unit tests for the NRL-style G2P rule engine's pattern language."""
+
+import pytest
+
+from repro.errors import TTPError
+from repro.ttp.rules import Rule, apply_rules, compile_rules
+
+
+def engine(rows):
+    return compile_rules(rows)
+
+
+class TestContextPatterns:
+    def test_literal_contexts(self):
+        index = engine([
+            ("x", "a", "y", "i"),
+            ("", "a", "", "a"),
+            ("", "x", "", "s"),
+            ("", "y", "", "j"),
+        ])
+        assert apply_rules("xay", index, "t") == ("s", "i", "j")
+        assert apply_rules("a", index, "t") == ("a",)
+
+    def test_word_boundaries(self):
+        index = engine([
+            (" ", "a", "", "æ"),   # word-initial
+            ("", "a", " ", "ɑ"),   # word-final
+            ("", "a", "", "ə"),
+            ("", "b", "", "b"),
+        ])
+        assert apply_rules("aba", index, "t") == ("æ", "b", "ɑ")
+        assert apply_rules("bab", index, "t") == ("b", "ə", "b")
+
+    def test_one_or_more_vowels(self):
+        index = engine([
+            ("#", "b", "", "p"),  # b after vowels -> p
+            ("", "b", "", "b"),
+            ("", "a", "", "a"),
+        ])
+        assert apply_rules("b", index, "t") == ("b",)
+        assert apply_rules("ab", index, "t") == ("a", "p")
+        assert apply_rules("aab", index, "t") == ("a", "a", "p")
+
+    def test_zero_or_more_consonants(self):
+        index = engine([
+            ("#:", "x", "", "z"),  # vowel, then any consonants, then x
+            ("", "x", "", "s"),
+            ("", "a", "", "a"),
+            ("", "b", "", "b"),
+        ])
+        assert apply_rules("abx", index, "t")[-1] == "z"
+        assert apply_rules("ax", index, "t")[-1] == "z"
+        assert apply_rules("bx", index, "t")[-1] == "s"
+
+    def test_exactly_one_consonant(self):
+        index = engine([
+            ("", "a", "^ ", "eɪ"),  # a + one consonant + end
+            ("", "a", "", "æ"),
+            ("", "t", "", "t"),
+            ("", "s", "", "s"),
+        ])
+        assert apply_rules("at", index, "t")[0] == "e"
+        assert apply_rules("ats", index, "t")[0] == "æ"
+
+    def test_front_vowel_class(self):
+        index = engine([
+            ("", "c", "+", "s"),
+            ("", "c", "", "k"),
+            ("", "e", "", "ɛ"),
+            ("", "o", "", "ɑ"),
+        ])
+        assert apply_rules("ce", index, "t")[0] == "s"
+        assert apply_rules("co", index, "t")[0] == "k"
+
+    def test_suffix_class(self):
+        index = engine([
+            ("", "a", "^%", "eɪ"),  # a + consonant + suffix (e.g. -ed)
+            ("", "a", "", "æ"),
+            ("", "t", "", "t"),
+            ("", "d", "", "d"),
+            ("", "e", "", ""),
+        ])
+        assert apply_rules("ated", index, "t")[0] == "e"
+        assert apply_rules("atd", index, "t")[0] == "æ"
+
+    def test_voiced_class(self):
+        index = engine([
+            (".", "s", " ", "z"),  # s after voiced consonant at end
+            ("", "s", "", "s"),
+            ("", "b", "", "b"),
+            ("", "t", "", "t"),
+        ])
+        assert apply_rules("bs", index, "t") == ("b", "z")
+        assert apply_rules("ts", index, "t") == ("t", "s")
+
+    def test_first_matching_rule_wins(self):
+        index = engine([
+            ("", "ab", "", "x"),
+            ("", "a", "", "a"),
+            ("", "b", "", "b"),
+        ])
+        assert apply_rules("ab", index, "t") == ("x",)
+
+
+class TestEngineErrors:
+    def test_empty_fragment_rejected_at_compile(self):
+        with pytest.raises(TTPError):
+            compile_rules([("", "", "", "a")])
+
+    def test_bad_ipa_rejected_at_compile(self):
+        from repro.errors import PhonemeError
+
+        with pytest.raises(PhonemeError):
+            compile_rules([("", "a", "", "NOT_IPA")])
+
+    def test_unmatched_character_raises(self):
+        index = engine([("", "a", "", "a")])
+        with pytest.raises(TTPError):
+            apply_rules("ab", index, "t")
+
+    def test_no_rule_matched_raises(self):
+        # A group exists for 'a' but no rule fires in this context.
+        index = engine([("x", "a", "", "a")])
+        with pytest.raises(TTPError):
+            apply_rules("a", index, "t")
+
+    def test_rule_tuple_shape(self):
+        rule = Rule("", "a", "", ("a",))
+        assert rule.fragment == "a"
