@@ -16,7 +16,7 @@ from repro.matching.qgrams import (
 )
 from repro.evaluation.report import format_table
 
-from conftest import PERF_CONFIG, SELECT_QUERIES, save_result
+from conftest import SELECT_QUERIES, save_result
 
 
 def test_ablation_filter_composition(benchmark, perf_catalog):

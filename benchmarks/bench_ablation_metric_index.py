@@ -11,7 +11,6 @@ This bench compares all four access paths on the same workload:
 
 from repro.core import (
     MetricIndexStrategy,
-    NaiveUdfStrategy,
     PhoneticIndexStrategy,
     QGramStrategy,
 )

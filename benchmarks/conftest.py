@@ -16,11 +16,13 @@ strategies), which are scale-stable.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core import LexEqualMatcher, MatchConfig, NameCatalog
 from repro.data.generator import generate_performance_dataset
 from repro.data.lexicon import build_lexicon
@@ -47,11 +49,43 @@ PERF_CONFIG = MatchConfig(
 SELECT_QUERIES = ["NehruGandhi", "KrishnaMohan", "OxygenArgon"]
 
 
-def save_result(name: str, text: str) -> None:
-    """Print a paper-style table and persist it under results/."""
+def save_result(name: str, text: str, data: dict | None = None) -> None:
+    """Print a paper-style table and persist it under results/.
+
+    Besides the human-readable text table, a machine-readable JSON
+    companion (``results/<stem>.json``) is written carrying ``data``
+    (bench-specific numbers, if any) plus a snapshot of the metrics
+    collected so far this session.  No timestamps, so reruns diff
+    cleanly.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[saved to results/{name}]")
+    stem = Path(name).stem
+    payload = {
+        "name": stem,
+        "bench_size": BENCH_SIZE,
+        "bench_join_size": BENCH_JOIN_SIZE,
+        "data": data,
+        "metrics": obs.snapshot(),
+    }
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{text}\n[saved to results/{name} and results/{stem}.json]")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _metrics_session():
+    """Collect engine metrics for the whole benchmark session.
+
+    Enabled here (not in the library) so normal test runs keep the
+    zero-overhead null registry; ``save_result`` embeds snapshots in
+    its JSON output.
+    """
+    obs.enable()
+    yield
+    obs.disable()
 
 
 @pytest.fixture(scope="session")
@@ -75,8 +109,6 @@ def perf_catalog(perf_dataset):
     # Plant the selection queries so scans have hits, as in the paper
     # (its query strings came from the stored data).
     for query in SELECT_QUERIES:
-        from repro.ttp.registry import default_registry
-
         catalog.add(query, "english")
     return catalog
 

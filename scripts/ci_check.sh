@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: tests, lint, bench smoke.
+# Run from the repository root:  ./scripts/ci_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== lint (ruff) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "ruff not installed; skipping (CI runs it)"
+fi
+
+echo "== benchmark smoke (Table 1) =="
+REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \
+REPRO_BENCH_JOIN="${REPRO_BENCH_JOIN:-100}" \
+python -m pytest benchmarks/bench_table1_baseline.py -q
+
+echo "== OK =="

@@ -20,6 +20,15 @@ Commands:
 
 ``dismissals``
     Measure the phonetic index's false-dismissal rate (Section 5.3).
+
+``query SQL [--explain | --analyze] [--accelerate METHOD]``
+    Run SQL (including the paper's LexEQUAL predicates) against the
+    bundled Books.com demo catalog; ``--explain``/``--analyze`` print
+    the query plan instead of rows.
+
+``stats [--json]``
+    Run a representative matching workload with metrics enabled and
+    print the collected counters/timers/histograms.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import sys
 
 from repro.core.config import MatchConfig
 from repro.core.matcher import LexEqualMatcher
+from repro.errors import ReproError
 
 
 def _parse_floats(text: str) -> list[float]:
@@ -54,6 +64,10 @@ def cmd_match(args: argparse.Namespace) -> int:
 def cmd_search(args: argparse.Namespace) -> int:
     from repro.data.lexicon import MultiscriptLexicon, default_lexicon
 
+    if getattr(args, "explain", False):
+        from repro import obs
+
+        obs.enable()
     matcher = LexEqualMatcher(_config_from_args(args))
     if args.lexicon:
         lexicon = MultiscriptLexicon.load_tsv(args.lexicon)
@@ -73,6 +87,10 @@ def cmd_search(args: argparse.Namespace) -> int:
             print(f"{entry.name}\t{entry.language}\t[{entry.ipa}]")
             shown += 1
     print(f"-- {shown} matches", file=sys.stderr)
+    if getattr(args, "explain", False):
+        from repro import obs
+
+        print(obs.format_snapshot(), file=sys.stderr)
     return 0
 
 
@@ -148,6 +166,86 @@ def cmd_dismissals(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_books_db(accelerate: str = "none"):
+    """The Books.com catalog of paper Figure 1, LexEQUAL installed."""
+    from repro.core.integration import install_lexequal
+    from repro.minidb.catalog import Database
+    from repro.minidb.schema import Column
+    from repro.minidb.values import LangText, SqlType
+
+    db = Database()
+    matcher = LexEqualMatcher()
+    install_lexequal(db, matcher)
+    db.create_table(
+        "books",
+        [
+            Column("author", SqlType.LANGTEXT),
+            Column("title", SqlType.TEXT),
+            Column("price", SqlType.REAL),
+            Column("language", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (LangText("Nehru", "english"), "Discovery of India", 9.95, "english"),
+        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
+        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
+        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
+        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
+        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
+    ]
+    for row in rows:
+        db.insert("books", row)
+    if accelerate != "none":
+        from repro.core.engine import create_phonetic_accelerator
+
+        create_phonetic_accelerator(
+            db, "books", "author", matcher, method=accelerate
+        )
+    return db
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = _demo_books_db(args.accelerate)
+    if args.explain or args.analyze:
+        print(db.explain(args.sql, analyze=args.analyze))
+        return 0
+    result = db.execute(args.sql)
+    if result.columns:
+        print("\t".join(result.columns))
+    for row in result.rows:
+        print("\t".join("NULL" if v is None else str(v) for v in row))
+    print(f"-- {len(result.rows)} rows", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    obs.enable().reset()
+    # Representative workload: the paper's Figure 3 selection, once
+    # accelerated (q-gram filters + B+ tree) and once as a full scan,
+    # plus a direct matcher comparison.
+    matcher = LexEqualMatcher()
+    matcher.match("Nehru", "नेहरु")
+    db = _demo_books_db("qgram")
+    query = (
+        "SELECT author, title FROM books "
+        "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+    )
+    db.execute(query)
+    db.execute(query + " INLANGUAGES { english, hindi, tamil, greek }")
+    plain = _demo_books_db("none")
+    plain.execute(query)
+    data = obs.snapshot()
+    if args.json:
+        import json
+
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(obs.format_snapshot(data))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lexequal",
@@ -168,7 +266,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--threshold", type=float)
     p_search.add_argument("--cost", type=float)
     p_search.add_argument("--languages", help="comma-separated filter")
+    p_search.add_argument(
+        "--explain",
+        action="store_true",
+        help="print collected metrics to stderr after the search",
+    )
     p_search.set_defaults(func=cmd_search)
+
+    p_query = sub.add_parser(
+        "query", help="run SQL against the demo Books.com catalog"
+    )
+    p_query.add_argument("sql")
+    p_query.add_argument(
+        "--explain", action="store_true", help="print the query plan"
+    )
+    p_query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute and print the plan with actual row counts/timings",
+    )
+    p_query.add_argument(
+        "--accelerate",
+        choices=("qgram", "index", "none"),
+        default="qgram",
+        help="phonetic accelerator for books.author (default: qgram)",
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a demo workload and print collected metrics"
+    )
+    p_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_lex = sub.add_parser("lexicon", help="lexicon utilities")
     lex_sub = p_lex.add_subparsers(dest="subcommand", required=True)
@@ -207,7 +338,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. output piped into head
+        sys.stderr.close()
+        return 0
+    except ReproError as exc:  # bad SQL, unsupported language, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

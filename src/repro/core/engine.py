@@ -25,16 +25,17 @@ efficiency".  This module is that implementation for the minidb engine:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.config import MatchConfig
 from repro.core.matcher import LexEqualMatcher
 from repro.errors import DatabaseError
 from repro.matching.qgrams import (
     count_filter_threshold,
     positional_qgrams,
+    publish_filter_counts,
 )
 from repro.minidb.btree import BPlusTree
 from repro.minidb.catalog import Database
-from repro.minidb.values import LangText
 from repro.phonetics.keys import grouped_key
 from repro.phonetics.parse import PhonemeString
 
@@ -146,8 +147,10 @@ class PhoneticAccelerator:
         Returns None (declining, planner falls back to a scan) when the
         query value's language is unsupported.
         """
+        obs.incr(f"accelerator.{self.method}.calls")
         query_phonemes = self._phonemes_of_value(value)
         if not query_phonemes:
+            obs.incr(f"accelerator.{self.method}.declined")
             return None
         config = self.matcher.config
         if threshold is not None:
@@ -156,8 +159,16 @@ class PhoneticAccelerator:
             key = grouped_key(
                 query_phonemes, config.clustering, mode=config.key_mode
             )
-            return sorted(self._gpsid_tree.search(key))
-        return self._qgram_candidates(query_phonemes, config)
+            candidates = sorted(self._gpsid_tree.search(key))
+            obs.incr("btree.probes")
+            if not candidates:
+                obs.incr("btree.probe_misses")
+        else:
+            candidates = self._qgram_candidates(query_phonemes, config)
+        obs.observe(
+            f"accelerator.{self.method}.candidates", len(candidates)
+        )
+        return candidates
 
     def _qgram_candidates(
         self, query_phonemes: PhonemeString, config: MatchConfig
@@ -166,20 +177,40 @@ class PhoneticAccelerator:
         k = config.max_operations(len(query_tokens))
         q = config.q
         pair_counts: dict[int, int] = {}
+        pos_pass = pos_reject = 0  # published in one batch below
+        probes = probe_misses = 0  # ditto (btree.search is uninstrumented)
         for gram in positional_qgrams(query_tokens, q):
             encoded = _GRAM_SEP.join(gram.gram)
-            for rowid, pos in self._gram_tree.search(encoded):
+            postings = self._gram_tree.search(encoded)
+            probes += 1
+            if not postings:
+                probe_misses += 1
+            for rowid, pos in postings:
                 if abs(pos - gram.pos) <= k:
+                    pos_pass += 1
                     pair_counts[rowid] = pair_counts.get(rowid, 0) + 1
+                else:
+                    pos_reject += 1
         qlen = len(query_tokens)
         candidates = []
+        len_pass = len_reject = cnt_pass = cnt_reject = 0
         for rowid, count in pair_counts.items():
             clen = len(self._tokens[rowid])
             if abs(qlen - clen) > k:
+                len_reject += 1
                 continue
+            len_pass += 1
             if count < count_filter_threshold(qlen, clen, k, q):
+                cnt_reject += 1
                 continue
+            cnt_pass += 1
             candidates.append(rowid)
+        publish_filter_counts(
+            pos_pass, pos_reject, len_pass, len_reject, cnt_pass, cnt_reject
+        )
+        obs.incr("btree.probes", probes)
+        if probe_misses:
+            obs.incr("btree.probe_misses", probe_misses)
         candidates.sort()
         return candidates
 

@@ -17,8 +17,8 @@ auxiliary-table SQL of Figures 14 and 15 can also be written directly.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.matcher import LexEqualMatcher
-from repro.core.operator import MatchOutcome
 from repro.errors import TTPError
 from repro.minidb.catalog import Database
 from repro.minidb.values import LangText
@@ -49,6 +49,7 @@ def install_lexequal(
     matcher = matcher or LexEqualMatcher()
 
     def lexequal(left, right, threshold=None, languages_csv=""):
+        obs.incr("udf.lexequal.calls")
         if left is None or right is None:
             return None
         langs: tuple[str, ...] = ()
@@ -66,6 +67,7 @@ def install_lexequal(
             or not matcher.registry.supports(lang_l)
             or not matcher.registry.supports(lang_r)
         ):
+            obs.incr("udf.lexequal.noresource")
             return None  # NORESOURCE -> SQL NULL (unknown)
         if langs and (lang_l not in langs or lang_r not in langs):
             return False
@@ -84,6 +86,7 @@ def install_lexequal(
         )
 
     def lexequal_ipa(left_ipa, right_ipa, threshold=None):
+        obs.incr("udf.lexequal_ipa.calls")
         if left_ipa is None or right_ipa is None:
             return None
         from repro.matching.editdist import edit_distance_within

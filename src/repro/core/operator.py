@@ -19,7 +19,6 @@ import enum
 
 from repro.core.config import MatchConfig
 from repro.errors import TTPError, UnsupportedLanguageError
-from repro.matching.costs import CostModel
 from repro.matching.editdist import edit_distance
 from repro.minidb.values import LangText
 from repro.ttp.registry import TTPRegistry, default_registry, detect_language

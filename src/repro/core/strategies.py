@@ -30,13 +30,17 @@ intra-cluster cost > 0).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import obs
 from repro.core.config import MatchConfig
 from repro.core.matcher import LexEqualMatcher
 from repro.errors import DatasetError
 from repro.matching.editdist import edit_distance, edit_distance_within
-from repro.matching.qgrams import positional_qgrams
+from repro.matching.qgrams import (
+    positional_qgrams,
+    publish_filter_counts as _publish_filter_counts,
+)
 from repro.minidb.catalog import Database
 from repro.minidb.schema import Column
 from repro.minidb.values import SqlType
@@ -279,6 +283,25 @@ class Strategy(abc.ABC):
 
     # Shared helpers -----------------------------------------------------
 
+    def _finish(self, stats: StrategyStats) -> None:
+        """Record ``stats`` and publish them to the metrics registry.
+
+        Counters are cumulative across invocations under
+        ``strategy.<name>.*``; per-invocation numbers stay available in
+        :attr:`last_stats`.
+        """
+        self.last_stats = stats
+        if obs.is_enabled():
+            prefix = f"strategy.{self.name}"
+            obs.incr(f"{prefix}.invocations")
+            obs.incr(f"{prefix}.rows_considered", stats.rows_considered)
+            obs.incr(
+                f"{prefix}.candidates_after_filters",
+                stats.candidates_after_filters,
+            )
+            obs.incr(f"{prefix}.udf_calls", stats.udf_calls)
+            obs.incr(f"{prefix}.results", stats.results)
+
     def _query_phonemes(self, query: str, language: str) -> PhonemeString:
         return self.matcher.registry.transform(query, language)
 
@@ -323,7 +346,7 @@ class NaiveUdfStrategy(Strategy):
                 results.append(NameCatalog._to_record(row))
         stats.candidates_after_filters = stats.udf_calls
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
     def join(
@@ -352,7 +375,7 @@ class NaiveUdfStrategy(Strategy):
                     )
         stats.candidates_after_filters = stats.udf_calls
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
 
@@ -390,18 +413,28 @@ class QGramStrategy(Strategy):
         ).tree
         qgram_heap = catalog.db.table(catalog.qgram_table_name)
         pair_counts: dict[int, int] = {}
+        pos_pass = pos_reject = 0  # published in one batch below
+        probes = probe_misses = 0  # ditto (btree.search is uninstrumented)
         for gram in grams:
             encoded = _GRAM_SEP.join(gram.gram)
-            for rowid in gram_tree.search(encoded):
+            rowids = gram_tree.search(encoded)
+            probes += 1
+            if not rowids:
+                probe_misses += 1
+            for rowid in rowids:
                 rec_id, pos, _g = qgram_heap.fetch(rowid)
                 if abs(pos - gram.pos) <= k:
+                    pos_pass += 1
                     pair_counts[rec_id] = pair_counts.get(rec_id, 0) + 1
+                else:
+                    pos_reject += 1
 
         id_tree = catalog.db.index(f"idx_{catalog.table_name}_id").tree
         threshold = self.config.threshold
         costs = self.matcher.costs
         results = []
         qlen = len(query_tokens)
+        len_pass = len_reject = cnt_pass = cnt_reject = 0
         for rec_id, count in pair_counts.items():
             row = table.fetch(id_tree.search(rec_id)[0])
             if not self._language_ok(row[2], languages):
@@ -409,10 +442,14 @@ class QGramStrategy(Strategy):
             clen = row[5]
             # Length filter.
             if abs(qlen - clen) > k:
+                len_reject += 1
                 continue
+            len_pass += 1
             # Count filter.
             if count < max(qlen, clen) - 1 - (k - 1) * q:
+                cnt_reject += 1
                 continue
+            cnt_pass += 1
             stats.candidates_after_filters += 1
             phonemes = catalog.phonemes_of(rec_id)
             stats.udf_calls += 1
@@ -424,9 +461,17 @@ class QGramStrategy(Strategy):
                 is not None
             ):
                 results.append(NameCatalog._to_record(row))
+        _publish_filter_counts(
+            pos_pass, pos_reject, len_pass, len_reject, cnt_pass, cnt_reject
+        )
+        # One id-index probe per surviving pair_counts entry, plus the
+        # gram probes above.
+        obs.incr("btree.probes", probes + len(pair_counts))
+        if probe_misses:
+            obs.incr("btree.probe_misses", probe_misses)
         results.sort(key=lambda r: r.id)
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
     def join(
@@ -450,6 +495,7 @@ class QGramStrategy(Strategy):
 
         pair_counts: dict[tuple[int, int], int] = {}
         lengths = {rid: row[5] for rid, row in rows_by_id.items()}
+        pos_pass = pos_reject = 0  # published in one batch below
         for entries in buckets.values():
             if len(entries) < 2:
                 continue
@@ -463,9 +509,13 @@ class QGramStrategy(Strategy):
                         min(len_a, lengths[id_b])
                     )
                     if abs(pos_a - pos_b) <= k:
+                        pos_pass += 1
                         pair_counts[pair] = pair_counts.get(pair, 0) + 1
+                    else:
+                        pos_reject += 1
 
         results = []
+        len_pass = len_reject = cnt_pass = cnt_reject = 0
         for (id_a, id_b), count in pair_counts.items():
             row_a, row_b = rows_by_id[id_a], rows_by_id[id_b]
             if cross_language_only and row_a[2] == row_b[2]:
@@ -473,9 +523,13 @@ class QGramStrategy(Strategy):
             len_a, len_b = row_a[5], row_b[5]
             k = self.config.max_operations(min(len_a, len_b))
             if abs(len_a - len_b) > k:
+                len_reject += 1
                 continue
+            len_pass += 1
             if count < max(len_a, len_b) - 1 - (k - 1) * q:
+                cnt_reject += 1
                 continue
+            cnt_pass += 1
             stats.candidates_after_filters += 1
             phonemes_a = catalog.phonemes_of(id_a)
             phonemes_b = catalog.phonemes_of(id_b)
@@ -491,9 +545,12 @@ class QGramStrategy(Strategy):
                         NameCatalog._to_record(row_b),
                     )
                 )
+        _publish_filter_counts(
+            pos_pass, pos_reject, len_pass, len_reject, cnt_pass, cnt_reject
+        )
         results.sort(key=lambda pair: (pair[0].id, pair[1].id))
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
 
@@ -527,7 +584,11 @@ class PhoneticIndexStrategy(Strategy):
         threshold = self.config.threshold
         costs = self.matcher.costs
         results = []
-        for rowid in gpsid_tree.search(key):
+        bucket = gpsid_tree.search(key)
+        obs.incr("btree.probes")
+        if not bucket:
+            obs.incr("btree.probe_misses")
+        for rowid in bucket:
             row = table.fetch(rowid)
             if not self._language_ok(row[2], languages):
                 continue
@@ -544,7 +605,7 @@ class PhoneticIndexStrategy(Strategy):
                 results.append(NameCatalog._to_record(row))
         results.sort(key=lambda r: r.id)
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
     def join(
@@ -593,7 +654,7 @@ class PhoneticIndexStrategy(Strategy):
                         )
         results.sort(key=lambda pair: (pair[0].id, pair[1].id))
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
 
@@ -619,7 +680,7 @@ class ExactStrategy(Strategy):
             if row[1] == query and self._language_ok(row[2], languages):
                 results.append(NameCatalog._to_record(row))
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
     def join(
@@ -646,7 +707,7 @@ class ExactStrategy(Strategy):
                         )
                     )
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
 
@@ -709,7 +770,7 @@ class MetricIndexStrategy(Strategy):
                 results.append(NameCatalog._to_record(row))
         results.sort(key=lambda r: r.id)
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results
 
     def join(
@@ -746,5 +807,5 @@ class MetricIndexStrategy(Strategy):
                     )
         results.sort(key=lambda pair: (pair[0].id, pair[1].id))
         stats.results = len(results)
-        self.last_stats = stats
+        self._finish(stats)
         return results

@@ -22,7 +22,6 @@ Requirements and properties:
 
 from __future__ import annotations
 
-import math
 from collections.abc import Callable, Sequence
 
 from repro.errors import MatchConfigError

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro.matching.costs import CostModel, UNIT_COST
 
 _INF = float("inf")
@@ -39,10 +40,12 @@ def edit_distance(
     3.0
     """
     len_l, len_r = len(left), len(right)
+    obs.incr("matching.dp.calls")
     if len_l == 0:
         return float(sum(costs.insert(t) for t in right))
     if len_r == 0:
         return float(sum(costs.delete(t) for t in left))
+    obs.incr("matching.dp.cells", len_l * len_r)
 
     # One row at a time; prev[j] is DistMatrix[i-1, j] of Figure 8.
     prev = [0.0] * (len_r + 1)
@@ -85,6 +88,7 @@ def edit_distance_within(
     if budget < 0:
         return None
     len_l, len_r = len(left), len(right)
+    obs.incr("matching.dp.calls")
     min_indel = costs.min_indel_cost()
     # Length filter: |len_l - len_r| insertions/deletions are unavoidable.
     if abs(len_l - len_r) * min_indel > budget:
@@ -97,6 +101,7 @@ def edit_distance_within(
         return total if total <= budget else None
 
     band = int(budget / min_indel)  # max off-diagonal drift within budget
+    cells = 0  # banded DP cells actually filled (observability)
     prev = [_INF] * (len_r + 1)
     limit = min(len_r, band)
     prev[0] = 0.0
@@ -108,6 +113,7 @@ def edit_distance_within(
         del_cost = costs.delete(tok_l)
         lo = max(1, i - band)
         hi = min(len_r, i + band)
+        cells += hi - lo + 1
         curr[lo - 1] = prev[lo - 1] + del_cost if lo == 1 else _INF
         row_min = curr[lo - 1]
         for j in range(lo, hi + 1):
@@ -125,9 +131,12 @@ def edit_distance_within(
         if hi < len_r:
             curr[hi + 1] = _INF  # seal the band edge for the next row
         if row_min > budget:
+            obs.incr("matching.dp.cells", cells)
+            obs.incr("matching.dp.early_aborts")
             return None
         prev, curr = curr, prev
         curr[0] = _INF
+    obs.incr("matching.dp.cells", cells)
     result = prev[len_r]
     return result if result <= budget else None
 

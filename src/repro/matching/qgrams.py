@@ -30,6 +30,7 @@ from collections import Counter
 from collections.abc import Sequence
 from typing import NamedTuple
 
+from repro import obs
 from repro.errors import MatchConfigError
 
 #: Start sentinel prepended to the extended string (outside any alphabet).
@@ -71,7 +72,9 @@ def qgram_profile(tokens: Sequence[str], q: int = 2) -> Counter:
 
 def length_filter(len_a: int, len_b: int, k: float) -> bool:
     """True if two strings of these lengths *can* be within distance ``k``."""
-    return abs(len_a - len_b) <= k
+    passed = abs(len_a - len_b) <= k
+    obs.incr("filters.length.pass" if passed else "filters.length.reject")
+    return passed
 
 
 def count_filter_threshold(len_a: int, len_b: int, k: float, q: int) -> float:
@@ -113,14 +116,18 @@ def count_filter(
     """Count filter alone (no position constraint)."""
     needed = count_filter_threshold(len(tokens_a), len(tokens_b), k, q)
     if needed <= 0:
+        obs.incr("filters.count.pass")
         return True
     shared = 0
     profile_b = qgram_profile(tokens_b, q)
     for gram, n in qgram_profile(tokens_a, q).items():
         shared += min(n, profile_b.get(gram, 0))
         if shared >= needed:
+            obs.incr("filters.count.pass")
             return True
-    return shared >= needed
+    passed = shared >= needed
+    obs.incr("filters.count.pass" if passed else "filters.count.reject")
+    return passed
 
 
 def position_filter(
@@ -132,11 +139,44 @@ def position_filter(
     """Count filter with the position constraint applied (Figure 14 form)."""
     needed = count_filter_threshold(len(tokens_a), len(tokens_b), k, q)
     if needed <= 0:
+        obs.incr("filters.position.pass")
         return True
     pairs = matching_qgram_pairs(
         positional_qgrams(tokens_a, q), positional_qgrams(tokens_b, q), k
     )
-    return pairs >= needed
+    passed = pairs >= needed
+    obs.incr("filters.position.pass" if passed else "filters.position.reject")
+    return passed
+
+
+def publish_filter_counts(
+    pos_pass: int,
+    pos_reject: int,
+    len_pass: int,
+    len_reject: int,
+    cnt_pass: int,
+    cnt_reject: int,
+) -> None:
+    """Batch-publish inline filter decisions to the metrics registry.
+
+    The strategy/accelerator hot loops count locally (plain integer
+    adds) and publish once per invocation, so instrumentation stays
+    free when metrics are disabled.
+    """
+    if not obs.is_enabled():
+        return
+    if pos_pass:
+        obs.incr("filters.position.pass", pos_pass)
+    if pos_reject:
+        obs.incr("filters.position.reject", pos_reject)
+    if len_pass:
+        obs.incr("filters.length.pass", len_pass)
+    if len_reject:
+        obs.incr("filters.length.reject", len_reject)
+    if cnt_pass:
+        obs.incr("filters.count.pass", cnt_pass)
+    if cnt_reject:
+        obs.incr("filters.count.reject", cnt_reject)
 
 
 def passes_filters(

@@ -61,7 +61,12 @@ class BPlusTree:
     # ------------------------------------------------------------- search
 
     def search(self, key) -> list:
-        """All values stored under ``key`` (empty list if absent)."""
+        """All values stored under ``key`` (empty list if absent).
+
+        Deliberately uninstrumented: callers probe in tight loops, so
+        the phonetic pipeline accounts for ``btree.probes`` itself
+        (batched — see ``repro.core.engine`` and ``core.strategies``).
+        """
         leaf = self._find_leaf(key)
         idx = bisect.bisect_left(leaf.keys, key)
         if idx < len(leaf.keys) and leaf.keys[idx] == key:

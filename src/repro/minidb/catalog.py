@@ -233,3 +233,13 @@ class Database:
         from repro.minidb.planner import execute_sql
 
         return execute_sql(self, sql, params)
+
+    def explain(self, sql: str, *, analyze: bool = False, **params) -> str:
+        """EXPLAIN (or EXPLAIN ANALYZE) a SELECT, returned as text.
+
+        Equivalent to executing ``EXPLAIN [ANALYZE] <sql>``; provided so
+        applications need not splice the keyword into their SQL.
+        """
+        prefix = "EXPLAIN ANALYZE " if analyze else "EXPLAIN "
+        result = self.execute(prefix + sql, **params)
+        return "\n".join(row[0] for row in result.rows)

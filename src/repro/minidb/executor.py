@@ -26,6 +26,7 @@ from repro.minidb.expr import (
     Expr,
     RowLayout,
     compile_expr,
+    format_expr,
 )
 from repro.minidb.table import HeapTable
 
@@ -45,6 +46,14 @@ class PhysicalOp(abc.ABC):
     def __iter__(self) -> Iterator[tuple]:
         return self.rows()
 
+    def children(self) -> tuple["PhysicalOp", ...]:
+        """Child operators, in plan order (for EXPLAIN tree walks)."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line operator description for EXPLAIN output."""
+        return type(self).__name__
+
 
 class SeqScan(PhysicalOp):
     """Full scan of a heap table under an alias."""
@@ -58,6 +67,12 @@ class SeqScan(PhysicalOp):
 
     def rows(self) -> Iterator[tuple]:
         yield from self.table.rows()
+
+    def describe(self) -> str:
+        text = f"SeqScan on {self.table.name}"
+        if self.alias != self.table.name:
+            text += f" as {self.alias}"
+        return text
 
 
 class IndexEqualScan(PhysicalOp):
@@ -81,6 +96,12 @@ class IndexEqualScan(PhysicalOp):
     def rows(self) -> Iterator[tuple]:
         for rowid in self.tree.search(self.key):
             yield self.table.fetch(rowid)
+
+    def describe(self) -> str:
+        text = f"IndexEqualScan on {self.table.name}"
+        if self.alias != self.table.name:
+            text += f" as {self.alias}"
+        return f"{text} (key = {self.key!r})"
 
 
 class IndexRangeScan(PhysicalOp):
@@ -117,20 +138,33 @@ class IndexRangeScan(PhysicalOp):
         ):
             yield self.table.fetch(rowid)
 
+    def describe(self) -> str:
+        text = f"IndexRangeScan on {self.table.name}"
+        if self.alias != self.table.name:
+            text += f" as {self.alias}"
+        return f"{text} ({self.low!r} .. {self.high!r})"
+
 
 class RowidScan(PhysicalOp):
     """Fetch an explicit rowid list from a heap table.
 
     The access path produced by predicate accelerators: the accelerator
     supplies candidate rowids, the residual predicate rechecks them.
+    ``source`` names where the rowids came from (e.g. which accelerator
+    method), so EXPLAIN can attribute the pruning.
     """
 
     def __init__(
-        self, table: HeapTable, rowids: Sequence[int], alias: str | None = None
+        self,
+        table: HeapTable,
+        rowids: Sequence[int],
+        alias: str | None = None,
+        source: str | None = None,
     ):
         self.table = table
         self.rowids = list(rowids)
         self.alias = alias or table.name
+        self.source = source
         self.layout = RowLayout.for_table(
             self.alias, table.schema.column_names
         )
@@ -139,6 +173,14 @@ class RowidScan(PhysicalOp):
         fetch = self.table.fetch
         for rowid in self.rowids:
             yield fetch(rowid)
+
+    def describe(self) -> str:
+        text = f"RowidScan on {self.table.name}"
+        if self.alias != self.table.name:
+            text += f" as {self.alias}"
+        if self.source:
+            text += f" via {self.source}"
+        return f"{text} (candidates={len(self.rowids)})"
 
 
 class Filter(PhysicalOp):
@@ -153,6 +195,7 @@ class Filter(PhysicalOp):
     ):
         self.child = child
         self.layout = child.layout
+        self.predicate_expr = predicate
         self._predicate: Compiled = compile_expr(
             predicate, child.layout, udfs, params
         )
@@ -163,13 +206,25 @@ class Filter(PhysicalOp):
             if predicate(row) is True:
                 yield row
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter: {format_expr(self.predicate_expr)}"
+
 
 class FnFilter(PhysicalOp):
     """Filter by a plain Python callable (for programmatic plans)."""
 
-    def __init__(self, child: PhysicalOp, fn: Callable[[tuple], bool]):
+    def __init__(
+        self,
+        child: PhysicalOp,
+        fn: Callable[[tuple], bool],
+        label: str | None = None,
+    ):
         self.child = child
         self.layout = child.layout
+        self.label = label
         self._fn = fn
 
     def rows(self) -> Iterator[tuple]:
@@ -177,6 +232,12 @@ class FnFilter(PhysicalOp):
         for row in self.child.rows():
             if fn(row):
                 yield row
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FnFilter: {self.label}" if self.label else "FnFilter"
 
 
 class Project(PhysicalOp):
@@ -205,6 +266,15 @@ class Project(PhysicalOp):
         for row in self.child.rows():
             yield tuple(fn(row) for fn in exprs)
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        names = ", ".join(self.output_names)
+        if len(names) > 60:
+            names = names[:57] + "..."
+        return f"Project: {names}"
+
 
 class NestedLoopJoin(PhysicalOp):
     """Cartesian product with an optional residual predicate.
@@ -225,6 +295,7 @@ class NestedLoopJoin(PhysicalOp):
         self.outer = outer
         self.inner = inner
         self.layout = outer.layout.merge(inner.layout)
+        self.predicate_expr = predicate
         self._predicate: Compiled | None = None
         if predicate is not None:
             if udfs is None:
@@ -241,6 +312,17 @@ class NestedLoopJoin(PhysicalOp):
                 combined = outer_row + inner_row
                 if predicate is None or predicate(combined) is True:
                     yield combined
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.outer, self.inner)
+
+    def describe(self) -> str:
+        if self.predicate_expr is not None:
+            return (
+                "NestedLoopJoin: "
+                f"{format_expr(self.predicate_expr)}"
+            )
+        return "NestedLoopJoin"
 
 
 class IndexNestedLoopJoin(PhysicalOp):
@@ -280,6 +362,15 @@ class IndexNestedLoopJoin(PhysicalOp):
             for rowid in search(key):
                 yield outer_row + fetch(rowid)
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.outer,)
+
+    def describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin: B+ tree probe into "
+            f"{self.inner_table.name}"
+        )
+
 
 class HashJoin(PhysicalOp):
     """Equi-join via a hash table on the build (right) input."""
@@ -311,6 +402,12 @@ class HashJoin(PhysicalOp):
             if matches:
                 for right_row in matches:
                     yield left_row + right_row
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "HashJoin"
 
 
 def _agg_init(func: str):
@@ -365,6 +462,7 @@ class GroupBy(PhysicalOp):
         params: dict | None = None,
     ):
         self.child = child
+        self.group_exprs = list(group_exprs)
         self._group_fns = [
             compile_expr(e, child.layout, udfs, params) for e in group_exprs
         ]
@@ -404,6 +502,19 @@ class GroupBy(PhysicalOp):
             )
             yield key + finals
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = []
+        if self.group_exprs:
+            keys = ", ".join(format_expr(e) for e in self.group_exprs)
+            parts.append(f"keys: {keys}")
+        if self._aggs:
+            aggs = ", ".join(format_expr(a) for a in self._aggs)
+            parts.append(f"aggregates: {aggs}")
+        return "GroupBy" + (f" ({'; '.join(parts)})" if parts else "")
+
 
 class _NullsFirst:
     """Sort key wrapper ordering NULL before every non-NULL value."""
@@ -440,6 +551,7 @@ class Sort(PhysicalOp):
     ):
         self.child = child
         self.layout = child.layout
+        self.sort_key_exprs = list(sort_keys)
         self._keys = [
             (compile_expr(expr, child.layout, udfs, params), desc)
             for expr, desc in sort_keys
@@ -455,6 +567,16 @@ class Sort(PhysicalOp):
                 reverse=desc,
             )
         yield from data
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            format_expr(expr) + (" DESC" if desc else "")
+            for expr, desc in self.sort_key_exprs
+        )
+        return f"Sort: {keys}"
 
 
 class Limit(PhysicalOp):
@@ -473,6 +595,12 @@ class Limit(PhysicalOp):
             yield row
             count += 1
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit: {self.limit}"
+
 
 class Distinct(PhysicalOp):
     def __init__(self, child: PhysicalOp):
@@ -486,6 +614,9 @@ class Distinct(PhysicalOp):
                 seen.add(row)
                 yield row
 
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
 
 class Materialize(PhysicalOp):
     """Materialize a relation from literal rows (for query-side constants)."""
@@ -496,3 +627,6 @@ class Materialize(PhysicalOp):
 
     def rows(self) -> Iterator[tuple]:
         yield from self._rows
+
+    def describe(self) -> str:
+        return f"Materialize ({len(self._rows)} rows)"

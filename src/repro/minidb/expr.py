@@ -381,3 +381,63 @@ def walk(expr: Expr):
 
 def contains_aggregate(expr: Expr) -> bool:
     return any(isinstance(node, Aggregate) for node in walk(expr))
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression as SQL-ish text (EXPLAIN / error messages)."""
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "NULL"
+        if isinstance(expr.value, bool):
+            return "TRUE" if expr.value else "FALSE"
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return f"{expr.value:g}" if isinstance(expr.value, float) else str(
+            expr.value
+        )
+    if isinstance(expr, Param):
+        return f":{expr.name}"
+    if isinstance(expr, ColumnRef):
+        if expr.table is None:
+            return expr.column
+        return f"{expr.table}.{expr.column}"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"{format_expr(expr.left)} {expr.op} {format_expr(expr.right)}"
+        )
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"NOT {format_expr(expr.operand)}"
+        return f"{expr.op}{format_expr(expr.operand)}"
+    if isinstance(expr, BoolOp):
+        joiner = f" {expr.op} "
+        return "(" + joiner.join(format_expr(t) for t in expr.terms) + ")"
+    if isinstance(expr, Between):
+        op = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{format_expr(expr.value)} {op} {format_expr(expr.low)} "
+            f"AND {format_expr(expr.high)}"
+        )
+    if isinstance(expr, InList):
+        op = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(format_expr(i) for i in expr.items)
+        return f"{format_expr(expr.value)} {op} ({items})"
+    if isinstance(expr, IsNull):
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{format_expr(expr.value)} {op}"
+    if isinstance(expr, Aggregate):
+        arg = "*" if expr.arg is None else format_expr(expr.arg)
+        return f"{expr.func}({arg})"
+    if isinstance(expr, LexEqual):
+        text = (
+            f"{format_expr(expr.left)} LEXEQUAL {format_expr(expr.right)} "
+            f"THRESHOLD {format_expr(expr.threshold)}"
+        )
+        if expr.languages:
+            text += " INLANGUAGES {" + ", ".join(expr.languages) + "}"
+        return text
+    return repr(expr)  # pragma: no cover - unknown node

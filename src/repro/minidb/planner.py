@@ -21,8 +21,9 @@ paper's queries:
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import PlanningError
 from repro.minidb.catalog import Database
 from repro.minidb.executor import (
@@ -61,8 +62,8 @@ from repro.minidb.sql import (
     CreateTableStmt,
     DropIndexStmt,
     DropTableStmt,
+    ExplainStmt,
     InsertStmt,
-    SelectItem,
     SelectStmt,
     Statement,
     parse,
@@ -113,7 +114,17 @@ def execute_statement(db: Database, stmt: Statement, params: dict):
     if isinstance(stmt, SelectStmt):
         plan = plan_select(db, stmt, params)
         names = _output_names(stmt, db)
-        return ResultSet(columns=names, rows=list(plan.rows()))
+        with obs.timed("minidb.execute_select"):
+            rows = list(plan.rows())
+        return ResultSet(columns=names, rows=rows)
+    if isinstance(stmt, ExplainStmt):
+        from repro.minidb.explain import explain as explain_plan
+
+        plan = plan_select(db, stmt.query, params)
+        lines = explain_plan(plan, analyze=stmt.analyze)
+        return ResultSet(
+            columns=["QUERY PLAN"], rows=[(line,) for line in lines]
+        )
     if isinstance(stmt, CreateTableStmt):
         db.create_table(
             stmt.name,
@@ -352,11 +363,14 @@ def _access_path(
         # into a candidate rowid list; the conjunct itself stays in the
         # filter chain, so candidates are always rechecked by the UDF.
         for expr in conjuncts:
-            rowids = _accelerated_candidates(db, table, expr, params)
-            if rowids is not None:
+            accelerated = _accelerated_candidates(db, table, expr, params)
+            if accelerated is not None:
                 from repro.minidb.executor import RowidScan
 
-                plan = RowidScan(table, rowids, alias=alias)
+                rowids, source = accelerated
+                obs.incr("minidb.plans.accelerated")
+                obs.observe("minidb.accelerator.candidates", len(rowids))
+                plan = RowidScan(table, rowids, alias=alias, source=source)
                 break
     if plan is None:
         plan = SeqScan(table, alias=alias)
@@ -367,8 +381,9 @@ def _access_path(
 
 def _accelerated_candidates(
     db: Database, table: HeapTable, expr: Expr, params: dict
-) -> list[int] | None:
-    """Candidate rowids for a ``lexequal(col, const, e, langs)`` conjunct.
+) -> tuple[list[int], str] | None:
+    """``(candidate rowids, source label)`` for a ``lexequal(col, const,
+    e, langs)`` conjunct.
 
     Returns None when the conjunct has a different shape, no accelerator
     is registered, or the accelerator declines.
@@ -399,7 +414,12 @@ def _accelerated_candidates(
         for lang in str(languages_csv or "").split(",")
         if lang.strip()
     )
-    return accelerator.candidate_rowids(value, threshold, languages)
+    rowids = accelerator.candidate_rowids(value, threshold, languages)
+    if rowids is None:
+        return None
+    method = getattr(accelerator, "method", None)
+    source = f"{method} accelerator" if method else "accelerator"
+    return rowids, source
 
 
 def _index_equality(

@@ -13,7 +13,9 @@ to build the examples:
 * ``CREATE TABLE t (col TYPE [NOT NULL], ...)`` with types INTEGER,
   REAL, TEXT, BOOLEAN;
 * ``CREATE INDEX i ON t (col)``, ``DROP TABLE t``, ``DROP INDEX i``;
-* ``INSERT INTO t VALUES (...), (...)`` with literals and ``:params``.
+* ``INSERT INTO t VALUES (...), (...)`` with literals and ``:params``;
+* ``EXPLAIN [ANALYZE] SELECT ...`` — the plan tree (ANALYZE also runs
+  the query and reports per-operator rows/loops/time).
 
 The grammar is classic recursive descent over a hand-rolled tokenizer;
 precedence: OR < AND < NOT < comparison/predicates < additive <
@@ -49,7 +51,7 @@ _KEYWORDS = {
     "null", "like", "asc", "desc", "create", "table", "index", "on",
     "drop", "insert", "into", "values", "integer", "real", "text",
     "boolean", "true", "false", "lexequal", "threshold", "inlanguages",
-    "count", "sum", "min", "max", "avg",
+    "count", "sum", "min", "max", "avg", "explain", "analyze",
 }
 
 _AGGREGATES = {"count", "sum", "min", "max", "avg"}
@@ -152,6 +154,14 @@ class InsertStmt:
     rows: list[list[Expr]]
 
 
+@dataclass
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] <select>`` — show (and optionally run) a plan."""
+
+    query: SelectStmt
+    analyze: bool = False
+
+
 Statement = (
     SelectStmt
     | CreateTableStmt
@@ -159,6 +169,7 @@ Statement = (
     | DropTableStmt
     | DropIndexStmt
     | InsertStmt
+    | ExplainStmt
 )
 
 
@@ -222,8 +233,10 @@ class Parser:
     # --------------------------------------------------------- statements
 
     def parse_statement(self) -> Statement:
-        if self._at_keyword("select"):
-            stmt: Statement = self._parse_select()
+        if self._at_keyword("explain"):
+            stmt: Statement = self._parse_explain()
+        elif self._at_keyword("select"):
+            stmt = self._parse_select()
         elif self._at_keyword("create"):
             stmt = self._parse_create()
         elif self._at_keyword("drop"):
@@ -242,6 +255,16 @@ class Parser:
                 f"unexpected trailing input {tok.text!r}", tok.pos
             )
         return stmt
+
+    def _parse_explain(self) -> ExplainStmt:
+        self._expect_keyword("explain")
+        analyze = self._accept_keyword("analyze")
+        if not self._at_keyword("select"):
+            tok = self._peek()
+            raise SQLSyntaxError(
+                f"EXPLAIN supports only SELECT, got {tok.text!r}", tok.pos
+            )
+        return ExplainStmt(query=self._parse_select(), analyze=analyze)
 
     def _parse_select(self) -> SelectStmt:
         self._expect_keyword("select")

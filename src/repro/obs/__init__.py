@@ -1,0 +1,52 @@
+"""``repro.obs`` — the observability layer.
+
+Lightweight counters, timers and histograms behind a pluggable
+:class:`~repro.obs.registry.MetricsRegistry`; disabled by default via a
+no-op registry so instrumented hot paths stay cheap.  See
+:mod:`repro.obs.registry` for the design and
+:mod:`repro.minidb.explain` for the EXPLAIN/EXPLAIN ANALYZE side.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    InMemoryMetricsRegistry,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+    counter,
+    disable,
+    enable,
+    format_snapshot,
+    get_registry,
+    histogram,
+    incr,
+    is_enabled,
+    observe,
+    set_registry,
+    snapshot,
+    timed,
+    timer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "InMemoryMetricsRegistry",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Timer",
+    "counter",
+    "disable",
+    "enable",
+    "format_snapshot",
+    "get_registry",
+    "histogram",
+    "incr",
+    "is_enabled",
+    "observe",
+    "set_registry",
+    "snapshot",
+    "timed",
+    "timer",
+]

@@ -1,0 +1,373 @@
+"""The metrics registry: counters, timers and histograms.
+
+The engine's efficiency story (paper Section 5) is about *work avoided*
+— rows pruned by the q-gram filters, UDF invocations skipped thanks to
+the phonetic index, DP cells never filled by the banded cut-off.  This
+module gives every layer a uniform, cheap way to account for that work:
+
+* :class:`Counter` — a monotonically increasing count (rows scanned,
+  B+ tree probes, filter rejections);
+* :class:`Timer` — accumulated wall-clock time over named code blocks;
+* :class:`Histogram` — summary statistics (count/total/min/max/mean)
+  of observed values (candidate-list sizes, DP cells per call).
+
+Instruments live in a :class:`MetricsRegistry`.  Two implementations:
+
+* :class:`InMemoryMetricsRegistry` — the thread-safe default used when
+  metrics are enabled; instrument creation and updates take a lock, so
+  concurrent strategies/executors can share one registry;
+* :class:`NullMetricsRegistry` — the disabled fallback.  All its
+  instruments are process-wide singletons whose mutators are no-ops, so
+  instrumented hot paths cost a dict-free method call when metrics are
+  off (measured < 5% on the Table 1 benchmark).
+
+The module-level API (:func:`enable`, :func:`disable`, :func:`incr`,
+:func:`observe`, :func:`timed`, :func:`snapshot`) routes through one
+process-global registry; libraries call it unconditionally and pay
+nothing unless the application opted in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock | None = None):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock or threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self._value:g})"
+
+
+class Timer:
+    """Accumulated wall-clock time over a named code block."""
+
+    __slots__ = ("name", "count", "seconds", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock | None = None):
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self._lock = lock or threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.seconds += seconds
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(time.perf_counter() - start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer({self.name}: {self.count}x {self.seconds:.6f}s)"
+
+
+class Histogram:
+    """Streaming summary statistics of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock | None = None):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock or threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}: n={self.count} mean={self.mean})"
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/timer/histogram for the disabled path."""
+
+    __slots__ = ()
+
+    name = ""
+    value = 0.0
+    count = 0
+    seconds = 0.0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def record(self, seconds: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self):
+        yield self
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Interface of a metrics registry (see module docstring)."""
+
+    enabled = True
+
+    def counter(self, name: str) -> Counter:
+        raise NotImplementedError
+
+    def timer(self, name: str) -> Timer:
+        raise NotImplementedError
+
+    def histogram(self, name: str) -> Histogram:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-serializable dict."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The no-op registry installed by default: metrics cost ~nothing."""
+
+    enabled = False
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"enabled": False, "counters": {}, "timers": {},
+                "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+class InMemoryMetricsRegistry(MetricsRegistry):
+    """Thread-safe in-memory registry (the enabled default)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    name, Counter(name, self._lock)
+                )
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._timers.setdefault(
+                    name, Timer(name, self._lock)
+                )
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, self._lock)
+                )
+        return instrument
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": True,
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(self._counters.items())
+                },
+                "timers": {
+                    name: {"count": t.count, "seconds": t.seconds}
+                    for name, t in sorted(self._timers.items())
+                },
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                        "mean": h.mean,
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._histograms.clear()
+
+
+_registry: MetricsRegistry = NullMetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry all instrumented code routes through."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install a registry (e.g. an application's own); returns it."""
+    global _registry
+    _registry = registry
+    return registry
+
+
+def enable() -> MetricsRegistry:
+    """Start collecting: install a fresh thread-safe registry.
+
+    Idempotent in spirit — re-enabling over an already-enabled registry
+    keeps it (and its accumulated values).
+    """
+    if not _registry.enabled:
+        set_registry(InMemoryMetricsRegistry())
+    return _registry
+
+
+def disable() -> None:
+    """Stop collecting: install the no-op registry (drops all values)."""
+    set_registry(NullMetricsRegistry())
+
+
+def is_enabled() -> bool:
+    return _registry.enabled
+
+
+def counter(name: str):
+    return _registry.counter(name)
+
+
+def timer(name: str):
+    return _registry.timer(name)
+
+
+def histogram(name: str):
+    return _registry.histogram(name)
+
+
+def incr(name: str, amount: float = 1) -> None:
+    """Increment a counter on the global registry (no-op when disabled)."""
+    registry = _registry
+    if registry.enabled:
+        registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the global registry."""
+    registry = _registry
+    if registry.enabled:
+        registry.histogram(name).observe(value)
+
+
+@contextmanager
+def timed(name: str):
+    """Time a code block into the global registry's ``name`` timer."""
+    registry = _registry
+    if not registry.enabled:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        registry.timer(name).record(time.perf_counter() - start)
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry (JSON-serializable)."""
+    return _registry.snapshot()
+
+
+def format_snapshot(data: dict | None = None) -> str:
+    """Human-readable rendering of a snapshot (``repro stats`` output)."""
+    data = snapshot() if data is None else data
+    lines: list[str] = []
+    if not data.get("enabled", False):
+        return "metrics disabled (enable with repro.obs.enable())"
+    counters = data.get("counters", {})
+    timers = data.get("timers", {})
+    histograms = data.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if timers:
+        lines.append("timers:")
+        width = max(len(name) for name in timers)
+        for name, t in timers.items():
+            lines.append(
+                f"  {name:<{width}}  {t['count']}x  {t['seconds']:.6f}s"
+            )
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name, h in histograms.items():
+            mean = h["mean"]
+            lines.append(
+                f"  {name:<{width}}  n={h['count']} min={h['min']} "
+                f"max={h['max']} mean={'-' if mean is None else f'{mean:.2f}'}"
+            )
+    if not lines:
+        return "no metrics recorded"
+    return "\n".join(lines)

@@ -21,7 +21,7 @@ paper explicitly "allow[s] user customization of clustering of phonemes".
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable
 
 from repro.errors import PhonemeError
 from repro.phonetics.features import phoneme_similarity

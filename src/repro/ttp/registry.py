@@ -16,6 +16,7 @@ from __future__ import annotations
 import unicodedata
 from collections.abc import Iterable
 
+from repro import obs
 from repro.errors import TTPError, UnsupportedLanguageError
 from repro.phonetics.parse import PhonemeString
 from repro.ttp.base import TTPConverter, builtin_converters
@@ -75,12 +76,15 @@ class TTPRegistry:
         key = (language.lower(), text)
         cached = self._cache.get(key)
         if cached is None:
+            obs.incr("ttp.cache.misses")
             cached = self.converter_for(language).to_phonemes(text)
             if self.fold:
                 from repro.phonetics.folding import fold_phonemes
 
                 cached = fold_phonemes(cached)
             self._cache[key] = cached
+        else:
+            obs.incr("ttp.cache.hits")
         return cached
 
     def languages(self) -> tuple[str, ...]:

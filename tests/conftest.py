@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import LexEqualMatcher, MatchConfig, NameCatalog
+from repro.core import LexEqualMatcher, NameCatalog
 from repro.data.lexicon import MultiscriptLexicon, build_lexicon
 
 

@@ -2,7 +2,15 @@
 
 import pytest
 
+from repro import obs
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    """stats/--explain enable the global registry; keep tests isolated."""
+    yield
+    obs.disable()
 
 
 class TestMatchCommand:
@@ -68,6 +76,73 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestQueryCommand:
+    def test_query_rows(self, capsys):
+        code = main(
+            ["query", "SELECT author, title FROM books WHERE price < 20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "author\ttitle"
+        assert "Nehru" in out
+
+    def test_query_lexequal_analyze_plan(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT author FROM books "
+                "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25",
+                "--analyze",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RowidScan on books via qgram accelerator" in out
+        assert "actual rows=" in out
+        assert "Execution time:" in out
+
+    def test_query_unaccelerated_plan(self, capsys):
+        code = main(
+            [
+                "query",
+                "SELECT author FROM books "
+                "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25",
+                "--explain",
+                "--accelerate",
+                "none",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SeqScan on books" in out
+        assert "RowidScan" not in out
+
+
+class TestStatsCommand:
+    def test_stats_text(self, capsys):
+        code = main(["stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "matching.dp.calls" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        code = main(["stats", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["enabled"] is True
+        assert data["counters"]["minidb.plans.accelerated"] >= 1
+
+    def test_search_explain_prints_metrics(self, capsys):
+        code = main(["search", "Nehru", "--explain"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "counters:" in err
+        assert "matching.dp.calls" in err
 
 
 class TestAnalysisCommands:

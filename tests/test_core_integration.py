@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import LexEqualMatcher, install_lexequal
+from repro.core import install_lexequal
 from repro.minidb.catalog import Database
 from repro.minidb.schema import Column
 from repro.minidb.values import LangText, SqlType

@@ -8,7 +8,6 @@ from repro.data.transliterate import (
     to_devanagari,
     to_tamil,
 )
-from repro.errors import DatasetError
 from repro.phonetics.parse import parse_ipa
 from repro.ttp.hindi import HindiConverter
 from repro.ttp.tamil import TamilConverter

@@ -14,7 +14,6 @@ from repro import (
     install_lexequal,
 )
 from repro.data.generator import generate_performance_dataset
-from repro.data.lexicon import build_lexicon
 
 
 class TestBooksScenario:

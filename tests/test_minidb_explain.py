@@ -1,0 +1,210 @@
+"""Tests for EXPLAIN / EXPLAIN ANALYZE plan output."""
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.core.engine import create_phonetic_accelerator
+from repro.core.integration import install_lexequal
+from repro.errors import SQLSyntaxError
+from repro.minidb.catalog import Database
+from repro.minidb.schema import Column
+from repro.minidb.sql import ExplainStmt, parse
+from repro.minidb.values import LangText, SqlType
+
+LEXEQUAL_QUERY = (
+    "SELECT * FROM books WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+)
+
+
+@pytest.fixture()
+def plain_db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE books (id INTEGER, author TEXT, title TEXT, "
+        "price REAL)"
+    )
+    db.execute(
+        "INSERT INTO books VALUES "
+        "(1, 'Nehru', 'Discovery of India', 9.95), "
+        "(2, 'Nero', 'Coronation', 99.0), "
+        "(3, 'Sarma', 'Vedas', 5.0)"
+    )
+    return db
+
+
+def _books_db(matcher=None) -> Database:
+    db = Database()
+    matcher = install_lexequal(db, matcher)
+    db.create_table(
+        "books",
+        [
+            Column("author", SqlType.LANGTEXT),
+            Column("title", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (LangText("Nehru", "english"), "Discovery of India"),
+        (LangText("नेहरु", "hindi"), "भारत एक खोज"),
+        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி"),
+        (LangText("Nero", "english"), "The Coronation"),
+        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο"),
+    ]
+    for row in rows:
+        db.insert("books", row)
+    return db, matcher
+
+
+def _actual_rows(plan_line: str) -> int:
+    match = re.search(r"actual rows=(\d+)", plan_line)
+    assert match, f"no actual rows in {plan_line!r}"
+    return int(match.group(1))
+
+
+class TestParsing:
+    def test_explain_statement(self):
+        stmt = parse("EXPLAIN SELECT x FROM t")
+        assert isinstance(stmt, ExplainStmt)
+        assert not stmt.analyze
+
+    def test_explain_analyze_statement(self):
+        stmt = parse("EXPLAIN ANALYZE SELECT x FROM t")
+        assert isinstance(stmt, ExplainStmt)
+        assert stmt.analyze
+
+    def test_explain_non_select_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN INSERT INTO t VALUES (1)")
+
+
+class TestPlanShape:
+    def test_seqscan_filter_project(self, plain_db):
+        plan = plain_db.explain(
+            "SELECT title FROM books WHERE price < 10"
+        )
+        assert "SeqScan on books" in plan
+        assert "Filter: price < 10" in plan
+        assert "Project: title" in plan
+        assert "actual rows" not in plan
+
+    def test_indented_tree(self, plain_db):
+        lines = plain_db.explain(
+            "SELECT title FROM books WHERE price < 10 ORDER BY title"
+        ).splitlines()
+        assert lines[0].startswith("Project:")
+        assert all("->" in line for line in lines[1:])
+        # Child nodes are indented strictly deeper than their parents.
+        indents = [len(line) - len(line.lstrip()) for line in lines]
+        assert indents == sorted(indents)
+
+    def test_sort_and_limit_nodes(self, plain_db):
+        plan = plain_db.explain(
+            "SELECT id FROM books ORDER BY price DESC LIMIT 2"
+        )
+        assert "Limit: 2" in plan
+        assert "Sort:" in plan
+        assert "DESC" in plan
+
+    def test_explain_via_execute_result_set(self, plain_db):
+        result = plain_db.execute("EXPLAIN SELECT id FROM books")
+        assert result.columns == ["QUERY PLAN"]
+        assert any("SeqScan" in row[0] for row in result.rows)
+
+
+class TestExplainAnalyze:
+    def test_row_counts_match_actual_cardinality(self, plain_db):
+        query = "SELECT title FROM books WHERE price < 10"
+        expected = len(plain_db.execute(query).rows)
+        plan = plain_db.explain(query, analyze=True)
+        root = plan.splitlines()[0]
+        assert _actual_rows(root) == expected
+        assert f"Result rows: {expected}" in plan
+        assert "Execution time:" in plan
+
+    def test_child_rows_at_least_root_rows(self, plain_db):
+        plan = plain_db.explain(
+            "SELECT title FROM books WHERE price < 10", analyze=True
+        )
+        lines = [ln for ln in plan.splitlines() if "actual rows" in ln]
+        # Filter passes fewer (or equal) rows than the scan produces.
+        counts = [_actual_rows(ln) for ln in lines]
+        assert counts == sorted(counts)
+
+
+class TestLexEqualPlans:
+    def test_unaccelerated_predicate_scans(self):
+        db, _matcher = _books_db()
+        plan = db.explain(LEXEQUAL_QUERY)
+        assert "SeqScan on books" in plan
+        assert "lexequal" in plan.lower()
+        assert "RowidScan" not in plan
+
+    def test_accelerated_predicate_uses_rowid_scan(self):
+        db, matcher = _books_db()
+        accelerator = create_phonetic_accelerator(
+            db, "books", "author", matcher
+        )
+        plan = db.explain(LEXEQUAL_QUERY)
+        assert "RowidScan on books via qgram accelerator" in plan
+        # Candidate count in the plan equals what the accelerator reports.
+        expected = len(accelerator.candidate_rowids("Nehru", 0.25))
+        assert f"(candidates={expected})" in plan
+        # The UDF recheck stays on top of the candidate scan.
+        assert "Filter: lexequal(author, 'Nehru', 0.25" in plan
+
+    def test_analyze_consistent_with_results_and_candidates(self):
+        db, matcher = _books_db()
+        accelerator = create_phonetic_accelerator(
+            db, "books", "author", matcher
+        )
+        result = db.execute(LEXEQUAL_QUERY)
+        plan = db.explain(LEXEQUAL_QUERY, analyze=True)
+        lines = plan.splitlines()
+        candidates = len(accelerator.candidate_rowids("Nehru", 0.25))
+        scan_line = next(ln for ln in lines if "RowidScan" in ln)
+        filter_line = next(ln for ln in lines if "Filter" in ln)
+        # Scan emits every candidate; the UDF recheck narrows them to
+        # the true result set (StrategyStats accounting, Tables 2/3).
+        assert _actual_rows(scan_line) == candidates
+        assert _actual_rows(filter_line) == len(result.rows)
+        assert _actual_rows(lines[0]) == len(result.rows)
+        assert f"Result rows: {len(result.rows)}" in plan
+
+    def test_index_accelerator_attribution(self):
+        db, matcher = _books_db()
+        create_phonetic_accelerator(
+            db, "books", "author", matcher, method="index"
+        )
+        plan = db.explain(LEXEQUAL_QUERY)
+        assert "via index accelerator" in plan
+
+
+class TestMetricsIntegration:
+    def test_explain_increments_counters(self, plain_db):
+        obs.disable()
+        try:
+            obs.enable()
+            plain_db.explain("SELECT id FROM books")
+            plain_db.explain("SELECT id FROM books", analyze=True)
+            counters = obs.snapshot()["counters"]
+            assert counters["minidb.explain"] == 1
+            assert counters["minidb.explain_analyze"] == 1
+        finally:
+            obs.disable()
+
+    def test_accelerated_plan_counters(self):
+        db, matcher = _books_db()
+        create_phonetic_accelerator(db, "books", "author", matcher)
+        obs.disable()
+        try:
+            obs.enable()
+            db.execute(LEXEQUAL_QUERY)
+            data = obs.snapshot()
+            assert data["counters"]["minidb.plans.accelerated"] == 1
+            assert data["histograms"]["minidb.accelerator.candidates"][
+                "count"
+            ] == 1
+            assert data["timers"]["minidb.execute_select"]["count"] == 1
+        finally:
+            obs.disable()

@@ -164,9 +164,6 @@ class TestIndicRoundTripWithTransliteration:
             written = to_devanagari(intent)
             read_back = hin.to_phonemes(written)
             # The round trip may lose schwas but never consonant skeleta.
-            skeleton = lambda ps: [
-                p for p in ps if p not in ("ə",)
-            ]
             assert len(read_back) >= len(intent) - 2
 
     def test_tamil_roundtrip_produces_valid_text(self, tam):

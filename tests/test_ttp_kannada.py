@@ -7,7 +7,6 @@ from repro.data.transliterate import (
     to_kannada,
 )
 from repro.errors import TTPError
-from repro.phonetics.parse import parse_ipa
 from repro.ttp.kannada import KannadaConverter
 
 
