@@ -19,4 +19,12 @@ REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \
 REPRO_BENCH_JOIN="${REPRO_BENCH_JOIN:-100}" \
 python -m pytest benchmarks/bench_table1_baseline.py -q
 
+echo "== server smoke (serve + scripted client + SIGTERM drain) =="
+python scripts/server_smoke.py
+
+echo "== server throughput benchmark (scaled down) =="
+REPRO_BENCH_SERVER_CONC="${REPRO_BENCH_SERVER_CONC:-1,8}" \
+REPRO_BENCH_SERVER_REQS="${REPRO_BENCH_SERVER_REQS:-10}" \
+python -m pytest benchmarks/bench_server_throughput.py -q
+
 echo "== OK =="

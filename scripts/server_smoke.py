@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI smoke test for the query server, exercised as real processes.
+
+Starts ``lexequal serve`` as a subprocess on an ephemeral port, runs a
+scripted client exchange (ping, accelerated LexEQUAL query,
+prepare/execute, lexequal, stats, and one expected error), then sends
+SIGTERM and asserts a clean graceful shutdown (exit code 0 with the
+drain message printed).  Run from the repository root::
+
+    python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import RequestFailedError  # noqa: E402
+from repro.server.client import LexEqualClient  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_listen_line(proc: subprocess.Popen, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail("server exited before binding")
+        if line.startswith("listening on "):
+            host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+            return host, int(port)
+    fail("server did not report its address in time")
+
+
+def scripted_exchange(host: str, port: int) -> None:
+    with LexEqualClient(host, port, timeout=60.0) as client:
+        if client.ping() != "pong":
+            fail("ping did not return pong")
+        result = client.query(
+            "SELECT author, title FROM books "
+            "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+        )
+        authors = {row[0]["text"] for row in result["rows"]}
+        if authors != {"Nehru", "नेहरु", "நேரு"}:
+            fail(f"wrong LexEQUAL result: {sorted(authors)}")
+        name = client.prepare("SELECT title FROM books WHERE price < :p")
+        if client.execute(name, {"p": 20.0})["row_count"] != 2:
+            fail("prepare/execute round trip returned wrong count")
+        outcome = client.lexequal("Nehru", "நேரு")["outcome"]
+        if outcome != "true":
+            fail(f"lexequal op returned {outcome!r}")
+        try:
+            client.query("SELECT broken FROM")
+        except RequestFailedError as exc:
+            if exc.code != "sql_error":
+                fail(f"expected sql_error, got {exc.code}")
+        else:
+            fail("bad SQL did not produce an error response")
+        stats = client.stats()
+        if stats["metrics"]["counters"]["server.requests"] < 5:
+            fail("stats op did not report the session's requests")
+        print(
+            "exchange ok: "
+            f"{int(stats['metrics']['counters']['server.requests'])} "
+            "requests served"
+        )
+
+
+def main() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        host, port = wait_for_listen_line(proc)
+        print(f"server up on {host}:{port}")
+        scripted_exchange(host, port)
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fail("server did not shut down within 30s of SIGTERM")
+        output = proc.stdout.read() if proc.stdout else ""
+        if code != 0:
+            fail(f"server exited {code} after SIGTERM:\n{output}")
+        if "server drained and stopped" not in output:
+            fail(f"no drain message in server output:\n{output}")
+        print("graceful shutdown ok (exit 0)")
+        print("SERVER SMOKE OK")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    main()

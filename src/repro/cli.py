@@ -167,41 +167,9 @@ def cmd_dismissals(args: argparse.Namespace) -> int:
 
 
 def _demo_books_db(accelerate: str = "none"):
-    """The Books.com catalog of paper Figure 1, LexEQUAL installed."""
-    from repro.core.integration import install_lexequal
-    from repro.minidb.catalog import Database
-    from repro.minidb.schema import Column
-    from repro.minidb.values import LangText, SqlType
+    from repro.core.integration import demo_books_db
 
-    db = Database()
-    matcher = LexEqualMatcher()
-    install_lexequal(db, matcher)
-    db.create_table(
-        "books",
-        [
-            Column("author", SqlType.LANGTEXT),
-            Column("title", SqlType.TEXT),
-            Column("price", SqlType.REAL),
-            Column("language", SqlType.TEXT),
-        ],
-    )
-    rows = [
-        (LangText("Nehru", "english"), "Discovery of India", 9.95, "english"),
-        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
-        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
-        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
-        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
-        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
-    ]
-    for row in rows:
-        db.insert("books", row)
-    if accelerate != "none":
-        from repro.core.engine import create_phonetic_accelerator
-
-        create_phonetic_accelerator(
-            db, "books", "author", matcher, method=accelerate
-        )
-    return db
+    return demo_books_db(accelerate)
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -244,6 +212,102 @@ def cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(obs.format_snapshot(data))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import serve
+    from repro.server.service import QueryService
+
+    matcher = LexEqualMatcher(_config_from_args(args))
+    from repro.core.integration import demo_books_db
+
+    service = QueryService(
+        demo_books_db(args.accelerate, matcher), matcher
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on {host}:{port}", flush=True)
+
+    try:
+        serve(
+            service,
+            args.host,
+            args.port,
+            ready=ready,
+            max_workers=args.workers,
+            max_inflight=args.max_inflight,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+        )
+    except OSError as exc:  # e.g. port already bound
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print("server drained and stopped", flush=True)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One-shot client requests against a running ``serve`` instance.
+
+    All failure modes (connection refused, protocol violations, error
+    responses) print a one-line ``error: ...`` diagnostic and exit
+    nonzero — they raise ``ReproError`` subclasses that :func:`main`
+    formats, matching the CLI's no-traceback convention.
+    """
+    import json
+
+    from repro.server.client import LexEqualClient
+
+    with LexEqualClient(
+        args.host, args.port, timeout=args.timeout
+    ) as client:
+        op = args.client_op
+        if op == "ping":
+            print(client.ping())
+            return 0
+        if op == "query":
+            result = client.query(args.sql)
+            if "columns" in result:
+                print("\t".join(result["columns"]))
+                for row in result["rows"]:
+                    print(
+                        "\t".join(
+                            "NULL" if v is None else _render_value(v)
+                            for v in row
+                        )
+                    )
+                print(f"-- {result['row_count']} rows", file=sys.stderr)
+            else:
+                print(f"-- {result['row_count']} rows", file=sys.stderr)
+            return 0
+        if op == "lexequal":
+            result = client.lexequal(
+                args.left,
+                args.right,
+                threshold=args.threshold,
+                languages=args.languages or "",
+            )
+            print(
+                f"{args.left} [{result['left_ipa']}] vs "
+                f"{args.right} [{result['right_ipa']}]: "
+                f"distance={result['distance']} "
+                f"budget={result['budget']} -> {result['outcome']}"
+            )
+            return 0 if result["outcome"] == "true" else 1
+        if op == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+    raise AssertionError(f"unhandled client op {op!r}")  # pragma: no cover
+
+
+def _render_value(value) -> str:
+    """Row value → display text (tagged LangText objects show the text)."""
+    if isinstance(value, dict) and "text" in value:
+        return str(value["text"])
+    return str(value)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +364,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_stats.set_defaults(func=cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the concurrent query server (NDJSON over TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=2004,
+        help="TCP port; 0 picks an ephemeral port (default: 2004)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="CPU worker threads (default: 4)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="backpressure: max admitted requests (default: 32)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="per-request timeout in seconds, 0 disables (default: 30)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="max seconds to drain in-flight requests on shutdown",
+    )
+    p_serve.add_argument(
+        "--accelerate",
+        choices=("qgram", "index", "none"),
+        default="qgram",
+        help="phonetic accelerator for books.author (default: qgram)",
+    )
+    p_serve.add_argument("--threshold", type=float)
+    p_serve.add_argument("--cost", type=float)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="send one request to a running server"
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=2004)
+    p_client.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="socket timeout in seconds (default: 60)",
+    )
+    client_sub = p_client.add_subparsers(dest="client_op", required=True)
+    client_sub.add_parser("ping", help="liveness check")
+    pc_query = client_sub.add_parser("query", help="run SQL remotely")
+    pc_query.add_argument("sql")
+    pc_lex = client_sub.add_parser(
+        "lexequal", help="one LexEQUAL comparison"
+    )
+    pc_lex.add_argument("left")
+    pc_lex.add_argument("right")
+    pc_lex.add_argument("--threshold", type=float)
+    pc_lex.add_argument("--languages", help="comma-separated restriction")
+    client_sub.add_parser("stats", help="server + engine metrics (JSON)")
+    p_client.set_defaults(func=cmd_client)
 
     p_lex = sub.add_parser("lexicon", help="lexicon utilities")
     lex_sub = p_lex.add_subparsers(dest="subcommand", required=True)

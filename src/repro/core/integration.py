@@ -150,3 +150,47 @@ def install_lexequal(
     db.register_udf("plen_of", plen_of)
     db.register_udf("gpsid_of", gpsid_of)
     return matcher
+
+
+def demo_books_db(
+    accelerate: str = "qgram", matcher: LexEqualMatcher | None = None
+) -> Database:
+    """The Books.com catalog of paper Figure 1, LexEQUAL installed.
+
+    The shared demo database behind ``lexequal query``/``stats`` and the
+    query server's default service.  ``accelerate`` picks the phonetic
+    accelerator on ``books.author``: ``"qgram"`` (default), ``"index"``,
+    or ``"none"`` for plain UDF evaluation.
+    """
+    from repro.minidb.schema import Column
+    from repro.minidb.values import SqlType
+
+    db = Database()
+    matcher = matcher or LexEqualMatcher()
+    install_lexequal(db, matcher)
+    db.create_table(
+        "books",
+        [
+            Column("author", SqlType.LANGTEXT),
+            Column("title", SqlType.TEXT),
+            Column("price", SqlType.REAL),
+            Column("language", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (LangText("Nehru", "english"), "Discovery of India", 9.95, "english"),
+        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
+        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
+        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
+        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
+        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
+    ]
+    for row in rows:
+        db.insert("books", row)
+    if accelerate != "none":
+        from repro.core.engine import create_phonetic_accelerator
+
+        create_phonetic_accelerator(
+            db, "books", "author", matcher, method=accelerate
+        )
+    return db

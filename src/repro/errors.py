@@ -64,3 +64,32 @@ class ExecutionError(DatabaseError):
 
 class DatasetError(ReproError):
     """A dataset could not be built, loaded or validated."""
+
+
+class ServerError(ReproError):
+    """Base class for errors raised by the ``repro.server`` subsystem."""
+
+
+class ProtocolError(ServerError):
+    """A request or response violates the newline-delimited JSON protocol.
+
+    Carries the wire-level error ``code`` (see ``repro.server.protocol``)
+    so handlers can map it onto a structured error response.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServerConnectionError(ServerError):
+    """The client could not connect, or the connection dropped mid-request."""
+
+
+class RequestFailedError(ServerError):
+    """The server answered a request with a structured error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message

@@ -10,6 +10,7 @@ to the server").
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
@@ -30,9 +31,20 @@ class IndexInfo:
 
 
 class Database:
-    """An in-memory database: named tables, indexes and UDFs."""
+    """An in-memory database: named tables, indexes and UDFs.
+
+    Mutations (DDL, row writes, UDF/observer registration) serialize on
+    one reentrant lock so concurrent server sessions cannot corrupt the
+    catalog or leave indexes half-maintained.  Reads — lookups, scans,
+    query execution — stay lock-free: the read paths only traverse
+    structures that mutations replace or append to atomically under the
+    GIL, which keeps the many-readers/few-writers service workload fast.
+    """
 
     def __init__(self) -> None:
+        # Reentrant because write paths nest (insert → observer →
+        # accelerator maintenance may consult the catalog again).
+        self._write_lock = threading.RLock()
         self._tables: dict[str, HeapTable] = {}
         self._indexes: dict[str, IndexInfo] = {}
         self._indexes_by_table: dict[str, list[IndexInfo]] = {}
@@ -47,20 +59,22 @@ class Database:
     ) -> HeapTable:
         """Create a table; raises if the name is taken."""
         key = name.lower()
-        if key in self._tables:
-            raise SchemaError(f"table {name!r} already exists")
-        table = HeapTable(TableSchema(name, tuple(columns)))
-        self._tables[key] = table
-        self._indexes_by_table[key] = []
-        return table
+        with self._write_lock:
+            if key in self._tables:
+                raise SchemaError(f"table {name!r} already exists")
+            table = HeapTable(TableSchema(name, tuple(columns)))
+            self._tables[key] = table
+            self._indexes_by_table[key] = []
+            return table
 
     def drop_table(self, name: str) -> None:
         """Drop a table and all its indexes."""
         key = name.lower()
-        self._require_table(name)
-        for info in self._indexes_by_table.pop(key, []):
-            self._indexes.pop(info.name.lower(), None)
-        del self._tables[key]
+        with self._write_lock:
+            self._require_table(name)
+            for info in self._indexes_by_table.pop(key, []):
+                self._indexes.pop(info.name.lower(), None)
+            del self._tables[key]
 
     def table(self, name: str) -> HeapTable:
         return self._require_table(name)
@@ -81,17 +95,18 @@ class Database:
 
     def insert(self, table_name: str, row: tuple) -> int:
         """Insert a row, maintaining all indexes; returns the rowid."""
-        table = self._require_table(table_name)
-        rowid = table.insert(row)
-        stored = table.fetch(rowid)
-        for info in self._indexes_by_table[table_name.lower()]:
-            pos = table.schema.position(info.column_name)
-            key = stored[pos]
-            if key is not None:  # B-tree indexes skip NULL keys
-                info.tree.insert(key, rowid)
-        for observer in self._observers.get(table_name.lower(), []):
-            observer.on_insert(rowid, stored)
-        return rowid
+        with self._write_lock:
+            table = self._require_table(table_name)
+            rowid = table.insert(row)
+            stored = table.fetch(rowid)
+            for info in self._indexes_by_table[table_name.lower()]:
+                pos = table.schema.position(info.column_name)
+                key = stored[pos]
+                if key is not None:  # B-tree indexes skip NULL keys
+                    info.tree.insert(key, rowid)
+            for observer in self._observers.get(table_name.lower(), []):
+                observer.on_insert(rowid, stored)
+            return rowid
 
     def insert_many(self, table_name: str, rows: Iterable[tuple]) -> int:
         """Bulk insert; returns the number of rows inserted."""
@@ -103,14 +118,15 @@ class Database:
 
     def delete_row(self, table_name: str, rowid: int) -> None:
         """Delete one row by rowid, maintaining all indexes."""
-        table = self._require_table(table_name)
-        old = table.delete(rowid)
-        for info in self._indexes_by_table[table_name.lower()]:
-            pos = table.schema.position(info.column_name)
-            if old[pos] is not None:
-                info.tree.delete(old[pos], rowid)
-        for observer in self._observers.get(table_name.lower(), []):
-            observer.on_delete(rowid, old)
+        with self._write_lock:
+            table = self._require_table(table_name)
+            old = table.delete(rowid)
+            for info in self._indexes_by_table[table_name.lower()]:
+                pos = table.schema.position(info.column_name)
+                if old[pos] is not None:
+                    info.tree.delete(old[pos], rowid)
+            for observer in self._observers.get(table_name.lower(), []):
+                observer.on_delete(rowid, old)
 
     # ------------------------------------------------------------ indexes
 
@@ -129,26 +145,28 @@ class Database:
         semantics.
         """
         key = index_name.lower()
-        if key in self._indexes:
-            raise SchemaError(f"index {index_name!r} already exists")
-        table = self._require_table(table_name)
-        pos = table.schema.position(column_name)
-        tree = BPlusTree(order=order)
-        for rowid, row in table.scan():
-            if row[pos] is not None:  # NULL keys are not indexed
-                tree.insert(row[pos], rowid)
-        info = IndexInfo(index_name, table.name, column_name, tree)
-        self._indexes[key] = info
-        self._indexes_by_table[table_name.lower()].append(info)
-        return info
+        with self._write_lock:
+            if key in self._indexes:
+                raise SchemaError(f"index {index_name!r} already exists")
+            table = self._require_table(table_name)
+            pos = table.schema.position(column_name)
+            tree = BPlusTree(order=order)
+            for rowid, row in table.scan():
+                if row[pos] is not None:  # NULL keys are not indexed
+                    tree.insert(row[pos], rowid)
+            info = IndexInfo(index_name, table.name, column_name, tree)
+            self._indexes[key] = info
+            self._indexes_by_table[table_name.lower()].append(info)
+            return info
 
     def drop_index(self, index_name: str) -> None:
         key = index_name.lower()
-        try:
-            info = self._indexes.pop(key)
-        except KeyError:
-            raise SchemaError(f"no such index {index_name!r}") from None
-        self._indexes_by_table[info.table_name.lower()].remove(info)
+        with self._write_lock:
+            try:
+                info = self._indexes.pop(key)
+            except KeyError:
+                raise SchemaError(f"no such index {index_name!r}") from None
+            self._indexes_by_table[info.table_name.lower()].remove(info)
 
     def index(self, index_name: str) -> IndexInfo:
         try:
@@ -175,13 +193,17 @@ class Database:
         This is the hook auxiliary access structures (e.g. the phonetic
         accelerators of :mod:`repro.core.engine`) use to stay in sync.
         """
-        self._require_table(table_name)
-        self._observers.setdefault(table_name.lower(), []).append(observer)
+        with self._write_lock:
+            self._require_table(table_name)
+            self._observers.setdefault(
+                table_name.lower(), []
+            ).append(observer)
 
     def remove_observer(self, table_name: str, observer) -> None:
-        observers = self._observers.get(table_name.lower(), [])
-        if observer in observers:
-            observers.remove(observer)
+        with self._write_lock:
+            observers = self._observers.get(table_name.lower(), [])
+            if observer in observers:
+                observers.remove(observer)
 
     def register_accelerator(
         self, table_name: str, column_name: str, accelerator
@@ -194,10 +216,11 @@ class Database:
         matching rows (or None to decline).  This is the hook behind the
         paper's "inside-the-engine implementation" future work.
         """
-        self._require_table(table_name)
-        self._accelerators[
-            (table_name.lower(), column_name.lower())
-        ] = accelerator
+        with self._write_lock:
+            self._require_table(table_name)
+            self._accelerators[
+                (table_name.lower(), column_name.lower())
+            ] = accelerator
 
     def accelerator_for(self, table_name: str, column_name: str):
         return self._accelerators.get(
@@ -210,7 +233,8 @@ class Database:
         """Register (or replace) a function callable from SQL."""
         if not callable(fn):
             raise DatabaseError(f"UDF {name!r} is not callable")
-        self._udfs[name.lower()] = fn
+        with self._write_lock:
+            self._udfs[name.lower()] = fn
 
     def udf(self, name: str) -> Callable:
         try:

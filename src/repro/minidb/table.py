@@ -8,6 +8,7 @@ gives a real engine.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator
 
 from repro.errors import ExecutionError
@@ -18,12 +19,21 @@ _TOMBSTONE = object()
 
 
 class HeapTable:
-    """An append-only heap of validated row tuples with tombstone deletes."""
+    """An append-only heap of validated row tuples with tombstone deletes.
+
+    Writes (insert/delete) serialize on a per-table lock so concurrent
+    sessions get distinct rowids and a consistent live count.  Reads are
+    lock-free: slots are only appended or replaced whole (never resized
+    in place), so a concurrent :meth:`scan` sees each slot either before
+    or after a write — the same torn-read-free guarantee a page latch
+    gives, without a latch on the read path.
+    """
 
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self._rows: list[tuple | object] = []
         self._live_count = 0
+        self._write_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -35,9 +45,10 @@ class HeapTable:
     def insert(self, row: tuple) -> int:
         """Insert a row; returns its rowid."""
         validated = self.schema.validate_row(row)
-        self._rows.append(validated)
-        self._live_count += 1
-        return len(self._rows) - 1
+        with self._write_lock:
+            self._rows.append(validated)
+            self._live_count += 1
+            return len(self._rows) - 1
 
     def insert_many(self, rows: Iterable[tuple]) -> list[int]:
         """Bulk insert; returns the assigned rowids."""
@@ -59,10 +70,11 @@ class HeapTable:
 
     def delete(self, rowid: int) -> tuple:
         """Delete a row by rowid; returns the old row."""
-        row = self.fetch(rowid)
-        self._rows[rowid] = _TOMBSTONE
-        self._live_count -= 1
-        return row
+        with self._write_lock:
+            row = self.fetch(rowid)
+            self._rows[rowid] = _TOMBSTONE
+            self._live_count -= 1
+            return row
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield ``(rowid, row)`` for every live row, in heap order."""

@@ -1,0 +1,40 @@
+"""``repro.server`` — the concurrent multiscript query service.
+
+A long-running network front-end for the reproduction: an asyncio TCP
+server speaking a newline-delimited JSON protocol (``ping``, ``query``,
+``prepare``/``execute``, ``lexequal``, ``stats``) over one shared
+engine, with a statement cache, a bounded worker pool (backpressure +
+per-request timeouts), graceful SIGTERM drain, and a small blocking
+client.  See DESIGN.md §7 for the protocol specification and
+``lexequal serve`` / ``lexequal client`` for the CLI front-ends.
+"""
+
+from repro.server.app import BackgroundServer, LexEqualServer, serve
+from repro.server.cache import StatementCache
+from repro.server.client import LexEqualClient
+from repro.server.protocol import DEFAULT_PORT, MAX_LINE_BYTES, OPS
+from repro.server.service import QueryService
+from repro.server.session import Session
+from repro.server.workers import (
+    PoolDrainingError,
+    PoolOverloadedError,
+    PoolTimeoutError,
+    WorkerPool,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "DEFAULT_PORT",
+    "LexEqualClient",
+    "LexEqualServer",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PoolDrainingError",
+    "PoolOverloadedError",
+    "PoolTimeoutError",
+    "QueryService",
+    "Session",
+    "StatementCache",
+    "WorkerPool",
+    "serve",
+]

@@ -1,0 +1,170 @@
+"""A small blocking client for the LexEQUAL query service.
+
+Speaks the newline-delimited JSON protocol over a plain socket; one
+request at a time per client (the protocol itself allows pipelining,
+but the blocking client keeps the simple request/response discipline).
+This is what ``lexequal client`` and the throughput benchmark use, and
+the reference implementation for clients in other languages::
+
+    from repro.server.client import LexEqualClient
+
+    with LexEqualClient(port=2004) as client:
+        client.ping()
+        result = client.query(
+            "SELECT author, title FROM books "
+            "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+        )
+        for row in result["rows"]:
+            print(row)
+
+Server-side failures surface as :class:`~repro.errors.RequestFailedError`
+(carrying the wire error code); transport failures as
+:class:`~repro.errors.ServerConnectionError`.  Both derive from
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any
+
+from repro.errors import (
+    ProtocolError,
+    RequestFailedError,
+    ServerConnectionError,
+)
+from repro.server.protocol import DEFAULT_PORT, E_PARSE, MAX_LINE_BYTES
+
+
+class LexEqualClient:
+    """Blocking connection to a :class:`~repro.server.app.LexEqualServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float | None = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServerConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(self, op: str, **fields: Any) -> Any:
+        """Send one request and return its ``result`` payload.
+
+        Raises :class:`~repro.errors.RequestFailedError` on an error
+        response and :class:`~repro.errors.ServerConnectionError` when
+        the connection drops.
+        """
+        request_id = next(self._ids)
+        payload = {"op": op, "id": request_id}
+        payload.update(
+            (k, v) for k, v in fields.items() if v is not None
+        )
+        line = (json.dumps(payload, ensure_ascii=False) + "\n").encode(
+            "utf-8"
+        )
+        try:
+            self._sock.sendall(line)
+            raw = self._reader.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise ServerConnectionError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from None
+        if not raw:
+            raise ServerConnectionError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                E_PARSE, f"unparseable response from server: {exc}"
+            ) from None
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ProtocolError(E_PARSE, f"malformed response: {response!r}")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                E_PARSE,
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}",
+            )
+        if not response["ok"]:
+            error = response.get("error") or {}
+            raise RequestFailedError(
+                str(error.get("code", "unknown")),
+                str(error.get("message", "no message")),
+            )
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LexEqualClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- ops
+
+    def ping(self) -> str:
+        return self.request("ping")
+
+    def query(
+        self,
+        sql: str,
+        params: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        return self.request("query", sql=sql, params=params, timeout=timeout)
+
+    def prepare(self, sql: str, name: str | None = None) -> str:
+        return self.request("prepare", sql=sql, name=name)["statement"]
+
+    def execute(
+        self,
+        statement: str,
+        params: dict | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        return self.request(
+            "execute", statement=statement, params=params, timeout=timeout
+        )
+
+    def lexequal(
+        self,
+        left: str,
+        right: str,
+        threshold: float | None = None,
+        languages: str = "",
+    ) -> dict:
+        return self.request(
+            "lexequal",
+            left=left,
+            right=right,
+            threshold=threshold,
+            languages=languages or None,
+        )
+
+    def stats(self) -> dict:
+        return self.request("stats")

@@ -1,0 +1,141 @@
+"""The query service: op execution against one shared engine.
+
+A :class:`QueryService` owns the pieces every connection shares — the
+:class:`~repro.minidb.catalog.Database`, the
+:class:`~repro.core.matcher.LexEqualMatcher`, and the statement cache —
+and exposes one synchronous method per protocol op.  Methods are called
+from worker threads (CPU-bound ops) or the event loop (cheap ops); all
+shared state they touch is thread-safe: the catalog takes its DDL/DML
+lock, the TTP registry's conversion cache is lock-on-miss, and the
+statement cache is a locking LRU.
+
+The service is deliberately transport-free — tests drive it directly,
+and :mod:`repro.server.app` is just asyncio plumbing around it.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core.matcher import LexEqualMatcher
+from repro.errors import ProtocolError
+from repro.minidb.catalog import Database
+from repro.minidb.planner import ResultSet, execute_statement
+from repro.server.cache import StatementCache
+from repro.server.protocol import E_INVALID, jsonable_rows
+from repro.server.session import Session
+
+
+class QueryService:
+    """Executes protocol ops against one shared database + matcher."""
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        matcher: LexEqualMatcher | None = None,
+        *,
+        statement_cache_size: int = 128,
+    ):
+        if db is None:
+            from repro.core.integration import demo_books_db
+
+            matcher = matcher or LexEqualMatcher()
+            db = demo_books_db("qgram", matcher)
+        self.db = db
+        self.matcher = matcher or LexEqualMatcher()
+        self.statements = StatementCache(statement_cache_size)
+
+    # ----------------------------------------------------------- SQL ops
+
+    def run_sql(self, sql: str, params: dict) -> dict:
+        """Execute ``sql`` (any statement kind) and return its payload.
+
+        SELECT/EXPLAIN produce ``{"columns", "rows", "row_count"}``; DDL
+        and INSERT produce ``{"row_count"}``.
+        """
+        stmt = self.statements.statement(sql)
+        with obs.timed("server.execute"):
+            result = execute_statement(self.db, stmt, params)
+        if isinstance(result, ResultSet):
+            return {
+                "columns": list(result.columns),
+                "rows": jsonable_rows(result.rows),
+                "row_count": len(result.rows),
+            }
+        return {"row_count": int(result)}
+
+    def prepare(self, session: Session, sql: str, name=None) -> dict:
+        """Parse ``sql`` now (failing fast) and bind it in the session."""
+        self.statements.statement(sql)  # validate + warm the cache
+        bound = session.prepare(sql, name)
+        return {"statement": bound}
+
+    def execute_prepared(
+        self, session: Session, name: str, params: dict
+    ) -> dict:
+        return self.run_sql(session.prepared_sql(name), params)
+
+    # ------------------------------------------------------ matching op
+
+    def lexequal(
+        self,
+        left: str,
+        right: str,
+        threshold: float | None = None,
+        languages: str = "",
+    ) -> dict:
+        """The convenience op: one LexEQUAL comparison, fully explained.
+
+        Language-restricted comparisons (``languages`` is the comma
+        separated INLANGUAGES set) short-circuit to no-match when either
+        operand's language falls outside the set, as the SQL operator
+        does.
+        """
+        matcher = self.matcher
+        if threshold is not None:
+            try:
+                threshold = float(threshold)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    E_INVALID, "'threshold' must be a number"
+                ) from None
+            matcher = LexEqualMatcher(
+                matcher.config.with_threshold(threshold), matcher.registry
+            )
+        explanation = matcher.explain(left, right)
+        outcome = explanation.outcome.value
+        if languages:
+            wanted = {
+                lang.strip().lower()
+                for lang in str(languages).split(",")
+                if lang.strip()
+            }
+            if wanted and outcome == "true":
+                if (
+                    explanation.left_language not in wanted
+                    or explanation.right_language not in wanted
+                ):
+                    outcome = "false"
+        return {
+            "outcome": outcome,
+            "match": {"true": True, "false": False}.get(outcome),
+            "left_language": explanation.left_language,
+            "right_language": explanation.right_language,
+            "left_ipa": explanation.left_ipa,
+            "right_ipa": explanation.right_ipa,
+            "distance": explanation.distance,
+            "budget": explanation.budget,
+        }
+
+    # ------------------------------------------------------------- stats
+
+    def stats(self, server_info: dict | None = None) -> dict:
+        """The ``stats`` payload: server gauges + metrics snapshot."""
+        return {
+            "server": server_info or {},
+            "statement_cache": self.statements.info(),
+            "tables": {
+                name: len(self.db.table(name))
+                for name in self.db.table_names()
+            },
+            "metrics": obs.snapshot(),
+        }

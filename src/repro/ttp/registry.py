@@ -13,6 +13,7 @@ caller tags it otherwise.
 
 from __future__ import annotations
 
+import threading
 import unicodedata
 from collections.abc import Iterable
 
@@ -28,6 +29,14 @@ class TTPRegistry:
     The cache matters: quality sweeps transform the same lexicon strings
     for every parameter setting, and the database strategies transform
     every stored name once at load time.
+
+    Thread-safety: the registry is shared by all of a query server's
+    worker threads, so cache and converter mutations take a lock.  The
+    *hit* path stays lock-free — a single ``dict.get`` on a dict that
+    only ever grows is atomic under the GIL — and a miss converts
+    outside the lock (conversions run in parallel; a racing duplicate
+    conversion just loses the publish and adopts the winner's value, so
+    callers always see one canonical ``PhonemeString`` per key).
     """
 
     def __init__(
@@ -35,6 +44,7 @@ class TTPRegistry:
     ):
         self._converters: dict[str, TTPConverter] = {}
         self._cache: dict[tuple[str, str], PhonemeString] = {}
+        self._lock = threading.Lock()
         #: Whether transforms are folded onto the canonical matching
         #: alphabet (paper Section 4.1 preprocessing).  Raw converter
         #: output is always available via ``converter_for(...).to_phonemes``.
@@ -46,11 +56,13 @@ class TTPRegistry:
         """Add or replace the converter for its language."""
         if not converter.language:
             raise TTPError("converter has no language identifier")
-        self._converters[converter.language.lower()] = converter
+        with self._lock:
+            self._converters[converter.language.lower()] = converter
 
     def unregister(self, language: str) -> None:
         """Remove a language (subsequent lookups raise/NORESOURCE)."""
-        self._converters.pop(language.lower(), None)
+        with self._lock:
+            self._converters.pop(language.lower(), None)
 
     def supports(self, language: str) -> bool:
         """True if a converter is registered for ``language``."""
@@ -74,15 +86,16 @@ class TTPRegistry:
         registry was built with ``fold=False``.
         """
         key = (language.lower(), text)
-        cached = self._cache.get(key)
+        cached = self._cache.get(key)  # lock-free hit path
         if cached is None:
             obs.incr("ttp.cache.misses")
-            cached = self.converter_for(language).to_phonemes(text)
+            converted = self.converter_for(language).to_phonemes(text)
             if self.fold:
                 from repro.phonetics.folding import fold_phonemes
 
-                cached = fold_phonemes(cached)
-            self._cache[key] = cached
+                converted = fold_phonemes(converted)
+            with self._lock:
+                cached = self._cache.setdefault(key, converted)
         else:
             obs.incr("ttp.cache.hits")
         return cached
@@ -92,18 +105,27 @@ class TTPRegistry:
         return tuple(sorted(self._converters))
 
     def clear_cache(self) -> None:
-        """Drop the conversion cache (for memory-sensitive callers)."""
-        self._cache.clear()
+        """Drop the conversion cache (for memory-sensitive callers).
+
+        Concurrent readers keep whatever entry they already fetched; the
+        swap installs a fresh dict so in-progress lock-free ``get`` calls
+        never see a half-cleared mapping.
+        """
+        with self._lock:
+            self._cache = {}
 
 
 _DEFAULT: TTPRegistry | None = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def default_registry() -> TTPRegistry:
     """Shared registry pre-loaded with all built-in converters."""
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = TTPRegistry(builtin_converters())
+        with _DEFAULT_LOCK:  # double-checked: one shared instance
+            if _DEFAULT is None:
+                _DEFAULT = TTPRegistry(builtin_converters())
     return _DEFAULT
 
 
