@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: the query server under a seeded fault schedule.
+
+Runs the real server (on a background thread, over real sockets) while
+the failpoint registry injects ~10% connection drops (half on the read
+side, half on the write side), 5% per-language TTP failures, and a
+trickle of admission rejects, then drives 500 requests from concurrent
+resilient clients and enforces the robustness contract:
+
+* zero incorrect results — every success is exactly right or properly
+  degraded (missing rows explained by its ``failed_languages``);
+* zero hangs — every request resolves within a hard wall bound;
+* every degraded response is labeled ``degraded: true`` (unlabeled
+  partial answers count as incorrect);
+* bounded error rate — retries absorb nearly all injected faults.
+
+The schedule is seeded (``REPRO_CHAOS_SEED``, default 2004) so failures
+reproduce.  Run from the repository root::
+
+    python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import faults, obs  # noqa: E402
+from repro.errors import (  # noqa: E402
+    CircuitOpenError,
+    RequestFailedError,
+    TransportError,
+)
+from repro.server import (  # noqa: E402
+    BackgroundServer,
+    LexEqualClient,
+    RetryPolicy,
+)
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "2004"))
+TOTAL_REQUESTS = int(os.environ.get("REPRO_CHAOS_REQUESTS", "500"))
+CLIENTS = 8
+REQUEST_WALL_SECONDS = 30.0
+MAX_ERROR_RATE = 0.10
+
+LEXEQUAL_SQL = (
+    "SELECT author FROM books "
+    "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+)
+LANG_OF = {"Nehru": "english", "नेहरु": "hindi", "நேரு": "tamil"}
+EXPECTED_AUTHORS = frozenset(LANG_OF)
+ACCEPTABLE_CODES = frozenset({"overloaded", "timeout", "shutting_down"})
+
+
+def classify_query(result: dict):
+    authors = {row[0]["text"] for row in result["rows"]}
+    extra = authors - EXPECTED_AUTHORS
+    if extra:
+        return "wrong", f"unexpected rows {extra}"
+    missing = EXPECTED_AUTHORS - authors
+    if not missing:
+        return "ok", None
+    if not result.get("degraded"):
+        return "wrong", f"missing {missing} without degraded marker"
+    failed = set(result.get("failed_languages", ()))
+    unexplained = {
+        name
+        for name in missing
+        if LANG_OF[name] not in failed and "english" not in failed
+    }
+    if unexplained:
+        return "wrong", f"missing {unexplained} not explained by {failed}"
+    return "degraded", None
+
+
+def classify_lexequal(result: dict):
+    outcome = result.get("outcome")
+    if outcome == "true":
+        return "ok", None
+    if outcome == "noresource" and result.get("degraded"):
+        if set(result.get("failed_languages", ())) & {"hindi", "english"}:
+            return "degraded", None
+    return "wrong", f"bad lexequal outcome {result!r}"
+
+
+def chaos_schedule() -> None:
+    """10% connection drops, 5% TTP failures, occasional rejects."""
+    faults.seed(SEED)
+    faults.configure("server.conn.drop_read", probability=0.05)
+    faults.configure("server.conn.drop_write", probability=0.05)
+    faults.configure(
+        "ttp.transform",
+        probability=0.05,
+        error="ttp",
+        languages=("hindi", "tamil"),
+    )
+    faults.configure("pool.admit", probability=0.03)
+
+
+def worker(host: str, port: int, rounds: int, record) -> None:
+    retry = RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.2)
+    client = LexEqualClient(
+        host, port, timeout=REQUEST_WALL_SECONDS, retry=retry
+    )
+    try:
+        for round_no in range(rounds):
+            op = round_no % 3
+            started = time.monotonic()
+            try:
+                if op == 0:
+                    record(*classify_query(client.query(LEXEQUAL_SQL)))
+                elif op == 1:
+                    record(
+                        *classify_lexequal(client.lexequal("Nehru", "नेहरु"))
+                    )
+                elif client.ping() == "pong":
+                    record("ok", None)
+                else:
+                    record("wrong", "bad ping")
+            except RequestFailedError as exc:
+                if exc.code in ACCEPTABLE_CODES:
+                    record("error", exc.code)
+                else:
+                    record("wrong", f"unexpected error code {exc.code!r}")
+            except (TransportError, CircuitOpenError) as exc:
+                record("error", repr(exc))
+            elapsed = time.monotonic() - started
+            if elapsed > REQUEST_WALL_SECONDS:
+                record("hang", f"request took {elapsed:.1f}s")
+    except Exception as exc:  # harness bug, not a chaos outcome
+        record("crash", repr(exc))
+    finally:
+        client.close()
+
+
+def main() -> int:
+    outcomes: list = []
+    lock = threading.Lock()
+
+    def record(kind, detail):
+        with lock:
+            outcomes.append((kind, detail))
+
+    rounds = TOTAL_REQUESTS // CLIENTS
+    started = time.monotonic()
+    with BackgroundServer(fault_injection=True, max_workers=4) as bg:
+        chaos_schedule()
+        print(
+            f"chaos smoke: {CLIENTS} clients x {rounds} requests "
+            f"against {bg.host}:{bg.port}, seed {SEED}"
+        )
+        threads = [
+            threading.Thread(target=worker, args=(bg.host, bg.port, rounds, record))
+            for _ in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600.0)
+        hung = [t for t in threads if t.is_alive()]
+        fired = faults.describe()
+        counters = dict(obs.snapshot().get("counters", {}))
+        faults.reset()  # stop injecting before the drain/shutdown
+    wall = time.monotonic() - started
+
+    by_kind: dict = {}
+    for kind, _ in outcomes:
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    total = len(outcomes)
+    injected = {
+        name: int(point["fires"]) for name, point in sorted(fired.items())
+    }
+    print(
+        f"outcomes over {total} requests in {wall:.1f}s: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    )
+    print(f"faults fired: {injected}")
+    print(
+        "client resilience: "
+        f"retries={int(counters.get('client.retries', 0))} "
+        f"reconnects={int(counters.get('client.reconnects', 0))} "
+        f"transport_errors={int(counters.get('client.transport_errors', 0))}"
+    )
+    print(
+        "server: "
+        f"degraded_responses={int(counters.get('server.degraded_responses', 0))} "
+        f"deadline_cancels={int(counters.get('server.deadline.cancels', 0))} "
+        f"overload_rejects={int(counters.get('server.rejects.overloaded', 0))}"
+    )
+
+    failures = []
+    if hung:
+        failures.append(f"{len(hung)} worker threads hung")
+    if total < rounds * CLIENTS:
+        failures.append(
+            f"only {total}/{rounds * CLIENTS} requests recorded"
+        )
+    for kind in ("wrong", "hang", "crash"):
+        bad = [detail for k, detail in outcomes if k == kind]
+        if bad:
+            failures.append(f"{len(bad)} {kind} outcomes, first: {bad[:3]}")
+    if sum(injected.values()) == 0:
+        failures.append("no faults fired: the schedule did not inject")
+    errors = by_kind.get("error", 0)
+    if total and errors > total * MAX_ERROR_RATE:
+        failures.append(
+            f"error rate {errors}/{total} exceeds "
+            f"{MAX_ERROR_RATE:.0%} budget"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("CHAOS SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

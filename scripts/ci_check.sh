@@ -22,6 +22,10 @@ python -m pytest benchmarks/bench_table1_baseline.py -q
 echo "== server smoke (serve + scripted client + SIGTERM drain) =="
 python scripts/server_smoke.py
 
+echo "== chaos smoke (seeded fault schedule, 500 requests) =="
+REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2004}" \
+python scripts/chaos_smoke.py
+
 echo "== server throughput benchmark (scaled down) =="
 REPRO_BENCH_SERVER_CONC="${REPRO_BENCH_SERVER_CONC:-1,8}" \
 REPRO_BENCH_SERVER_REQS="${REPRO_BENCH_SERVER_REQS:-10}" \

@@ -228,6 +228,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     def ready(host: str, port: int) -> None:
         print(f"listening on {host}:{port}", flush=True)
 
+    import os
+
+    fault_injection = args.fault_injection or bool(
+        os.environ.get("REPRO_FAULT_OPS")
+    )
     try:
         serve(
             service,
@@ -238,6 +243,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             request_timeout=args.request_timeout,
             drain_timeout=args.drain_timeout,
+            fault_injection=fault_injection,
         )
     except OSError as exc:  # e.g. port already bound
         print(
@@ -260,9 +266,15 @@ def cmd_client(args: argparse.Namespace) -> int:
     import json
 
     from repro.server.client import LexEqualClient
+    from repro.server.resilience import RetryPolicy
 
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries > 0
+        else None
+    )
     with LexEqualClient(
-        args.host, args.port, timeout=args.timeout
+        args.host, args.port, timeout=args.timeout, retry=retry
     ) as client:
         op = args.client_op
         if op == "ping":
@@ -279,9 +291,8 @@ def cmd_client(args: argparse.Namespace) -> int:
                             for v in row
                         )
                     )
-                print(f"-- {result['row_count']} rows", file=sys.stderr)
-            else:
-                print(f"-- {result['row_count']} rows", file=sys.stderr)
+            print(f"-- {result['row_count']} rows", file=sys.stderr)
+            _warn_degraded(result)
             return 0
         if op == "lexequal":
             result = client.lexequal(
@@ -296,11 +307,22 @@ def cmd_client(args: argparse.Namespace) -> int:
                 f"distance={result['distance']} "
                 f"budget={result['budget']} -> {result['outcome']}"
             )
+            _warn_degraded(result)
             return 0 if result["outcome"] == "true" else 1
         if op == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
     raise AssertionError(f"unhandled client op {op!r}")  # pragma: no cover
+
+
+def _warn_degraded(result: dict) -> None:
+    """Surface a degraded (partial) server answer on stderr."""
+    if result.get("degraded"):
+        failed = ", ".join(result.get("failed_languages", ())) or "unknown"
+        print(
+            f"-- degraded result: language(s) unavailable: {failed}",
+            file=sys.stderr,
+        )
 
 
 def _render_value(value) -> str:
@@ -395,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="qgram",
         help="phonetic accelerator for books.author (default: qgram)",
     )
+    p_serve.add_argument(
+        "--fault-injection",
+        action="store_true",
+        help="allow the remote 'faults' op to drive fault-injection "
+        "failpoints (chaos testing; also enabled by REPRO_FAULT_OPS=1)",
+    )
     p_serve.add_argument("--threshold", type=float)
     p_serve.add_argument("--cost", type=float)
     p_serve.set_defaults(func=cmd_serve)
@@ -407,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument(
         "--timeout", type=float, default=60.0,
         help="socket timeout in seconds (default: 60)",
+    )
+    p_client.add_argument(
+        "--retries", type=int, default=0,
+        help="max retries for idempotent ops on transport failure "
+        "(exponential backoff + jitter; default: 0)",
     )
     client_sub = p_client.add_subparsers(dest="client_op", required=True)
     client_sub.add_parser("ping", help="liveness check")

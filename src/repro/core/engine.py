@@ -25,10 +25,10 @@ efficiency".  This module is that implementation for the minidb engine:
 
 from __future__ import annotations
 
-from repro import obs
+from repro import degrade, obs
 from repro.core.config import MatchConfig
 from repro.core.matcher import LexEqualMatcher
-from repro.errors import DatabaseError
+from repro.errors import DatabaseError, TTPError
 from repro.matching.qgrams import (
     count_filter_threshold,
     positional_qgrams,
@@ -148,7 +148,16 @@ class PhoneticAccelerator:
         query value's language is unsupported.
         """
         obs.incr(f"accelerator.{self.method}.calls")
-        query_phonemes = self._phonemes_of_value(value)
+        try:
+            query_phonemes = self._phonemes_of_value(value)
+        except TTPError as exc:
+            # Transient failure converting the *query* value: under a
+            # degradation context the accelerator declines (planner
+            # falls back to a scan whose UDF recheck degrades per row);
+            # outside one the failure propagates unchanged.
+            if not degrade.record(getattr(exc, "language", None)):
+                raise
+            query_phonemes = None
         if not query_phonemes:
             obs.incr(f"accelerator.{self.method}.declined")
             return None

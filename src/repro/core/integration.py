@@ -17,7 +17,7 @@ auxiliary-table SQL of Figures 14 and 15 can also be written directly.
 
 from __future__ import annotations
 
-from repro import obs
+from repro import degrade, obs
 from repro.core.matcher import LexEqualMatcher
 from repro.errors import TTPError
 from repro.minidb.catalog import Database
@@ -71,8 +71,18 @@ def install_lexequal(
             return None  # NORESOURCE -> SQL NULL (unknown)
         if langs and (lang_l not in langs or lang_r not in langs):
             return False
-        phonemes_l = matcher.registry.transform(str(left), lang_l)
-        phonemes_r = matcher.registry.transform(str(right), lang_r)
+        try:
+            phonemes_l = matcher.registry.transform(str(left), lang_l)
+            phonemes_r = matcher.registry.transform(str(right), lang_r)
+        except TTPError as exc:
+            # Transient conversion failure.  Under a serving-layer
+            # degradation context the row degrades to NULL (unknown,
+            # like NORESOURCE) and the failing language is reported;
+            # library callers keep the strict raising behaviour.
+            if not degrade.record(getattr(exc, "language", None)):
+                raise
+            obs.incr("udf.lexequal.degraded")
+            return None
         if threshold is None:
             return matcher.phonemes_match(phonemes_l, phonemes_r)
         from repro.matching.editdist import edit_distance_within
@@ -162,35 +172,45 @@ def demo_books_db(
     accelerator on ``books.author``: ``"qgram"`` (default), ``"index"``,
     or ``"none"`` for plain UDF evaluation.
     """
+    from repro import faults
     from repro.minidb.schema import Column
     from repro.minidb.values import SqlType
 
-    db = Database()
-    matcher = matcher or LexEqualMatcher()
-    install_lexequal(db, matcher)
-    db.create_table(
-        "books",
-        [
-            Column("author", SqlType.LANGTEXT),
-            Column("title", SqlType.TEXT),
-            Column("price", SqlType.REAL),
-            Column("language", SqlType.TEXT),
-        ],
-    )
-    rows = [
-        (LangText("Nehru", "english"), "Discovery of India", 9.95, "english"),
-        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
-        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
-        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
-        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
-        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
-    ]
-    for row in rows:
-        db.insert("books", row)
-    if accelerate != "none":
-        from repro.core.engine import create_phonetic_accelerator
-
-        create_phonetic_accelerator(
-            db, "books", "author", matcher, method=accelerate
+    # Bootstrap runs with failpoints suppressed: a REPRO_FAULTS chaos
+    # schedule must break *queries* against this catalog, not the
+    # catalog (or its phonetic index) coming up in the first place.
+    with faults.suppressed():
+        db = Database()
+        matcher = matcher or LexEqualMatcher()
+        install_lexequal(db, matcher)
+        db.create_table(
+            "books",
+            [
+                Column("author", SqlType.LANGTEXT),
+                Column("title", SqlType.TEXT),
+                Column("price", SqlType.REAL),
+                Column("language", SqlType.TEXT),
+            ],
         )
+        rows = [
+            (
+                LangText("Nehru", "english"),
+                "Discovery of India",
+                9.95,
+                "english",
+            ),
+            (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
+            (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
+            (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
+            (LangText("René", "french"), "Les Méditations", 49.0, "french"),
+            (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
+        ]
+        for row in rows:
+            db.insert("books", row)
+        if accelerate != "none":
+            from repro.core.engine import create_phonetic_accelerator
+
+            create_phonetic_accelerator(
+                db, "books", "author", matcher, method=accelerate
+            )
     return db

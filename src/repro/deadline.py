@@ -1,0 +1,80 @@
+"""Cooperative per-request deadlines.
+
+Python worker threads cannot be interrupted, so a request that outlives
+its timeout keeps burning a worker slot until its DP matching finishes
+(the pool's accounting deliberately reflects that).  This module makes
+long computations *cancellable*: the worker pool arms a thread-local
+deadline around each request, and the clustered-edit-distance loops
+check it between DP rows, raising
+:class:`~repro.errors.DeadlineExceededError` as soon as the deadline
+passes — the thread frees its slot instead of finishing doomed work,
+and the server maps the error onto the existing ``timeout`` wire code.
+
+The checks are pay-as-you-go: code without an armed deadline sees one
+``None`` read per DP call and zero clock reads.
+
+Usage::
+
+    with deadline_scope(0.5):
+        edit_distance_within(left, right, budget)  # may raise
+
+Scopes nest; an inner scope can only tighten the effective deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import DeadlineExceededError
+
+_local = threading.local()
+
+
+@contextmanager
+def deadline_scope(seconds: float | None):
+    """Arm a deadline ``seconds`` from now for the current thread.
+
+    ``None`` (no deadline) is accepted so callers can thread optional
+    timeouts straight through.  Nested scopes keep the tighter deadline.
+    """
+    if seconds is None:
+        yield
+        return
+    previous = getattr(_local, "at", None)
+    at = time.monotonic() + seconds
+    if previous is not None and previous < at:
+        at = previous
+    _local.at = at
+    try:
+        yield
+    finally:
+        _local.at = previous
+
+
+def current() -> float | None:
+    """The armed ``time.monotonic()`` deadline, or ``None``."""
+    return getattr(_local, "at", None)
+
+
+def remaining() -> float | None:
+    """Seconds until the armed deadline (negative if past), or ``None``."""
+    at = getattr(_local, "at", None)
+    return None if at is None else at - time.monotonic()
+
+
+def expired() -> bool:
+    """True if a deadline is armed and already past."""
+    at = getattr(_local, "at", None)
+    return at is not None and time.monotonic() > at
+
+
+def check(where: str = "") -> None:
+    """Raise :class:`DeadlineExceededError` if the deadline has passed."""
+    at = getattr(_local, "at", None)
+    if at is not None and time.monotonic() > at:
+        raise DeadlineExceededError(
+            "request deadline exceeded"
+            + (f" during {where}" if where else "")
+        )

@@ -1,0 +1,63 @@
+"""Per-request graceful-degradation context.
+
+The paper's operator answers ``NORESOURCE`` when a *whole language* has
+no IPA transformation; a production service additionally sees languages
+fail *transiently* — a converter bug, an injected fault, a timeout in an
+external TTP system.  Failing the whole multiscript query over one
+script's outage throws away every other script's answer, so the server
+degrades instead: while a degradation context is active, per-language
+TTP failures are recorded here and the failing rows/operands drop out of
+the match, and the response carries ``degraded: true`` plus the
+``failed_languages`` list so clients know the answer is partial.
+
+The context is thread-local and armed only by the serving layer
+(:meth:`repro.server.service.QueryService` wraps each request).
+Library callers outside a context keep the strict behaviour: TTP
+failures raise.
+
+Sites that can skip a failing language call :func:`record`::
+
+    except TTPError as exc:
+        if not degrade.record(getattr(exc, "language", None)):
+            raise          # no context: strict library semantics
+        ...                # context active: degrade this row/operand
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+_local = threading.local()
+
+
+@contextmanager
+def collecting():
+    """Arm a degradation context; yields the failed-language set.
+
+    Nested contexts share the outermost set (one request, one report).
+    """
+    existing = getattr(_local, "failed", None)
+    if existing is not None:
+        yield existing
+        return
+    failed: set[str] = set()
+    _local.failed = failed
+    try:
+        yield failed
+    finally:
+        _local.failed = None
+
+
+def record(language: str | None) -> bool:
+    """Record a per-language failure; False when no context is active."""
+    failed = getattr(_local, "failed", None)
+    if failed is None:
+        return False
+    failed.add(language if language else "unknown")
+    return True
+
+
+def active() -> bool:
+    """True while a degradation context is armed on this thread."""
+    return getattr(_local, "failed", None) is not None

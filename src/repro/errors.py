@@ -86,6 +86,63 @@ class ServerConnectionError(ServerError):
     """The client could not connect, or the connection dropped mid-request."""
 
 
+class TransportError(ServerConnectionError):
+    """Any client-side transport failure, normalized.
+
+    The client maps every socket-level failure (refused connection,
+    reset, EOF mid-response, socket timeout) onto this one type so
+    callers and the CLI handle exactly one error, carrying the ``op``
+    that was in flight and its ``request_id`` (both ``None`` for
+    connect-time failures).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: str | None = None,
+        request_id=None,
+    ):
+        context = ""
+        if op is not None:
+            context = f" (op {op!r}"
+            if request_id is not None:
+                context += f", request id {request_id}"
+            context += ")"
+        super().__init__(message + context)
+        self.op = op
+        self.request_id = request_id
+
+
+class CircuitOpenError(ServerError):
+    """The client's circuit breaker is open: the endpoint is failing.
+
+    Raised *without* touching the network; carries the op whose breaker
+    rejected the call and the seconds until the next half-open probe.
+    """
+
+    def __init__(self, op: str, retry_after: float):
+        super().__init__(
+            f"circuit breaker open for op {op!r}; "
+            f"next probe in {max(retry_after, 0.0):.2f}s"
+        )
+        self.op = op
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ReproError):
+    """A cooperative per-request deadline expired mid-computation.
+
+    Raised from the DP matching loops when the thread-local deadline
+    armed by the worker pool passes (see :mod:`repro.deadline`); the
+    server maps it onto the ``timeout`` wire code.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """An error deliberately raised by a fault-injection failpoint."""
+
+
 class RequestFailedError(ServerError):
     """The server answered a request with a structured error response."""
 

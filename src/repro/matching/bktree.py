@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
+from repro import faults
 from repro.errors import MatchConfigError
 
 #: Distance function over token sequences.
@@ -82,6 +83,7 @@ class BKTree:
         self, tokens: Sequence[str], radius: float
     ) -> list[tuple[float, object]]:
         """All ``(distance, item)`` pairs with ``distance <= radius``."""
+        faults.fire("matching.bktree.search")
         self.last_search_distance_calls = 0
         if self._root is None:
             return []

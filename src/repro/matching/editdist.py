@@ -21,12 +21,23 @@ phoneme-symbol tuples from :func:`repro.phonetics.parse.parse_ipa`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
-from repro import obs
+from repro import deadline, obs
+from repro.errors import DeadlineExceededError
 from repro.matching.costs import CostModel, UNIT_COST
 
 _INF = float("inf")
+
+
+def _deadline_cancel(cells: int) -> DeadlineExceededError:
+    """Account a cooperative DP cancellation and build its error."""
+    obs.incr("matching.dp.cells", cells)
+    obs.incr("matching.dp.deadline_cancels")
+    return DeadlineExceededError(
+        "request deadline exceeded during edit-distance matching"
+    )
 
 
 def edit_distance(
@@ -46,6 +57,7 @@ def edit_distance(
     if len_r == 0:
         return float(sum(costs.delete(t) for t in left))
     obs.incr("matching.dp.cells", len_l * len_r)
+    deadline_at = deadline.current()
 
     # One row at a time; prev[j] is DistMatrix[i-1, j] of Figure 8.
     prev = [0.0] * (len_r + 1)
@@ -53,6 +65,10 @@ def edit_distance(
         prev[j] = prev[j - 1] + costs.insert(right[j - 1])
     curr = [0.0] * (len_r + 1)
     for i in range(1, len_l + 1):
+        # Cooperative cancellation: with an armed deadline, one clock
+        # read per DP row; without, a single None check per call.
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            raise _deadline_cancel(0)
         tok_l = left[i - 1]
         del_cost = costs.delete(tok_l)
         curr[0] = prev[0] + del_cost
@@ -102,6 +118,7 @@ def edit_distance_within(
 
     band = int(budget / min_indel)  # max off-diagonal drift within budget
     cells = 0  # banded DP cells actually filled (observability)
+    deadline_at = deadline.current()
     prev = [_INF] * (len_r + 1)
     limit = min(len_r, band)
     prev[0] = 0.0
@@ -109,6 +126,10 @@ def edit_distance_within(
         prev[j] = prev[j - 1] + costs.insert(right[j - 1])
     curr = [_INF] * (len_r + 1)
     for i in range(1, len_l + 1):
+        # Cooperative cancellation (see edit_distance): per-row check
+        # only while a deadline is armed by the serving layer.
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            raise _deadline_cancel(cells)
         tok_l = left[i - 1]
         del_cost = costs.delete(tok_l)
         lo = max(1, i - band)

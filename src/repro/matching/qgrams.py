@@ -30,7 +30,7 @@ from collections import Counter
 from collections.abc import Sequence
 from typing import NamedTuple
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import MatchConfigError
 
 #: Start sentinel prepended to the extended string (outside any alphabet).
@@ -190,6 +190,7 @@ def passes_filters(
     Guaranteed conservative with respect to unit-cost edit distance: if
     ``edit_distance(a, b) <= k`` then this returns True.
     """
+    faults.fire("matching.qgrams.filter")
     if not length_filter(len(tokens_a), len(tokens_b), k):
         return False
     return position_filter(tokens_a, tokens_b, k, q)

@@ -13,6 +13,12 @@ from repro.server.app import BackgroundServer, LexEqualServer, serve
 from repro.server.cache import StatementCache
 from repro.server.client import LexEqualClient
 from repro.server.protocol import DEFAULT_PORT, MAX_LINE_BYTES, OPS
+from repro.server.resilience import (
+    BreakerBoard,
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.server.service import QueryService
 from repro.server.session import Session
 from repro.server.workers import (
@@ -24,6 +30,9 @@ from repro.server.workers import (
 
 __all__ = [
     "BackgroundServer",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "DEFAULT_PORT",
     "LexEqualClient",
     "LexEqualServer",
@@ -33,6 +42,7 @@ __all__ = [
     "PoolOverloadedError",
     "PoolTimeoutError",
     "QueryService",
+    "RetryPolicy",
     "Session",
     "StatementCache",
     "WorkerPool",

@@ -27,8 +27,9 @@ import signal
 import threading
 import time
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import (
+    DeadlineExceededError,
     ProtocolError,
     ReproError,
     ServerError,
@@ -64,11 +65,16 @@ class LexEqualServer:
         max_inflight: int = 32,
         request_timeout: float | None = 30.0,
         drain_timeout: float = 10.0,
+        fault_injection: bool = False,
     ):
         self.service = service or QueryService()
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
+        #: Whether the remote ``faults`` op may reconfigure failpoints.
+        #: Off by default — chaos tooling opts in explicitly
+        #: (``lexequal serve --fault-injection`` / REPRO_FAULT_OPS=1).
+        self.fault_injection = fault_injection
         self.pool = WorkerPool(
             max_workers=max_workers,
             max_inflight=max_inflight,
@@ -106,9 +112,19 @@ class LexEqualServer:
         return self.host, self.port
 
     async def shutdown(self) -> None:
-        """Graceful drain: stop accepting, finish inflight, close."""
+        """Graceful drain: stop accepting, finish inflight, close.
+
+        Ordering matters: the listening socket must be fully closed
+        *before* the drain wait starts, so connection attempts during
+        the drain are refused at the OS level instead of being accepted
+        into a server that will never answer them.
+        """
         if self._server is not None:
             self._server.close()
+            # Let the loop process the listener close before draining;
+            # without this tick an accept already scheduled could still
+            # hand a doomed connection to _handle_connection.
+            await asyncio.sleep(0)
         self.pool.begin_drain()
         try:
             await asyncio.wait_for(
@@ -192,6 +208,11 @@ class LexEqualServer:
                 return  # EOF: client closed
             if not line.strip():
                 continue
+            if faults.fire("server.conn.drop_read"):
+                # Injected transport fault: the request line is lost
+                # before processing (a mid-request connection reset).
+                obs.incr("server.conn.injected_drops")
+                return
             session.requests += 1
             self._active_requests += 1
             self._quiesced.clear()
@@ -202,6 +223,11 @@ class LexEqualServer:
                     "server.request_seconds",
                     time.perf_counter() - started,
                 )
+                if faults.fire("server.conn.drop_write"):
+                    # Injected transport fault: the work was done but
+                    # the response bytes never reach the client.
+                    obs.incr("server.conn.injected_drops")
+                    return
                 writer.write(response)
                 await writer.drain()
             finally:
@@ -224,6 +250,16 @@ class LexEqualServer:
             obs.incr("server.errors")
             request_id = getattr(exc, "request_id", request_id)
             return protocol.error_response(request_id, exc.code, str(exc))
+        except DeadlineExceededError as exc:
+            # The worker cancelled itself cooperatively; same wire code
+            # as a protocol-level timeout, but the slot is already free.
+            # (server.deadline.cancels is counted where the worker
+            # future resolves, so it covers the common case where the
+            # asyncio timeout wins the race for the response.)
+            obs.incr("server.errors")
+            return protocol.error_response(
+                request_id, protocol.E_TIMEOUT, str(exc)
+            )
         except ServerError as exc:
             # Pool admission/timeout failures carry their wire code.
             obs.incr("server.errors")
@@ -250,6 +286,14 @@ class LexEqualServer:
             return "pong"
         if op == "stats":
             return service.stats(self.info())
+        if op == "faults":
+            if not self.fault_injection:
+                raise ProtocolError(
+                    protocol.E_INVALID,
+                    "fault injection is disabled on this server "
+                    "(start with --fault-injection)",
+                )
+            return service.faults_op(request)
         if op == "prepare":
             sql = protocol.require_str(request, "sql")
             return service.prepare(session, sql, request.get("name"))

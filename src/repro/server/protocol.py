@@ -60,8 +60,10 @@ E_SHUTTING_DOWN = "shutting_down"
 #: Unexpected server-side failure (a bug; details in the message).
 E_INTERNAL = "internal"
 
-#: Supported operations (each documented in DESIGN.md §7).
-OPS = ("ping", "query", "prepare", "execute", "lexequal", "stats")
+#: Supported operations (each documented in DESIGN.md §7).  ``faults``
+#: drives the fault-injection registry and is rejected unless the
+#: server was started with fault injection enabled.
+OPS = ("ping", "query", "prepare", "execute", "lexequal", "stats", "faults")
 
 
 def decode_request(line: bytes | str) -> dict:

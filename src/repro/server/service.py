@@ -15,9 +15,9 @@ and :mod:`repro.server.app` is just asyncio plumbing around it.
 
 from __future__ import annotations
 
-from repro import obs
+from repro import degrade, faults, obs
 from repro.core.matcher import LexEqualMatcher
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TTPError
 from repro.minidb.catalog import Database
 from repro.minidb.planner import ResultSet, execute_statement
 from repro.server.cache import StatementCache
@@ -51,17 +51,33 @@ class QueryService:
 
         SELECT/EXPLAIN produce ``{"columns", "rows", "row_count"}``; DDL
         and INSERT produce ``{"row_count"}``.
+
+        Runs under a degradation context: a per-language TTP failure
+        mid-query drops that language's rows from the match instead of
+        failing the whole request, and the payload gains
+        ``degraded: true`` plus the ``failed_languages`` list.
         """
         stmt = self.statements.statement(sql)
-        with obs.timed("server.execute"):
-            result = execute_statement(self.db, stmt, params)
+        with degrade.collecting() as failed_languages:
+            with obs.timed("server.execute"):
+                result = execute_statement(self.db, stmt, params)
         if isinstance(result, ResultSet):
-            return {
+            payload = {
                 "columns": list(result.columns),
                 "rows": jsonable_rows(result.rows),
                 "row_count": len(result.rows),
             }
-        return {"row_count": int(result)}
+        else:
+            payload = {"row_count": int(result)}
+        return self._mark_degraded(payload, failed_languages)
+
+    @staticmethod
+    def _mark_degraded(payload: dict, failed_languages: set) -> dict:
+        if failed_languages:
+            payload["degraded"] = True
+            payload["failed_languages"] = sorted(failed_languages)
+            obs.incr("server.degraded_responses")
+        return payload
 
     def prepare(self, session: Session, sql: str, name=None) -> dict:
         """Parse ``sql`` now (failing fast) and bind it in the session."""
@@ -101,7 +117,27 @@ class QueryService:
             matcher = LexEqualMatcher(
                 matcher.config.with_threshold(threshold), matcher.registry
             )
-        explanation = matcher.explain(left, right)
+        with degrade.collecting() as failed_languages:
+            try:
+                explanation = matcher.explain(left, right)
+            except TTPError as exc:
+                # A transient per-language TTP failure: degrade this
+                # comparison to NORESOURCE (unknown) instead of erroring
+                # the request — the language is down, not the server.
+                degrade.record(getattr(exc, "language", None))
+                return self._mark_degraded(
+                    {
+                        "outcome": "noresource",
+                        "match": None,
+                        "left_language": matcher.language_of(left),
+                        "right_language": matcher.language_of(right),
+                        "left_ipa": "",
+                        "right_ipa": "",
+                        "distance": None,
+                        "budget": 0.0,
+                    },
+                    failed_languages,
+                )
         outcome = explanation.outcome.value
         if languages:
             wanted = {
@@ -126,6 +162,81 @@ class QueryService:
             "budget": explanation.budget,
         }
 
+    # ------------------------------------------------------- fault ops
+
+    def faults_op(self, request: dict) -> dict:
+        """The ``faults`` op: drive the failpoint registry remotely.
+
+        Actions: ``configure`` (fields ``name`` + any of ``probability``,
+        ``latency``, ``error``, ``count``, ``languages``), ``disable``
+        (``name``), ``reset``, ``seed`` (``seed``), ``list``.  Every
+        action answers with the current registry description so chaos
+        drivers can assert their schedule took effect.  The server gates
+        this op behind its ``--fault-injection`` flag.
+        """
+        action = request.get("action", "list")
+        if action == "configure":
+            name = request.get("name")
+            if not isinstance(name, str) or not name:
+                raise ProtocolError(
+                    E_INVALID, "faults configure needs a string 'name'"
+                )
+            kwargs: dict = {}
+            for field in ("probability", "latency"):
+                value = request.get(field)
+                if value is not None:
+                    if not isinstance(value, (int, float)):
+                        raise ProtocolError(
+                            E_INVALID, f"'{field}' must be a number"
+                        )
+                    kwargs[field] = float(value)
+            error = request.get("error")
+            if error is not None:
+                if not isinstance(error, str):
+                    raise ProtocolError(E_INVALID, "'error' must be a string")
+                kwargs["error"] = error
+            count = request.get("count")
+            if count is not None:
+                if not isinstance(count, int) or isinstance(count, bool):
+                    raise ProtocolError(
+                        E_INVALID, "'count' must be an integer"
+                    )
+                kwargs["count"] = count
+            languages = request.get("languages")
+            if languages is not None:
+                if not isinstance(languages, list) or not all(
+                    isinstance(lang, str) for lang in languages
+                ):
+                    raise ProtocolError(
+                        E_INVALID, "'languages' must be a list of strings"
+                    )
+                kwargs["languages"] = tuple(languages)
+            try:
+                faults.configure(name, **kwargs)
+            except ValueError as exc:
+                raise ProtocolError(E_INVALID, str(exc)) from None
+        elif action == "disable":
+            name = request.get("name")
+            if not isinstance(name, str) or not name:
+                raise ProtocolError(
+                    E_INVALID, "faults disable needs a string 'name'"
+                )
+            faults.disable(name)
+        elif action == "reset":
+            faults.reset()
+        elif action == "seed":
+            seed = request.get("seed")
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ProtocolError(E_INVALID, "'seed' must be an integer")
+            faults.seed(seed)
+        elif action != "list":
+            raise ProtocolError(
+                E_INVALID,
+                f"unknown faults action {action!r} (supported: "
+                "configure, disable, reset, seed, list)",
+            )
+        return {"failpoints": faults.describe()}
+
     # ------------------------------------------------------------- stats
 
     def stats(self, server_info: dict | None = None) -> dict:
@@ -137,5 +248,6 @@ class QueryService:
                 name: len(self.db.table(name))
                 for name in self.db.table_names()
             },
+            "faults": faults.describe(),
             "metrics": obs.snapshot(),
         }

@@ -34,8 +34,8 @@ from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro import obs
-from repro.errors import ServerError
+from repro import deadline, faults, obs
+from repro.errors import DeadlineExceededError, ServerError
 
 
 class PoolOverloadedError(ServerError):
@@ -97,6 +97,13 @@ class WorkerPool:
         if self._draining:
             obs.incr("server.rejects.draining")
             raise PoolDrainingError("server is shutting down")
+        if faults.fire("pool.admit"):
+            # Injected admission failure: surfaces as the same
+            # structured overload reject a saturated pool produces.
+            obs.incr("server.rejects.overloaded")
+            raise PoolOverloadedError(
+                "server overloaded (injected admission fault); retry later"
+            )
         if self._inflight >= self.max_inflight:
             obs.incr("server.rejects.overloaded")
             raise PoolOverloadedError(
@@ -113,11 +120,27 @@ class WorkerPool:
         self._idle.clear()
         admitted = time.perf_counter()
 
+        # The cooperative deadline mirrors the protocol timeout and is
+        # anchored at admission (queue wait spends budget too): when the
+        # response is already doomed to a `timeout` error, the worker
+        # thread aborts its DP matching (repro.deadline) instead of
+        # burning the slot to completion.
+        deadline_at = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+
         def timed_fn():
             started = time.perf_counter()
             obs.observe("server.queue_wait_seconds", started - admitted)
+            remaining = (
+                deadline_at - time.monotonic()
+                if deadline_at is not None
+                else None
+            )
             try:
-                return fn()
+                with deadline.deadline_scope(remaining):
+                    faults.fire("pool.execute")  # latency/error injection
+                    return fn()
             finally:
                 obs.observe(
                     "server.worker_seconds", time.perf_counter() - started
@@ -140,7 +163,11 @@ class WorkerPool:
         # Runs on the event loop.  Retrieve the exception of abandoned
         # (timed-out) futures so asyncio does not log it as unhandled.
         if not future.cancelled():
-            future.exception()
+            exc = future.exception()
+            if isinstance(exc, DeadlineExceededError):
+                # The worker aborted its DP cooperatively: the slot is
+                # back this much earlier than run-to-completion.
+                obs.incr("server.deadline.cancels")
         self._inflight -= 1
         if self._inflight == 0:
             self._idle.set()

@@ -17,7 +17,7 @@ import threading
 import unicodedata
 from collections.abc import Iterable
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import TTPError, UnsupportedLanguageError
 from repro.phonetics.parse import PhonemeString
 from repro.ttp.base import TTPConverter, builtin_converters
@@ -86,10 +86,21 @@ class TTPRegistry:
         registry was built with ``fold=False``.
         """
         key = (language.lower(), text)
+        # Failpoint before the cache lookup so fault schedules keep
+        # injecting per-language failures even for warmed strings (the
+        # chaos harness relies on this for degraded-response coverage).
+        faults.fire("ttp.transform", language=key[0])
         cached = self._cache.get(key)  # lock-free hit path
         if cached is None:
             obs.incr("ttp.cache.misses")
-            converted = self.converter_for(language).to_phonemes(text)
+            try:
+                converted = self.converter_for(language).to_phonemes(text)
+            except TTPError as exc:
+                # Tag the failing language so degradation contexts can
+                # report *which* script dropped out of a match.
+                if getattr(exc, "language", None) is None:
+                    exc.language = key[0]
+                raise
             if self.fold:
                 from repro.phonetics.folding import fold_phonemes
 

@@ -1,0 +1,223 @@
+"""Chaos tests: the real server under a randomized failpoint schedule.
+
+The harness drives concurrent resilient clients against a
+:class:`BackgroundServer` while seeded failpoints inject connection
+drops, per-language TTP failures, and admission rejects, then asserts
+the robustness contract:
+
+* **zero wrong results** — every successful response is either exactly
+  correct or *properly degraded* (missing rows are explained by the
+  ``failed_languages`` it reports);
+* **zero hangs** — every request resolves (success or structured
+  error) within a hard wall-clock bound;
+* **bounded error rate** — retries absorb almost all injected faults.
+
+``scripts/chaos_smoke.py`` runs the same contract at CI scale (500
+requests); this test keeps a smaller schedule inside the tier-1 suite.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.errors import (
+    CircuitOpenError,
+    RequestFailedError,
+    TransportError,
+)
+from repro.server import BackgroundServer, LexEqualClient, RetryPolicy
+
+SEED = 2004
+
+LEXEQUAL_SQL = (
+    "SELECT author FROM books "
+    "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+)
+#: The query's full answer, and the language each row belongs to.
+LANG_OF = {"Nehru": "english", "नेहरु": "hindi", "நேரு": "tamil"}
+EXPECTED_AUTHORS = frozenset(LANG_OF)
+
+#: Structured error codes a chaos run is allowed to surface: both mean
+#: "not executed / give up cleanly", never a wrong answer.
+ACCEPTABLE_CODES = frozenset({"overloaded", "timeout", "shutting_down"})
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faults.reset()
+    yield
+    faults.reset()
+    obs.disable()
+
+
+def classify_query(result: dict):
+    """Check one query response; returns (kind, detail)."""
+    authors = {row[0]["text"] for row in result["rows"]}
+    extra = authors - EXPECTED_AUTHORS
+    if extra:
+        return "wrong", f"unexpected rows {extra}"
+    missing = EXPECTED_AUTHORS - authors
+    if not missing:
+        return "ok", None
+    if not result.get("degraded"):
+        return "wrong", f"missing {missing} without degraded marker"
+    failed = set(result.get("failed_languages", ()))
+    unexplained = {
+        name
+        for name in missing
+        # The english query operand failing can lose any row; otherwise
+        # a missing row must belong to a reported failed language.
+        if LANG_OF[name] not in failed and "english" not in failed
+    }
+    if unexplained:
+        return "wrong", f"missing {unexplained} not explained by {failed}"
+    return "degraded", None
+
+
+def classify_lexequal(result: dict):
+    """Check one lexequal('Nehru', 'नेहरु') response."""
+    outcome = result.get("outcome")
+    if outcome == "true":
+        return "ok", None
+    if outcome == "noresource" and result.get("degraded"):
+        failed = set(result.get("failed_languages", ()))
+        if failed & {"hindi", "english"}:
+            return "degraded", None
+    return "wrong", f"bad lexequal outcome {result!r}"
+
+
+def chaos_schedule():
+    """~10% connection drops, ~5% TTP failures, occasional rejects."""
+    faults.seed(SEED)
+    faults.configure("server.conn.drop_read", probability=0.05)
+    faults.configure("server.conn.drop_write", probability=0.05)
+    faults.configure(
+        "ttp.transform",
+        probability=0.05,
+        error="ttp",
+        languages=("hindi", "tamil"),
+    )
+    faults.configure("pool.admit", probability=0.03)
+
+
+class TestChaos:
+    ROUNDS = 25
+    CLIENTS = 4
+    #: Hard per-request wall bound: anything slower counts as a hang.
+    REQUEST_WALL_SECONDS = 30.0
+
+    def test_randomized_schedule_yields_no_wrong_results_or_hangs(self):
+        outcomes: list = []  # (kind, detail) per request, all threads
+        lock = threading.Lock()
+
+        def record(kind, detail=None):
+            with lock:
+                outcomes.append((kind, detail))
+
+        def worker(host, port):
+            retry = RetryPolicy(
+                max_attempts=6, base_delay=0.01, max_delay=0.2
+            )
+            client = LexEqualClient(
+                host, port, timeout=self.REQUEST_WALL_SECONDS, retry=retry
+            )
+            try:
+                for round_no in range(self.ROUNDS):
+                    op = round_no % 3
+                    started = time.monotonic()
+                    try:
+                        if op == 0:
+                            record(*classify_query(client.query(LEXEQUAL_SQL)))
+                        elif op == 1:
+                            record(
+                                *classify_lexequal(
+                                    client.lexequal("Nehru", "नेहरु")
+                                )
+                            )
+                        else:
+                            if client.ping() == "pong":
+                                record("ok")
+                            else:
+                                record("wrong", "bad ping")
+                    except RequestFailedError as exc:
+                        if exc.code in ACCEPTABLE_CODES:
+                            record("error", exc.code)
+                        else:
+                            record("wrong", f"unexpected code {exc.code}")
+                    except (TransportError, CircuitOpenError) as exc:
+                        # Retries exhausted: a clean failure, not a
+                        # wrong answer — but it must count against the
+                        # error budget.
+                        record("error", repr(exc))
+                    elapsed = time.monotonic() - started
+                    if elapsed > self.REQUEST_WALL_SECONDS:
+                        record("hang", f"{elapsed:.1f}s")
+            except Exception as exc:  # pragma: no cover - harness bug
+                record("crash", repr(exc))
+            finally:
+                client.close()
+
+        with BackgroundServer(fault_injection=True, max_workers=4) as bg:
+            chaos_schedule()
+            threads = [
+                threading.Thread(target=worker, args=(bg.host, bg.port))
+                for _ in range(self.CLIENTS)
+            ]
+            started = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180.0)
+            hung_threads = [t for t in threads if t.is_alive()]
+            total_wall = time.monotonic() - started
+            fired = faults.describe()
+            faults.reset()  # stop injecting before drain/shutdown
+
+        total = self.ROUNDS * self.CLIENTS
+        by_kind: dict = {}
+        for kind, _ in outcomes:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        wrong = [o for o in outcomes if o[0] == "wrong"]
+        hangs = [o for o in outcomes if o[0] == "hang"]
+        crashes = [o for o in outcomes if o[0] == "crash"]
+
+        assert not hung_threads, f"hung worker threads after {total_wall:.0f}s"
+        assert len(outcomes) >= total - len(crashes) * self.ROUNDS
+        assert not crashes, crashes[:3]
+        assert not wrong, wrong[:5]
+        assert not hangs, hangs[:5]
+        # The schedule actually injected faults (the run was not a
+        # trivially healthy one).
+        assert sum(point["fires"] for point in fired.values()) > 0
+        # Bounded error rate: retries ride through almost everything.
+        errors = by_kind.get("error", 0)
+        assert errors <= total * 0.2, (by_kind, outcomes[:10])
+
+    def test_seeded_schedule_is_reproducible_single_threaded(self):
+        """One client, fixed seed: two runs see identical fire patterns."""
+
+        def run():
+            with BackgroundServer(fault_injection=True, max_workers=1) as bg:
+                faults.seed(SEED)
+                faults.configure(
+                    "server.conn.drop_write", probability=0.3
+                )
+                kinds = []
+                with LexEqualClient(
+                    bg.host,
+                    bg.port,
+                    timeout=10.0,
+                    retry=RetryPolicy(max_attempts=8, base_delay=0.0),
+                ) as client:
+                    for _ in range(20):
+                        kinds.append(client.ping())
+                fired = faults.describe()["server.conn.drop_write"]["fires"]
+                faults.reset()
+                return kinds, fired
+
+        kinds_a, fired_a = run()
+        kinds_b, fired_b = run()
+        assert kinds_a == kinds_b == ["pong"] * 20
+        assert fired_a == fired_b > 0

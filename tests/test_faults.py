@@ -1,0 +1,243 @@
+"""Unit tests for the fault-injection failpoint registry (repro.faults)."""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import deadline, faults
+from repro.errors import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    TTPError,
+)
+from repro.faults import FaultRegistry, parse_spec
+from repro.matching.editdist import edit_distance_within
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestRegistryModes:
+    def test_unconfigured_fire_is_false(self):
+        reg = FaultRegistry()
+        assert reg.fire("nope") is False
+        assert reg.active is False
+
+    def test_always_fires_when_configured(self):
+        reg = FaultRegistry()
+        reg.configure("point")
+        assert reg.active is True
+        assert reg.fire("point") is True
+        assert reg.fire("other") is False
+
+    def test_probability_zero_never_fires(self):
+        reg = FaultRegistry()
+        reg.configure("point", probability=0.0)
+        assert not any(reg.fire("point") for _ in range(200))
+
+    def test_probability_is_deterministic_under_seed(self):
+        def schedule():
+            reg = FaultRegistry()
+            reg.seed(2004)
+            reg.configure("point", probability=0.3)
+            return [reg.fire("point") for _ in range(100)]
+
+        first, second = schedule(), schedule()
+        assert first == second
+        assert 5 <= sum(first) <= 60  # p=0.3 over 100 draws
+
+    def test_n_shot_limits_fires(self):
+        reg = FaultRegistry()
+        reg.configure("point", count=3)
+        fired = [reg.fire("point") for _ in range(10)]
+        assert fired == [True] * 3 + [False] * 7
+        info = reg.describe()["point"]
+        assert info["hits"] == 10
+        assert info["fires"] == 3
+        assert info["remaining"] == 0
+
+    def test_error_kinds_raise(self):
+        reg = FaultRegistry()
+        reg.configure("point", error="fault")
+        with pytest.raises(FaultInjectedError):
+            reg.fire("point")
+        reg.configure("point", error="conn")
+        with pytest.raises(ConnectionResetError):
+            reg.fire("point")
+        reg.configure("point", error="internal")
+        with pytest.raises(RuntimeError):
+            reg.fire("point")
+
+    def test_ttp_error_carries_language(self):
+        reg = FaultRegistry()
+        reg.configure("point", error="ttp")
+        with pytest.raises(TTPError) as err:
+            reg.fire("point", language="hindi")
+        assert err.value.language == "hindi"
+
+    def test_language_filter(self):
+        reg = FaultRegistry()
+        reg.configure("point", error="ttp", languages=("hindi", "tamil"))
+        assert reg.fire("point", language="english") is False
+        assert reg.fire("point") is False  # no language at the site
+        with pytest.raises(TTPError):
+            reg.fire("point", language="Hindi")  # case-insensitive
+
+    def test_latency_mode_sleeps(self):
+        reg = FaultRegistry()
+        reg.configure("point", latency=0.05)
+        started = time.perf_counter()
+        assert reg.fire("point") is True
+        assert time.perf_counter() - started >= 0.045
+
+    def test_disable_and_reset(self):
+        reg = FaultRegistry()
+        reg.configure("a")
+        reg.configure("b")
+        reg.disable("a")
+        assert reg.fire("a") is False
+        assert reg.fire("b") is True
+        assert reg.active is True
+        reg.reset()
+        assert reg.active is False
+        assert reg.describe() == {}
+
+    def test_validation_errors(self):
+        reg = FaultRegistry()
+        with pytest.raises(ValueError):
+            reg.configure("p", probability=1.5)
+        with pytest.raises(ValueError):
+            reg.configure("p", latency=-1)
+        with pytest.raises(ValueError):
+            reg.configure("p", error="no-such-kind")
+        with pytest.raises(ValueError):
+            reg.configure("p", count=0)
+
+
+class TestParseSpec:
+    def test_full_grammar(self):
+        reg = FaultRegistry()
+        parse_spec(
+            "server.conn.drop_write:p=0.1;"
+            "ttp.transform:error=ttp,p=0.05,langs=hindi|tamil;"
+            "pool.admit:count=2,latency=0.01",
+            reg,
+        )
+        info = reg.describe()
+        assert info["server.conn.drop_write"]["probability"] == 0.1
+        assert info["ttp.transform"]["error"] == "ttp"
+        assert info["ttp.transform"]["languages"] == ["hindi", "tamil"]
+        assert info["pool.admit"]["remaining"] == 2
+        assert info["pool.admit"]["latency"] == 0.01
+
+    def test_bare_name_always_fires(self):
+        reg = FaultRegistry()
+        parse_spec("point", reg)
+        assert reg.fire("point") is True
+
+    def test_malformed_specs_rejected(self):
+        reg = FaultRegistry()
+        with pytest.raises(ValueError):
+            parse_spec(":p=0.5", reg)
+        with pytest.raises(ValueError):
+            parse_spec("point:junk", reg)
+        with pytest.raises(ValueError):
+            parse_spec("point:frob=1", reg)
+
+
+class TestSuppression:
+    def test_suppressed_scope_masks_and_restores(self):
+        faults.configure("point", error="fault")
+        with faults.suppressed():
+            assert faults.is_active() is False
+            assert faults.fire("point") is False
+        assert faults.is_active() is True
+        with pytest.raises(FaultInjectedError):
+            faults.fire("point")
+
+    def test_demo_catalog_builds_under_p1_ttp_fault(self):
+        # Regression: a REPRO_FAULTS schedule must break queries, not
+        # server bootstrap — the demo catalog (and its phonetic index)
+        # builds with failpoints suppressed.
+        from repro.core.integration import demo_books_db
+
+        faults.configure("ttp.transform", error="ttp")
+        db = demo_books_db("qgram")
+        assert len(db.table("books")) == 6
+
+
+class TestEnvActivation:
+    def test_repro_faults_env_configures_at_import(self):
+        code = (
+            "from repro import faults; "
+            "info = faults.describe(); "
+            "print(faults.is_active(), "
+            "info['point']['probability'], "
+            "info['other']['error'])"
+        )
+        env = dict(os.environ)
+        env["REPRO_FAULTS"] = "point:p=0.25;other:error=conn"
+        env["REPRO_FAULTS_SEED"] = "7"
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout.strip() == "True 0.25 conn"
+
+
+class TestGlobalRegistry:
+    def test_module_level_wrappers(self):
+        assert faults.is_active() is False
+        assert faults.fire("point") is False
+        faults.configure("point", count=1)
+        assert faults.is_active() is True
+        assert faults.fire("point") is True
+        assert faults.fire("point") is False
+        assert faults.describe()["point"]["fires"] == 1
+        faults.disable("point")
+        assert faults.is_active() is False
+
+
+class TestDeadlineScope:
+    def test_no_deadline_is_a_noop(self):
+        with deadline.deadline_scope(None):
+            assert deadline.current() is None
+            assert deadline.expired() is False
+            deadline.check()  # must not raise
+
+    def test_expired_deadline_raises_on_check(self):
+        with deadline.deadline_scope(-0.001):
+            assert deadline.expired() is True
+            with pytest.raises(DeadlineExceededError):
+                deadline.check("unit test")
+
+    def test_nested_scope_keeps_tighter_deadline(self):
+        with deadline.deadline_scope(10.0):
+            outer = deadline.current()
+            with deadline.deadline_scope(100.0):
+                assert deadline.current() == outer  # inner cannot loosen
+            with deadline.deadline_scope(0.001):
+                assert deadline.current() < outer
+            assert deadline.current() == outer
+        assert deadline.current() is None
+
+    def test_dp_matching_cancels_cooperatively(self):
+        left = tuple("nehru" * 20)
+        right = tuple("nehrunehru" * 10)
+        with deadline.deadline_scope(-0.001):
+            with pytest.raises(DeadlineExceededError):
+                edit_distance_within(left, right, 1000.0)
+        # Outside the scope the same call completes normally.
+        assert edit_distance_within(left, right, 1000.0) is not None
