@@ -14,6 +14,9 @@ else
     echo "ruff not installed; skipping (CI runs it)"
 fi
 
+echo "== domain lint (repro.analysis, DESIGN.md §8) =="
+PYTHONPATH=src python -m repro.cli lint
+
 echo "== benchmark smoke (Table 1) =="
 REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \
 REPRO_BENCH_JOIN="${REPRO_BENCH_JOIN:-100}" \

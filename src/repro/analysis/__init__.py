@@ -1,0 +1,49 @@
+"""``repro.analysis`` — domain-aware static analysis for the repo.
+
+A pluggable lint pass over the things generic linters cannot check:
+IPA literals in phonetic tables (LEX-D001), the cluster partition
+(LEX-D002), cost-model metric axioms (LEX-D003), NRL rule reachability
+(LEX-D004), script coverage (LEX-D005), protocol-op drift (LEX-A001),
+failpoint drift (LEX-A002), metric-name convention (LEX-A003), and lock
+discipline (LEX-A004).  Run it as ``python -m repro.cli lint``; CI runs
+it with ``--format json`` and fails on non-baselined findings.  See
+DESIGN.md §8.
+"""
+
+from repro.analysis.base import AnalysisContext, Rule, detect_repo_root
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import (
+    LintResult,
+    LintUsageError,
+    default_rules,
+    lint,
+    run_rules,
+    select_rules,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "BASELINE_FILENAME",
+    "Finding",
+    "LintResult",
+    "LintUsageError",
+    "Rule",
+    "SEVERITIES",
+    "apply_baseline",
+    "default_rules",
+    "detect_repo_root",
+    "lint",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_rules",
+    "save_baseline",
+    "select_rules",
+]

@@ -1,0 +1,212 @@
+"""Rule base class and the shared analysis context.
+
+A rule is a small object with a stable ``rule_id`` (``LEX-D001`` ...), a
+human ``name`` (``ipa-literals``), and a ``run(ctx)`` method yielding
+:class:`~repro.analysis.findings.Finding` objects.  Rules are
+constructed with their *targets* (table specs, file lists, registries)
+defaulting to the real repo artifacts, so tests can point the same rule
+at fixture tables with seeded violations and assert it fires.
+
+:class:`AnalysisContext` memoizes source text and parsed ASTs per file
+and knows how to locate literals inside table assignments, so data rules
+can report precise ``file:line`` anchors for dict/tuple entries.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+def detect_repo_root() -> Path:
+    """The repository root: the ancestor of ``repro`` with pyproject.toml.
+
+    Falls back to the current directory (useful when linting an sdist
+    checkout whose package is installed elsewhere).
+    """
+    import repro
+
+    package = Path(repro.__file__).resolve().parent
+    for candidate in package.parents:
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+class AnalysisContext:
+    """Shared, cached view of the repository for one analysis run."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else detect_repo_root()
+        self._sources: dict[Path, str] = {}
+        self._trees: dict[Path, ast.Module] = {}
+
+    # ------------------------------------------------------------ paths
+
+    def resolve(self, path: str | Path) -> Path:
+        p = Path(path)
+        return p if p.is_absolute() else self.root / p
+
+    def rel(self, path: str | Path) -> str:
+        """Repo-relative posix path when possible, else the path as-is."""
+        p = Path(path).resolve()
+        try:
+            return p.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return p.as_posix()
+
+    def python_files(self, subdir: str = "src/repro") -> list[str]:
+        base = self.resolve(subdir)
+        return sorted(
+            self.rel(p) for p in base.rglob("*.py") if p.is_file()
+        )
+
+    # ----------------------------------------------------------- caches
+
+    def source(self, path: str | Path) -> str:
+        p = self.resolve(path).resolve()
+        if p not in self._sources:
+            self._sources[p] = p.read_text(encoding="utf-8")
+        return self._sources[p]
+
+    def tree(self, path: str | Path) -> ast.Module:
+        p = self.resolve(path).resolve()
+        if p not in self._trees:
+            self._trees[p] = ast.parse(self.source(p), filename=str(p))
+        return self._trees[p]
+
+    # ------------------------------------------------- literal location
+
+    def assignment(self, path: str | Path, attr: str) -> ast.AST | None:
+        """The value expression assigned to module-level name ``attr``."""
+        for node in self.tree(path).body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return node.value
+        return None
+
+    def literal(self, path: str | Path, attr: str):
+        """Evaluate the literal assigned to module-level name ``attr``.
+
+        Handles plain literals plus the ``frozenset({...})`` /
+        ``tuple([...])`` constructor idiom.  Returns ``None`` when the
+        name is missing or its value is not a literal.
+        """
+        try:
+            value = self.assignment(path, attr)
+        except (OSError, SyntaxError):
+            return None
+        if value is None:
+            return None
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("frozenset", "set", "tuple", "list", "dict")
+            and len(value.args) == 1
+            and not value.keywords
+        ):
+            value = value.args[0]
+        try:
+            return ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            return None
+
+    def assignment_line(self, path: str | Path, attr: str) -> int:
+        """Line of the module-level assignment to ``attr`` (1 if absent)."""
+        try:
+            value = self.assignment(path, attr)
+        except (OSError, SyntaxError):
+            return 1
+        return getattr(value, "lineno", 1)
+
+    def literal_line(
+        self, path: str | Path, attr: str, literal: str
+    ) -> int:
+        """Line of the string constant ``literal`` inside ``attr``'s value.
+
+        Falls back to the assignment's first line, then to 1.
+        """
+        try:
+            value = self.assignment(path, attr)
+        except (OSError, SyntaxError):
+            return 1
+        if value is None:
+            return 1
+        for node in ast.walk(value):
+            if isinstance(node, ast.Constant) and node.value == literal:
+                return node.lineno
+        return getattr(value, "lineno", 1)
+
+    def tuple_lines(
+        self, path: str | Path, attr: str
+    ) -> list[tuple[tuple, int]]:
+        """``(values, line)`` for each literal tuple inside ``attr``.
+
+        Used to anchor findings about rule-table entries: the n-th tuple
+        of the source literal corresponds to the n-th rule of the loaded
+        table.
+        """
+        try:
+            value = self.assignment(path, attr)
+        except (OSError, SyntaxError):
+            return []
+        if value is None:
+            return []
+        out: list[tuple[tuple, int]] = []
+        for element in getattr(value, "elts", []):
+            if isinstance(element, ast.Tuple):
+                try:
+                    values = tuple(
+                        ast.literal_eval(item) for item in element.elts
+                    )
+                except (ValueError, SyntaxError):
+                    continue
+                out.append((values, element.lineno))
+        return out
+
+
+class Rule(abc.ABC):
+    """One analyzer: stable id, human name, severity, and a run method."""
+
+    rule_id: str
+    name: str
+    description: str
+    severity: str = "error"
+
+    @abc.abstractmethod
+    def run(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        """Yield findings against the context's repository."""
+
+    def finding(
+        self,
+        file: str,
+        line: int,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            file=file,
+            line=line,
+            message=message,
+            severity=severity or self.severity,
+        )
+
+    def matches(self, token: str) -> bool:
+        """True if a ``--select``/``--ignore`` token names this rule."""
+        return token in (self.rule_id, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rule {self.rule_id} ({self.name})>"

@@ -1,0 +1,63 @@
+"""Baseline suppression: accepted findings that should not fail CI.
+
+The baseline file (``.lint-baseline.json`` at the repo root) records
+findings that are known and deliberately tolerated — the escape hatch
+that lets a new rule land while its pre-existing violations are burned
+down incrementally.  Entries match on ``(rule, file, message)``; line
+numbers are excluded so unrelated edits cannot un-suppress a finding.
+
+The shipped baseline is empty: every analyzer runs clean on the repo,
+and the CI ``lint-domain`` job fails on any non-baselined finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Default baseline filename, resolved against the repo root.
+BASELINE_FILENAME = ".lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Suppression keys from a baseline file (empty if it is missing)."""
+    p = Path(path)
+    if not p.is_file():
+        return set()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    suppressions = data.get("suppressions", [])
+    keys: set[tuple[str, str, str]] = set()
+    for entry in suppressions:
+        keys.add((entry["rule"], entry["file"], entry["message"]))
+    return keys
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write a baseline suppressing every finding in ``findings``."""
+    payload = {
+        "version": 1,
+        "suppressions": [
+            {"rule": f.rule, "file": f.file, "message": f.message}
+            for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, ensure_ascii=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed) against a baseline."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if finding.baseline_key() in baseline:
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed

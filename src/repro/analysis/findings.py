@@ -1,0 +1,56 @@
+"""The finding model shared by every analyzer and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Finding severities, most severe first.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a ``file:line`` location.
+
+    ``file`` is repository-relative (posix separators) whenever the
+    offending file lives under the repo root, so findings are stable
+    across checkouts — which is what lets the baseline file and CI
+    artifact diffs work.
+    """
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r} "
+                f"(known: {', '.join(SEVERITIES)})"
+            )
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.rule, self.message)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline suppression.
+
+        Line numbers are deliberately excluded: a baselined finding must
+        stay suppressed when unrelated edits shift it down the file.
+        """
+        return (self.rule, self.file, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+        }

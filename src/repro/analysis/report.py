@@ -1,0 +1,55 @@
+"""Reporters: render findings as terminal text or a JSON document."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+
+
+def render_text(
+    findings: list[Finding],
+    *,
+    suppressed: int = 0,
+    rules_run: int = 0,
+) -> str:
+    """Compiler-style listing: ``file:line: rule [severity] message``."""
+    lines = [
+        f"{f.location}: {f.rule} [{f.severity}] {f.message}"
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    summary = (
+        f"{len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    if rules_run:
+        summary += f" — {rules_run} rule(s) run"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: list[Finding],
+    *,
+    root: str = "",
+    rules: list[dict] | None = None,
+    suppressed: list[Finding] | None = None,
+) -> str:
+    """Machine-readable report (consumed by the CI ``lint-domain`` job)."""
+    doc = {
+        "version": 1,
+        "root": root,
+        "rules": rules or [],
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+        ],
+        "suppressed": [
+            f.to_dict()
+            for f in sorted(suppressed or [], key=Finding.sort_key)
+        ],
+    }
+    return json.dumps(doc, indent=2, ensure_ascii=False)

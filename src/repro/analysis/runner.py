@@ -1,0 +1,151 @@
+"""Rule registry, selection, and the one-call lint entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import AnalysisContext, Rule
+from repro.analysis.baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+class LintUsageError(ValueError):
+    """A ``--select``/``--ignore`` token names no known rule."""
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every shipped analyzer, in rule-id order."""
+    from repro.analysis.astrules import (
+        FailpointDrift,
+        LockDiscipline,
+        MetricNames,
+        OpDrift,
+    )
+    from repro.analysis.datarules import (
+        ClusterPartition,
+        IpaLiterals,
+        MetricAxioms,
+        ScriptCoverage,
+        TtpShadowing,
+    )
+
+    return [
+        IpaLiterals(),
+        ClusterPartition(),
+        MetricAxioms(),
+        TtpShadowing(),
+        ScriptCoverage(),
+        OpDrift(),
+        FailpointDrift(),
+        MetricNames(),
+        LockDiscipline(),
+    ]
+
+
+def select_rules(
+    rules: list[Rule],
+    select: tuple[str, ...] = (),
+    ignore: tuple[str, ...] = (),
+) -> list[Rule]:
+    """Filter ``rules`` by id or name; unknown tokens are an error."""
+    for token in (*select, *ignore):
+        if not any(rule.matches(token) for rule in rules):
+            known = ", ".join(
+                f"{r.rule_id} ({r.name})" for r in rules
+            )
+            raise LintUsageError(
+                f"unknown rule {token!r} (known: {known})"
+            )
+    if select:
+        rules = [
+            r for r in rules if any(r.matches(t) for t in select)
+        ]
+    return [
+        r for r in rules if not any(r.matches(t) for t in ignore)
+    ]
+
+
+def run_rules(
+    ctx: AnalysisContext, rules: list[Rule]
+) -> list[Finding]:
+    """Run every rule, converting analyzer crashes into findings.
+
+    A crashed analyzer must fail the lint loudly rather than silently
+    vouching for tables it never checked.
+    """
+    findings: list[Finding] = []
+    for rule in rules:
+        try:
+            findings.extend(rule.run(ctx))
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            findings.append(
+                Finding(
+                    rule=rule.rule_id,
+                    file="<analysis>",
+                    line=0,
+                    message=(
+                        f"analyzer {rule.name} crashed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
+    return sorted(findings, key=Finding.sort_key)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, pre-split against the baseline."""
+
+    findings: list[Finding]
+    suppressed: list[Finding] = field(default_factory=list)
+    rules: list[Rule] = field(default_factory=list)
+    root: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def rule_meta(self) -> list[dict]:
+        return [
+            {
+                "id": r.rule_id,
+                "name": r.name,
+                "description": r.description,
+            }
+            for r in self.rules
+        ]
+
+
+def lint(
+    root: str | Path | None = None,
+    *,
+    select: tuple[str, ...] = (),
+    ignore: tuple[str, ...] = (),
+    baseline_path: str | Path | None = None,
+    rules: list[Rule] | None = None,
+) -> LintResult:
+    """Run the full analysis pass against a repository checkout.
+
+    ``baseline_path`` defaults to ``<root>/.lint-baseline.json``; a
+    missing baseline file suppresses nothing.
+    """
+    ctx = AnalysisContext(root)
+    active_rules = select_rules(
+        rules if rules is not None else default_rules(), select, ignore
+    )
+    findings = run_rules(ctx, active_rules)
+    if baseline_path is None:
+        baseline_path = ctx.root / BASELINE_FILENAME
+    baseline = load_baseline(baseline_path)
+    active, suppressed = apply_baseline(findings, baseline)
+    return LintResult(
+        findings=active,
+        suppressed=suppressed,
+        rules=active_rules,
+        root=str(ctx.root),
+    )

@@ -29,6 +29,13 @@ Commands:
 ``stats [--json]``
     Run a representative matching workload with metrics enabled and
     print the collected counters/timers/histograms.
+
+``lint [--format text|json] [--select RULES] [--ignore RULES]``
+    Run the domain-aware static-analysis pass (``repro.analysis``) over
+    the repository: phonetic-table IPA literals, cluster partition,
+    metric axioms, rule-table reachability, script coverage, and the
+    cross-layer op/failpoint/metric/lock registries.  Exit code 0 when
+    clean, 1 on findings, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -332,6 +339,70 @@ def _render_value(value) -> str:
     return str(value)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LintUsageError,
+        default_rules,
+        lint,
+        render_json,
+        render_text,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.name:18s} {rule.description}")
+        return 0
+    select = tuple(
+        token for part in args.select for token in part.split(",") if token
+    )
+    ignore = tuple(
+        token for part in args.ignore for token in part.split(",") if token
+    )
+    try:
+        result = lint(
+            args.root,
+            select=select,
+            ignore=ignore,
+            baseline_path=args.baseline,
+        )
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        from repro.analysis import BASELINE_FILENAME
+
+        path = args.baseline or (
+            f"{result.root}/{BASELINE_FILENAME}"
+        )
+        save_baseline(path, result.findings + result.suppressed)
+        print(
+            f"wrote baseline suppressing "
+            f"{len(result.findings) + len(result.suppressed)} finding(s) "
+            f"to {path}"
+        )
+        return 0
+    if args.format == "json":
+        rendered = render_json(
+            result.findings,
+            root=result.root,
+            rules=result.rule_meta(),
+            suppressed=result.suppressed,
+        )
+    else:
+        rendered = render_text(
+            result.findings,
+            suppressed=len(result.suppressed),
+            rules_run=len(result.rules),
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    return 0 if result.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lexequal",
@@ -486,6 +557,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, help="names per domain (smaller = faster)"
     )
     p_dis.set_defaults(func=cmd_dismissals)
+
+    p_lint = sub.add_parser(
+        "lint", help="domain-aware static analysis (repro.analysis)"
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="run only these rules (ids or names, comma-separated; "
+        "repeatable)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="skip these rules (ids or names, comma-separated; "
+        "repeatable)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        help="baseline suppression file "
+        "(default: <root>/.lint-baseline.json)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="suppress every current finding by writing the baseline",
+    )
+    p_lint.add_argument(
+        "--output",
+        help="write the report to a file instead of stdout",
+    )
+    p_lint.add_argument(
+        "--root", help="repository root (default: auto-detected)"
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

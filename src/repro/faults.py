@@ -59,6 +59,7 @@ from repro import obs
 from repro.errors import FaultInjectedError, TTPError
 
 __all__ = [
+    "FAILPOINTS",
     "FaultInjectedError",
     "configure",
     "describe",
@@ -94,6 +95,24 @@ ERROR_KINDS = {
         f"injected internal error at failpoint {point.name!r}"
     ),
 }
+
+
+#: Every failpoint name compiled into the library's hot paths.  This is
+#: the single source of truth for chaos schedules and docs; the static
+#: analysis pass (``repro.analysis``, rule LEX-A002) cross-checks it
+#: against the actual ``faults.fire(...)`` call sites in both
+#: directions, so a renamed or added site cannot silently drift.
+FAILPOINTS = frozenset(
+    {
+        "matching.bktree.search",
+        "matching.qgrams.filter",
+        "pool.admit",
+        "pool.execute",
+        "server.conn.drop_read",
+        "server.conn.drop_write",
+        "ttp.transform",
+    }
+)
 
 
 class _Failpoint:

@@ -23,6 +23,11 @@ from repro.matching.editdist import (
     edit_distance_within,
     distance_matrix,
 )
+from repro.matching.metric import (
+    MetricViolation,
+    check_metric_axioms,
+    validate_metric,
+)
 from repro.matching.qgrams import (
     PositionalQGram,
     positional_qgrams,
@@ -42,6 +47,9 @@ __all__ = [
     "edit_distance",
     "edit_distance_within",
     "distance_matrix",
+    "MetricViolation",
+    "check_metric_axioms",
+    "validate_metric",
     "PositionalQGram",
     "positional_qgrams",
     "qgram_profile",

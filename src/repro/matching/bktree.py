@@ -10,8 +10,11 @@ whose distance interval can intersect ``[d(q, node) - r, d(q, node) + r]``.
 Requirements and properties:
 
 * the distance must be a metric.  The Clustered Edit Distance with
-  symmetric substitution costs and equal insert/delete costs is one
-  (the property suite checks symmetry and the triangle inequality);
+  symmetric substitution costs and equal insert/delete costs is one;
+  pass the backing cost model as ``validate_costs`` to have
+  :func:`repro.matching.metric.validate_metric` prove the axioms over
+  the phoneme inventory at construction time (the static-analysis rule
+  LEX-D003 runs the same checker over the shipped models in CI);
 * distances here are real-valued (fractional costs), so children are
   bucketed by ``floor(distance / resolution)``; a bucket ``b`` holds
   children at distances in ``[b*res, (b+1)*res)`` and pruning uses the
@@ -41,13 +44,32 @@ class _Node:
 
 
 class BKTree:
-    """A BK-tree mapping token sequences to items, with range search."""
+    """A BK-tree mapping token sequences to items, with range search.
 
-    def __init__(self, distance: DistanceFn, resolution: float = 0.25):
+    ``validate_costs`` (optional) is the :class:`~repro.matching.costs.
+    CostModel` that ``distance`` is built from; when given, the metric
+    axioms are verified over ``symbols`` (default: the full phoneme
+    inventory) before the tree accepts any item, raising
+    :class:`~repro.errors.MatchConfigError` on a non-metric model whose
+    triangle-inequality pruning would silently drop true matches.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceFn,
+        resolution: float = 0.25,
+        *,
+        validate_costs=None,
+        symbols=None,
+    ):
         if resolution <= 0:
             raise MatchConfigError(
                 f"BK-tree resolution must be > 0, got {resolution}"
             )
+        if validate_costs is not None:
+            from repro.matching.metric import validate_metric
+
+            validate_metric(validate_costs, symbols)
         self._distance = distance
         self._resolution = resolution
         self._root: _Node | None = None

@@ -36,25 +36,29 @@ _CONSONANTS: dict[str, str] = {
     "ट": "ʈ", "ठ": "ʈʰ", "ड": "ɖ", "ढ": "ɖʱ", "ण": "ɳ",
     "त": "t̪", "थ": "t̪ʰ", "द": "d̪", "ध": "d̪ʱ", "न": "n",
     "प": "p", "फ": "pʰ", "ब": "b", "भ": "bʱ", "म": "m",
-    "य": "j", "र": "r", "ल": "l", "व": "ʋ",
+    "य": "j", "र": "r", "ल": "l", "व": "ʋ", "ळ": "ɭ",
     "श": "ʃ", "ष": "ʂ", "स": "s", "ह": "ɦ",
     # nukta forms (Perso-Arabic loan sounds)
     "क़": "q", "ख़": "x", "ग़": "ɣ", "ज़": "z", "झ़": "ʒ",
     "ड़": "ɽ", "ढ़": "ɽʱ", "फ़": "f",
+    # Dravidian-extension letters ऩ/ऱ/ऴ.  Unlike क़..य़
+    # (composition exclusions that NFC leaves decomposed), these
+    # recompose under NFC, so the keys are single precomposed points.
+    "ऩ": "n", "ऱ": "r", "ऴ": "ɻ",
 }
 
 # Independent vowel letters.
 _VOWELS: dict[str, str] = {
     "अ": "ə", "आ": "aː", "इ": "ɪ", "ई": "iː", "उ": "ʊ", "ऊ": "uː",
-    "ऋ": "rɪ", "ए": "eː", "ऐ": "ɛː", "ओ": "oː", "औ": "ɔː",
-    "ऑ": "ɔ", "ॲ": "æ", "ऍ": "ɛ",
+    "ऋ": "rɪ", "ऌ": "lɪ", "ए": "eː", "ऐ": "ɛː", "ओ": "oː", "औ": "ɔː",
+    "ऑ": "ɔ", "ॲ": "æ", "ऍ": "ɛ", "ऎ": "ɛ", "ऒ": "ɔ",
 }
 
 # Dependent vowel signs (matras).
 _MATRAS: dict[str, str] = {
     "ा": "aː", "ि": "ɪ", "ी": "iː", "ु": "ʊ", "ू": "uː",
-    "ृ": "rɪ", "े": "eː", "ै": "ɛː", "ो": "oː", "ौ": "ɔː",
-    "ॉ": "ɔ", "ॅ": "ɛ",
+    "ृ": "rɪ", "ॄ": "riː", "े": "eː", "ै": "ɛː", "ो": "oː", "ौ": "ɔː",
+    "ॉ": "ɔ", "ॅ": "ɛ", "ॆ": "ɛ", "ॊ": "ɔ",
 }
 
 _VIRAMA = "्"

@@ -36,14 +36,14 @@ _CONSONANTS: dict[str, str] = {
 
 _VOWELS: dict[str, str] = {
     "ಅ": "a", "ಆ": "aː", "ಇ": "i", "ಈ": "iː", "ಉ": "u", "ಊ": "uː",
-    "ಋ": "ri", "ಎ": "e", "ಏ": "eː", "ಐ": "ai", "ಒ": "o", "ಓ": "oː",
-    "ಔ": "au",
+    "ಋ": "ri", "ಌ": "li", "ಎ": "e", "ಏ": "eː", "ಐ": "ai", "ಒ": "o",
+    "ಓ": "oː", "ಔ": "au",
 }
 
 _MATRAS: dict[str, str] = {
     "ಾ": "aː", "ಿ": "i", "ೀ": "iː", "ು": "u", "ೂ": "uː",
-    "ೃ": "ri", "ೆ": "e", "ೇ": "eː", "ೈ": "ai", "ೊ": "o", "ೋ": "oː",
-    "ೌ": "au",
+    "ೃ": "ri", "ೄ": "riː", "ೆ": "e", "ೇ": "eː", "ೈ": "ai", "ೊ": "o",
+    "ೋ": "oː", "ೌ": "au",
 }
 
 _VIRAMA = "್"

@@ -39,7 +39,7 @@ _FIXED: dict[str, str] = {
     "ங": "ŋ", "ஞ": "ɲ", "ண": "ɳ", "ந": "n̪", "ம": "m", "ன": "n",
     "ய": "j", "ர": "ɾ", "ல": "l", "வ": "ʋ", "ழ": "ɻ", "ள": "ɭ",
     # Grantha letters for loanwords.
-    "ஜ": "dʒ", "ஷ": "ʂ", "ஸ": "s", "ஹ": "h",
+    "ஜ": "dʒ", "ஶ": "ʃ", "ஷ": "ʂ", "ஸ": "s", "ஹ": "h",
 }
 
 _NASAL_SYMBOLS = frozenset({"ŋ", "ɲ", "ɳ", "n̪", "m", "n"})

@@ -1,0 +1,422 @@
+"""Tests for the domain-aware static-analysis pass (repro.analysis).
+
+Two layers:
+
+* seeded-violation fixtures — for every analyzer, a tiny fixture module
+  (or registry) carrying exactly the class of bug the rule exists to
+  catch, asserting the expected rule id fires;
+* the repo itself — the full pass must run clean against this checkout
+  with the shipped (empty) baseline, which is what CI enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    Finding,
+    LintUsageError,
+    Rule,
+    apply_baseline,
+    default_rules,
+    lint,
+    load_baseline,
+    render_json,
+    render_text,
+    run_rules,
+    save_baseline,
+    select_rules,
+)
+from repro.analysis.astrules import (
+    FailpointDrift,
+    LockDiscipline,
+    LockSpec,
+    MetricNames,
+    OpDrift,
+)
+from repro.analysis.datarules import (
+    ClusterPartition,
+    IpaLiterals,
+    MetricAxioms,
+    ScriptCoverage,
+    ScriptSpec,
+    TableSpec,
+    TtpShadowing,
+)
+from repro.errors import MatchConfigError
+from repro.matching.bktree import BKTree
+from repro.matching.costs import ClusteredCost, LevenshteinCost
+from repro.matching.metric import check_metric_axioms, validate_metric
+from repro.phonetics.parse import all_symbols
+
+
+def write_module(root, name: str, source: str) -> str:
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return name
+
+
+def rule_ids(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# --------------------------------------------------------------- framework
+
+
+class TestFramework:
+    def test_finding_rejects_unknown_severity(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Finding("LEX-X999", "a.py", 1, "boom", severity="fatal")
+
+    def test_baseline_round_trip_ignores_lines(self, tmp_path):
+        finding = Finding("LEX-D001", "src/x.py", 10, "bad IPA 'zz'")
+        moved = Finding("LEX-D001", "src/x.py", 99, "bad IPA 'zz'")
+        other = Finding("LEX-D001", "src/x.py", 10, "bad IPA 'qq'")
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [finding])
+        baseline = load_baseline(path)
+        active, suppressed = apply_baseline([moved, other], baseline)
+        assert suppressed == [moved]  # same key despite the line shift
+        assert active == [other]
+
+    def test_missing_baseline_suppresses_nothing(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_select_rules_unknown_token_raises(self):
+        with pytest.raises(LintUsageError, match="unknown rule 'nope'"):
+            select_rules(default_rules(), select=("nope",))
+
+    def test_select_and_ignore_by_id_and_name(self):
+        rules = default_rules()
+        picked = select_rules(rules, select=("LEX-D003", "op-drift"))
+        assert {r.rule_id for r in picked} == {"LEX-D003", "LEX-A001"}
+        rest = select_rules(rules, ignore=("metric-axioms",))
+        assert "LEX-D003" not in {r.rule_id for r in rest}
+
+    def test_run_rules_captures_analyzer_crash(self):
+        class Exploding(Rule):
+            rule_id = "LEX-T001"
+            name = "exploding"
+            description = "always crashes"
+
+            def run(self, ctx):
+                raise RuntimeError("kaboom")
+
+        findings = run_rules(AnalysisContext(), [Exploding()])
+        assert len(findings) == 1
+        assert findings[0].rule == "LEX-T001"
+        assert "kaboom" in findings[0].message
+
+    def test_reporters(self):
+        finding = Finding("LEX-D001", "src/x.py", 3, "bad")
+        text = render_text([finding], suppressed=1, rules_run=9)
+        assert "src/x.py:3: LEX-D001 [error] bad" in text
+        assert "1 baselined" in text
+        doc = json.loads(
+            render_json([finding], root="/r", rules=[{"id": "LEX-D001"}])
+        )
+        assert doc["findings"][0]["line"] == 3
+        assert doc["version"] == 1
+
+
+# --------------------------------------------------- seeded data violations
+
+
+class TestSeededDataViolations:
+    def test_bad_ipa_literal_fires_d001(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fixture_tables.py",
+            '''
+            _VOWELS = {
+                "अ": "a",
+                "आ": "zz9",
+            }
+            ''',
+        )
+        rule = IpaLiterals(tables=(TableSpec(mod, "_VOWELS"),))
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-D001"}
+        assert len(findings) == 1
+        assert "'zz9'" in findings[0].message
+        assert findings[0].file == mod
+        assert findings[0].line == 4  # the offending literal's line
+
+    def test_broken_partition_fires_d002(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fixture_clusters.py",
+            '''
+            _CLUSTERS = (
+                ("p", "b"),
+                ("b", "m"),
+                (),
+                ("p2",),
+            )
+            ''',
+        )
+        rule = ClusterPartition(mod, "_CLUSTERS", check_default=False)
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-D002"}
+        messages = "\n".join(f.message for f in findings)
+        assert "'b' appears in both cluster #0 and cluster #1" in messages
+        assert "cluster #2 is empty" in messages
+        assert "non-inventory symbol 'p2'" in messages
+
+    def test_broken_triangle_fires_d003(self):
+        # Same-cluster vowels cost the full intra cost (1.0) while a
+        # detour through a cross-cluster vowel costs 0.1 + 0.1.
+        broken = ClusteredCost(
+            intra_cluster_cost=1.0, vowel_cross_cost=0.1
+        )
+        rule = MetricAxioms(models=[("broken", broken)])
+        findings = list(rule.run(AnalysisContext()))
+        assert rule_ids(findings) == {"LEX-D003"}
+        assert any("triangle" in f.message for f in findings)
+
+    def test_shadowed_rule_fires_d004(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fixture_rules.py",
+            '''
+            _RULES = [
+                ("", "a", "", "a"),
+                ("", "ar", "", "ar"),
+                ("", "b", "#", "b"),
+                ("", "b", "#", "b"),
+                ("", "c", "", "k"),
+            ]
+            ''',
+        )
+        rule = TtpShadowing(tables=((mod, "_RULES"),))
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-D004"}
+        messages = "\n".join(f.message for f in findings)
+        assert "unreachable" in messages  # 'ar' behind unconditional 'a'
+        assert "duplicates the rule" in messages  # second 'b' row
+        assert len(findings) == 2
+
+    def test_coverage_gap_fires_d005(self, tmp_path):
+        mod = write_module(tmp_path, "fixture_english.py", "X = 1\n")
+        # The English converter has no rule for U+00DF (ß); declaring
+        # it in the coverage range must surface the gap.
+        spec = ScriptSpec("english", mod, ((0xDF, 0xDF, "{}"),))
+        rule = ScriptCoverage(scripts=(spec,))
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-D005"}
+        assert "U+00DF" in findings[0].message
+
+
+# ---------------------------------------------------- seeded AST violations
+
+
+class TestSeededAstViolations:
+    def test_op_set_drift_fires_a001(self, tmp_path):
+        write_module(
+            tmp_path, "proto.py", 'OPS = ("ping", "query", "ghost")\n'
+        )
+        write_module(
+            tmp_path,
+            "app.py",
+            '''
+            class Server:
+                async def _dispatch(self, session, request):
+                    op = request["op"]
+                    if op == "ping":
+                        return "pong"
+                    if op == "query":
+                        return self.run(request)
+                    if op == "undeclared":
+                        return None
+            ''',
+        )
+        write_module(
+            tmp_path,
+            "client.py",
+            'RETRYABLE_OPS = frozenset({"ping", "flush"})\n',
+        )
+        (tmp_path / "DESIGN.md").write_text(
+            "## 7. Protocol\n\n| `ping` | `query` |\n", encoding="utf-8"
+        )
+        rule = OpDrift(
+            protocol_file="proto.py",
+            server_file="app.py",
+            client_file="client.py",
+            design_file="DESIGN.md",
+        )
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A001"}
+        messages = "\n".join(f.message for f in findings)
+        # retryable op the server never dispatches
+        assert "'flush'" in messages
+        # dispatched op missing from OPS
+        assert "'undeclared'" in messages
+        # declared op never dispatched, and undocumented in §7
+        assert "'ghost'" in messages
+        assert "not documented" in messages
+
+    def test_failpoint_drift_fires_a002(self, tmp_path):
+        fp = write_module(
+            tmp_path,
+            "fp.py",
+            'FAILPOINTS = frozenset({"known.point", "stale.point"})\n',
+        )
+        write_module(
+            tmp_path,
+            "pkg/mod.py",
+            '''
+            from repro import faults
+
+            def work():
+                faults.fire("known.point")
+                faults.fire("unregistered.point")
+            ''',
+        )
+        rule = FailpointDrift(faults_file=fp, subdir="pkg")
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A002"}
+        messages = "\n".join(f.message for f in findings)
+        assert "'unregistered.point'" in messages  # fired, unregistered
+        assert "'stale.point'" in messages  # registered, never fired
+
+    def test_metric_name_drift_fires_a003(self, tmp_path):
+        write_module(
+            tmp_path,
+            "pkg/mod.py",
+            '''
+            from repro import obs
+
+            def work(n):
+                obs.incr("server.request")
+                obs.incr("server.requests")
+                obs.incr("warpdrive.engaged")
+                obs.incr("server.Bad-Segment")
+            ''',
+        )
+        rule = MetricNames(subdir="pkg")
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A003"}
+        messages = "\n".join(f.message for f in findings)
+        assert "nearly duplicates" in messages
+        assert "unknown domain 'warpdrive'" in messages
+        assert "'Bad-Segment'" in messages
+
+    def test_unlocked_mutation_fires_a004(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "box.py",
+            '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+                    self._count = 0
+
+                def bad_append(self, x):
+                    self._items.append(x)
+
+                def bad_count(self):
+                    self._count += 1
+
+                def good(self, x):
+                    with self._lock:
+                        self._items.append(x)
+                        self._count += 1
+                        self._items[0] = x
+            ''',
+        )
+        rule = LockDiscipline(
+            locks=(LockSpec(mod, "Box", "_lock", ("_items", "_count")),)
+        )
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A004"}
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert "Box.bad_append: self._items" in messages
+        assert "Box.bad_count: self._count" in messages
+
+
+# ------------------------------------------------- metric validation API
+
+
+class TestMetricValidation:
+    def test_default_clustered_cost_is_a_metric(self):
+        assert check_metric_axioms(ClusteredCost(), all_symbols()) == []
+
+    def test_levenshtein_is_a_metric(self):
+        assert check_metric_axioms(LevenshteinCost()) == []
+
+    def test_validate_metric_raises_on_broken_model(self):
+        broken = ClusteredCost(
+            intra_cluster_cost=1.0, vowel_cross_cost=0.1
+        )
+        violations = check_metric_axioms(broken)
+        assert violations and violations[0].axiom == "triangle"
+        with pytest.raises(MatchConfigError, match="triangle"):
+            validate_metric(broken)
+
+    def test_bktree_optional_validation(self):
+        from repro.matching.editdist import edit_distance
+
+        good = ClusteredCost()
+        tree = BKTree(
+            lambda a, b: edit_distance(a, b, good), validate_costs=good
+        )
+        tree.add(("n", "e", "r", "u"), "nehru")
+        assert tree.search(("n", "e", "r", "u"), 0.0)
+        broken = ClusteredCost(
+            intra_cluster_cost=1.0, vowel_cross_cost=0.1
+        )
+        with pytest.raises(MatchConfigError, match="violates the metric axioms"):
+            BKTree(
+                lambda a, b: edit_distance(a, b, broken),
+                validate_costs=broken,
+            )
+
+
+# ----------------------------------------------------- the repo lints clean
+
+
+class TestRepoIsClean:
+    def test_full_pass_is_clean(self):
+        result = lint()
+        assert result.clean, render_text(result.findings)
+        # The shipped baseline is empty: nothing is being tolerated.
+        assert result.suppressed == []
+        assert len(result.rules) == 9
+
+    def test_cli_lint_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--select", "op-drift,failpoint-drift"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+        assert main(["lint", "--list-rules"]) == 0
+        assert main(["lint", "--select", "bogus"]) == 2
+
+    def test_cli_lint_json_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "lint.json"
+        code = main(
+            [
+                "lint",
+                "--format",
+                "json",
+                "--select",
+                "LEX-A001",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["findings"] == []
+        assert doc["rules"][0]["id"] == "LEX-A001"
+        capsys.readouterr()
