@@ -7,6 +7,13 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== coverage gate (pytest-cov) =="
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    python -m pytest -q --cov=repro --cov-fail-under=75
+else
+    echo "pytest-cov not installed; skipping (CI runs it)"
+fi
+
 echo "== lint (ruff) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check .
@@ -16,6 +23,9 @@ fi
 
 echo "== domain lint (repro.analysis, DESIGN.md §8) =="
 PYTHONPATH=src python -m repro.cli lint
+
+echo "== perf smoke (banded kernel + parallel executor floors) =="
+python scripts/perf_smoke.py
 
 echo "== benchmark smoke (Table 1) =="
 REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \

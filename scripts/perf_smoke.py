@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI perf smoke: the fast kernels must stay fast and stay exact.
+
+A scaled-down, assert-only version of
+``benchmarks/bench_parallel_scaling.py`` that runs in seconds and fails
+the build when either regression appears:
+
+* **divergence** — the banded scalar kernel, the vectorized batch
+  kernel, or the parallel executor returns anything other than the
+  reference DP's distances and match sets;
+* **lost speedup** — the banded kernel stops beating the reference DP,
+  or the parallel executor stops beating the sequential naive scan.
+
+The floors here are deliberately lax (1.5x kernel, 2x executor at a
+1,500-row catalog) so the gate only trips on real regressions, not CI
+jitter; the acceptance-scale floors (2x / 3x at 200k rows) live in the
+benchmark and in ``BENCH_parallel.json``.
+
+Environment knobs: ``REPRO_PERF_SMOKE_ROWS`` (default 1500),
+``REPRO_PERF_SMOKE_SEED`` (default 20040314).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+import numpy as np
+
+from repro.core import (
+    LexEqualMatcher,
+    MatchConfig,
+    NaiveUdfStrategy,
+    NameCatalog,
+)
+from repro.data.generator import generate_performance_dataset
+from repro.data.lexicon import build_lexicon
+from repro.matching.batch import EncodedCosts, batch_edit_distances_within
+from repro.matching.editdist import edit_distance, edit_distance_within
+from repro.parallel import ParallelStrategy
+
+ROWS = int(os.environ.get("REPRO_PERF_SMOKE_ROWS", "1500"))
+SEED = int(os.environ.get("REPRO_PERF_SMOKE_SEED", "20040314"))
+KERNEL_FLOOR = 1.5
+EXECUTOR_FLOOR = 2.0
+PAIRS = 400
+QUERIES = 6
+
+
+def build_catalog() -> NameCatalog:
+    config = MatchConfig(
+        threshold=0.25,
+        intra_cluster_cost=1.0,
+        weak_indel_cost=1.0,
+        vowel_cross_cost=1.0,
+    )
+    catalog = NameCatalog(LexEqualMatcher(config))
+    for item in generate_performance_dataset(build_lexicon(), ROWS):
+        catalog.add(item.name, item.language, ipa=item.ipa)
+    return catalog
+
+
+def check_kernels(catalog: NameCatalog) -> float:
+    """Banded + batch kernels: exact agreement, banded speedup floor."""
+    rng = random.Random(SEED)
+    costs = catalog.matcher.costs
+    threshold = catalog.config.threshold
+    strings = [
+        catalog.phonemes_of(i)
+        for i in rng.sample(range(len(catalog)), min(len(catalog), 600))
+    ]
+    pairs = [
+        (rng.choice(strings), rng.choice(strings)) for _ in range(PAIRS)
+    ]
+    budgets = [threshold * min(len(a), len(b)) for a, b in pairs]
+
+    start = time.perf_counter()
+    reference = [edit_distance(a, b, costs) for a, b in pairs]
+    ref_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    banded = [
+        edit_distance_within(a, b, budget, costs)
+        for (a, b), budget in zip(pairs, budgets)
+    ]
+    banded_s = time.perf_counter() - start
+
+    for (a, b), full, within, budget in zip(
+        pairs, reference, banded, budgets
+    ):
+        expected = full if full <= budget else None
+        if within != expected:
+            raise AssertionError(
+                f"banded kernel diverged on {a} vs {b}: "
+                f"{within!r} != {expected!r} (budget {budget})"
+            )
+
+    # The batch kernel against the same sample, one query at a time.
+    symbols = sorted({s for string in strings for s in string})
+    encoded = EncodedCosts(costs, symbols)
+    query = pairs[0][0]
+    candidates = [b for _, b in pairs[:50]]
+    batch_budgets = np.array(
+        [threshold * min(len(query), len(c)) for c in candidates]
+    )
+    got = batch_edit_distances_within(
+        query, candidates, encoded, batch_budgets
+    )
+    for value, cand, budget in zip(got, candidates, batch_budgets):
+        full = edit_distance(query, cand, costs)
+        expected = full if full <= budget else np.inf
+        if value != expected:
+            raise AssertionError(
+                f"batch kernel diverged on {query} vs {cand}: "
+                f"{value!r} != {expected!r}"
+            )
+
+    speedup = ref_s / max(banded_s, 1e-9)
+    print(
+        f"kernel: {PAIRS} pairs, reference {ref_s * 1e3:.1f} ms, "
+        f"banded {banded_s * 1e3:.1f} ms -> {speedup:.1f}x"
+    )
+    if speedup < KERNEL_FLOOR:
+        raise AssertionError(
+            f"banded kernel lost its speedup: {speedup:.2f}x < "
+            f"{KERNEL_FLOOR}x floor"
+        )
+    return speedup
+
+
+def check_executor(catalog: NameCatalog) -> float:
+    """Parallel strategy: identical match sets, executor speedup floor."""
+    rng = random.Random(SEED + 1)
+    english = [
+        record.name
+        for record in catalog.records()
+        if record.language == "english"
+    ]
+    queries = rng.sample(english, QUERIES - 1) + ["Zzyzx"]
+
+    naive = NaiveUdfStrategy(catalog)
+    naive.select(queries[0])  # warm caches; measure steady-state scans
+    start = time.perf_counter()
+    expected = {q: [r.id for r in naive.select(q)] for q in queries}
+    naive_s = time.perf_counter() - start
+
+    best = 0.0
+    for workers in (1, 2):
+        with ParallelStrategy(catalog, workers=workers) as strategy:
+            strategy.select(queries[0])  # build the encoded table once
+            start = time.perf_counter()
+            got = {q: [r.id for r in strategy.select(q)] for q in queries}
+            parallel_s = time.perf_counter() - start
+        if got != expected:
+            raise AssertionError(
+                f"parallel executor (workers={workers}) diverged from "
+                "the naive scan"
+            )
+        speedup = naive_s / max(parallel_s, 1e-9)
+        best = max(best, speedup)
+        print(
+            f"executor: workers={workers}, naive {naive_s * 1e3:.0f} ms, "
+            f"parallel {parallel_s * 1e3:.0f} ms -> {speedup:.1f}x"
+        )
+
+    if best < EXECUTOR_FLOOR:
+        raise AssertionError(
+            f"parallel executor lost its speedup: best {best:.2f}x < "
+            f"{EXECUTOR_FLOOR}x floor"
+        )
+    return best
+
+
+def main() -> int:
+    print(f"perf smoke: rows={ROWS} seed={SEED}")
+    catalog = build_catalog()
+    check_kernels(catalog)
+    check_executor(catalog)
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

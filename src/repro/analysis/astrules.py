@@ -249,6 +249,7 @@ METRIC_DOMAINS = frozenset(
         "filters",
         "matching",
         "minidb",
+        "parallel",
         "server",
         "strategy",
         "ttp",

@@ -173,14 +173,15 @@ def cmd_dismissals(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_books_db(accelerate: str = "none"):
+def _demo_books_db(accelerate: str = "none", workers: int | None = None):
     from repro.core.integration import demo_books_db
 
-    return demo_books_db(accelerate)
+    return demo_books_db(accelerate, workers=workers)
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    db = _demo_books_db(args.accelerate)
+    method = args.strategy or args.accelerate
+    db = _demo_books_db(method, getattr(args, "workers", None))
     if args.explain or args.analyze:
         print(db.explain(args.sql, analyze=args.analyze))
         return 0
@@ -444,9 +445,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--accelerate",
-        choices=("qgram", "index", "none"),
+        choices=("qgram", "index", "parallel", "none"),
         default="qgram",
         help="phonetic accelerator for books.author (default: qgram)",
+    )
+    p_query.add_argument(
+        "--strategy",
+        choices=("qgram", "index", "parallel", "none"),
+        help="execution strategy (synonym of --accelerate; e.g. "
+        "--strategy parallel --workers 4)",
+    )
+    p_query.add_argument(
+        "--workers",
+        type=int,
+        help="process-pool size for --strategy parallel "
+        "(default: CPU count)",
     )
     p_query.set_defaults(func=cmd_query)
 
@@ -484,7 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--accelerate",
-        choices=("qgram", "index", "none"),
+        choices=("qgram", "index", "parallel", "none"),
         default="qgram",
         help="phonetic accelerator for books.author (default: qgram)",
     )

@@ -9,8 +9,11 @@ efficiency".  This module is that implementation for the minidb engine:
 * :func:`create_phonetic_accelerator` builds the auxiliary phonetic
   structures for one text column — per-row phoneme strings, and either
   the positional q-gram table with its B+ tree (``method="qgram"``,
-  lossless) or the grouped-phoneme-key B+ tree (``method="index"``,
-  fastest, with the Section 5.3 false-dismissal caveat);
+  lossless), the grouped-phoneme-key B+ tree (``method="index"``,
+  fastest, with the Section 5.3 false-dismissal caveat), or the sharded
+  process-pool executor over an encoded phoneme table
+  (``method="parallel"``, lossless — evaluates the exact match set with
+  the vectorized banded kernels of :mod:`repro.matching.batch`);
 * the structures register themselves as a table observer, so inserts
   and deletes keep them consistent automatically;
 * the planner (see ``repro.minidb.planner._accelerated_candidates``)
@@ -56,23 +59,29 @@ class PhoneticAccelerator:
         column_name: str,
         matcher: LexEqualMatcher,
         method: str,
+        workers: int | None = None,
     ):
-        if method not in ("qgram", "index"):
+        if method not in ("qgram", "index", "parallel"):
             raise DatabaseError(
-                f"accelerator method must be 'qgram' or 'index', "
-                f"got {method!r}"
+                f"accelerator method must be 'qgram', 'index' or "
+                f"'parallel', got {method!r}"
             )
         self.db = db
         self.table_name = table_name
         self.column_name = column_name
         self.matcher = matcher
         self.method = method
+        self.workers = workers
         table = db.table(table_name)
         self._position = table.schema.position(column_name)
         self._phonemes: dict[int, PhonemeString] = {}
         self._tokens: dict[int, tuple[str, ...]] = {}
+        self._langs: dict[int, str] = {}
         self._gpsid_tree = BPlusTree()
         self._gram_tree = BPlusTree()
+        #: method="parallel" executor, rebuilt lazily after table changes.
+        self._executor = None
+        self._executor_stale = True
         for rowid, row in table.scan():
             self.on_insert(rowid, row)
 
@@ -92,6 +101,11 @@ class PhoneticAccelerator:
             return
         self._phonemes[rowid] = phonemes
         config = self.matcher.config
+        if self.method == "parallel":
+            language = self.matcher.language_of(row[self._position])
+            self._langs[rowid] = language or ""
+            self._executor_stale = True
+            return
         if self.method == "index":
             key = grouped_key(
                 phonemes, config.clustering, mode=config.key_mode
@@ -110,6 +124,10 @@ class PhoneticAccelerator:
         if phonemes is None:
             return
         config = self.matcher.config
+        if self.method == "parallel":
+            self._langs.pop(rowid, None)
+            self._executor_stale = True
+            return
         if self.method == "index":
             key = grouped_key(
                 phonemes, config.clustering, mode=config.key_mode
@@ -144,8 +162,11 @@ class PhoneticAccelerator:
         matching rows (the planner rechecks with the UDF, so results are
         identical to a full scan).  For ``method="index"`` it is the
         grouped-key bucket — fastest, with possible false dismissals.
-        Returns None (declining, planner falls back to a scan) when the
-        query value's language is unsupported.
+        For ``method="parallel"`` it is the *exact* match set, computed
+        by the sharded executor's banded batch kernels (the planner's
+        UDF recheck then touches only true matches).  Returns None
+        (declining, planner falls back to a scan) when the query value's
+        language is unsupported or its phonemes cannot be encoded.
         """
         obs.incr(f"accelerator.{self.method}.calls")
         try:
@@ -164,7 +185,12 @@ class PhoneticAccelerator:
         config = self.matcher.config
         if threshold is not None:
             config = config.with_threshold(float(threshold))
-        if self.method == "index":
+        if self.method == "parallel":
+            candidates = self._parallel_candidates(query_phonemes, config)
+            if candidates is None:
+                obs.incr(f"accelerator.{self.method}.declined")
+                return None
+        elif self.method == "index":
             key = grouped_key(
                 query_phonemes, config.clustering, mode=config.key_mode
             )
@@ -178,6 +204,45 @@ class PhoneticAccelerator:
             f"accelerator.{self.method}.candidates", len(candidates)
         )
         return candidates
+
+    def _parallel_candidates(
+        self, query_phonemes: PhonemeString, config: MatchConfig
+    ) -> list[int] | None:
+        """Exact matching rowids via the sharded executor (or None)."""
+        executor = self._parallel_executor()
+        if executor is None or len(executor.table) == 0:
+            return []
+        if executor.table.encode_query(query_phonemes) is None:
+            return None  # out-of-table symbol: decline to the scan path
+        ids, _dists = executor.match(query_phonemes, config.threshold)
+        return [int(i) for i in ids]
+
+    def _parallel_executor(self):
+        """The method="parallel" executor, rebuilt after table changes."""
+        if self._executor_stale:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
+            if self._phonemes:
+                from repro.parallel import (
+                    EncodedNameTable,
+                    ParallelMatchExecutor,
+                )
+
+                table = EncodedNameTable.from_rows(
+                    self.matcher.costs,
+                    [
+                        (rowid, self._langs.get(rowid, ""), phonemes)
+                        for rowid, phonemes in sorted(
+                            self._phonemes.items()
+                        )
+                    ],
+                )
+                self._executor = ParallelMatchExecutor(
+                    table, workers=self.workers
+                )
+            self._executor_stale = False
+        return self._executor
 
     def _qgram_candidates(
         self, query_phonemes: PhonemeString, config: MatchConfig
@@ -229,6 +294,9 @@ class PhoneticAccelerator:
         self.db.register_accelerator(
             self.table_name, self.column_name, None
         )
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     #: Set by create_phonetic_accelerator (the observer is the object
     #: itself; kept explicit for drop()).
@@ -241,13 +309,16 @@ def create_phonetic_accelerator(
     column_name: str,
     matcher: LexEqualMatcher | None = None,
     method: str = "qgram",
+    workers: int | None = None,
 ) -> PhoneticAccelerator:
     """Build and register phonetic acceleration for ``table.column``.
 
     ``method="qgram"`` (default) gives Table 2 behaviour with zero
     result change; ``method="index"`` gives Table 3 behaviour (fastest,
-    may false-dismiss).  Also installs the LexEQUAL UDF family if the
-    database does not have it yet.
+    may false-dismiss); ``method="parallel"`` evaluates predicates with
+    the sharded banded-kernel executor (lossless; ``workers`` sizes its
+    process pool, default CPU count).  Also installs the LexEQUAL UDF
+    family if the database does not have it yet.
     """
     matcher = matcher or LexEqualMatcher()
     if not db.has_udf("lexequal"):
@@ -255,7 +326,7 @@ def create_phonetic_accelerator(
 
         install_lexequal(db, matcher)
     accelerator = PhoneticAccelerator(
-        db, table_name, column_name, matcher, method
+        db, table_name, column_name, matcher, method, workers=workers
     )
     accelerator.observer_handle = accelerator
     db.add_observer(table_name, accelerator)

@@ -163,14 +163,17 @@ def install_lexequal(
 
 
 def demo_books_db(
-    accelerate: str = "qgram", matcher: LexEqualMatcher | None = None
+    accelerate: str = "qgram",
+    matcher: LexEqualMatcher | None = None,
+    workers: int | None = None,
 ) -> Database:
     """The Books.com catalog of paper Figure 1, LexEQUAL installed.
 
     The shared demo database behind ``lexequal query``/``stats`` and the
     query server's default service.  ``accelerate`` picks the phonetic
     accelerator on ``books.author``: ``"qgram"`` (default), ``"index"``,
-    or ``"none"`` for plain UDF evaluation.
+    ``"parallel"`` (sharded executor, sized by ``workers``), or
+    ``"none"`` for plain UDF evaluation.
     """
     from repro import faults
     from repro.minidb.schema import Column
@@ -211,6 +214,7 @@ def demo_books_db(
             from repro.core.engine import create_phonetic_accelerator
 
             create_phonetic_accelerator(
-                db, "books", "author", matcher, method=accelerate
+                db, "books", "author", matcher,
+                method=accelerate, workers=workers,
             )
     return db

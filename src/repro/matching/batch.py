@@ -16,16 +16,29 @@ which is ``np.minimum.accumulate`` — so each DP row is a handful of numpy
 operations over a (batch, length) matrix.  Results are bit-identical to
 :func:`repro.matching.editdist.edit_distance` (the test suite checks).
 
+:func:`batch_edit_distances_within` is the thresholded counterpart of
+:func:`repro.matching.editdist.edit_distance_within`: length-bucketed
+numpy batches with a value-clipping band (cells over budget become
+``inf`` — no over-budget cell can lie on the optimal path of a
+within-budget result, so clipping is exact and subsumes the Ukkonen
+band, whose off-diagonal cells always exceed the budget) and an early
+exit that drops candidates whose whole DP row went over budget.  The
+parallel executor (:mod:`repro.parallel`) ships pre-encoded int arrays
+to worker processes and calls the ``_encoded`` variant directly.
+
 numpy is an optional dependency of the library proper: only this module
 (and the evaluation harness that uses it) imports it.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro import deadline, obs
+from repro.errors import DeadlineExceededError
 from repro.matching.costs import CostModel
 
 
@@ -47,6 +60,9 @@ class EncodedCosts:
             self.dele[ia] = costs.delete(a)
             for b, ib in self.index.items():
                 self.sub[ia, ib] = costs.substitute(a, b)
+        #: Cached for the banded kernels (worker processes receive this
+        #: object pickled; the scalar lookup avoids re-deriving it).
+        self.min_indel = float(costs.min_indel_cost())
 
     def encode(self, tokens: Sequence[str]) -> np.ndarray:
         """Token sequence -> int vector (tokens must be known symbols)."""
@@ -105,6 +121,150 @@ def _group_distances(
         np.minimum.accumulate(stacked, axis=1, out=stacked)
         prev = stacked + c
     return prev[:, -1]
+
+
+def _batch_deadline_cancel(cells: int) -> DeadlineExceededError:
+    """Account a cooperative batch-DP cancellation and build its error."""
+    obs.incr("matching.batch.cells", cells)
+    obs.incr("matching.dp.deadline_cancels")
+    return DeadlineExceededError(
+        "request deadline exceeded during edit-distance matching"
+    )
+
+
+def batch_edit_distances_within(
+    query: Sequence[str],
+    candidates: list[Sequence[str]],
+    encoded: EncodedCosts,
+    budgets,
+) -> np.ndarray:
+    """Thresholded batch distances (vectorized ``edit_distance_within``).
+
+    ``budgets`` is a scalar or a per-candidate array.  Returns a float
+    array aligned with ``candidates``: the exact edit distance where it
+    does not exceed that candidate's budget, ``np.inf`` otherwise (so
+    ``np.isfinite(result)`` is the accept mask).  Distances and accept
+    decisions are identical to the scalar kernels (the differential
+    suite checks).
+    """
+    count = len(candidates)
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((len(c) for c in candidates), np.int64, count),
+        out=offsets[1:],
+    )
+    codes = np.empty(int(offsets[-1]), dtype=np.int64)
+    for i, cand in enumerate(candidates):
+        codes[offsets[i] : offsets[i + 1]] = encoded.encode(cand)
+    return batch_edit_distances_within_encoded(
+        encoded.encode(query), codes, offsets, encoded, budgets
+    )
+
+
+def batch_edit_distances_within_encoded(
+    q: np.ndarray,
+    codes: np.ndarray,
+    offsets: np.ndarray,
+    encoded: EncodedCosts,
+    budgets,
+    rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """`batch_edit_distances_within` over pre-encoded flat int arrays.
+
+    ``codes``/``offsets`` describe the candidate table in CSR layout:
+    candidate ``i`` is ``codes[offsets[i]:offsets[i+1]]``.  ``rows``
+    optionally selects a subset of candidates (indices into the CSR
+    table); ``budgets`` and the result align with ``rows`` when given,
+    with the whole table otherwise.  This is the fork-friendly entry
+    point: worker processes hold the arrays (shipped once) and evaluate
+    shards without rebuilding Python objects.
+    """
+    all_starts = offsets[:-1]
+    all_lens = np.diff(offsets)
+    if rows is None:
+        starts, lens = all_starts, all_lens
+    else:
+        starts, lens = all_starts[rows], all_lens[rows]
+    count = len(starts)
+    result = np.full(count, np.inf, dtype=np.float64)
+    budgets = np.broadcast_to(
+        np.asarray(budgets, dtype=np.float64), (count,)
+    )
+    n = len(q)
+    # Length filter: |len difference| indels are unavoidable.
+    feasible = np.abs(lens - n) * encoded.min_indel <= budgets
+    obs.incr("matching.batch.calls")
+    if not feasible.any():
+        return result
+    deadline_at = deadline.current()
+    stats = {"cells": 0, "pruned": 0}
+    for m in np.unique(lens[feasible]):
+        idx = np.nonzero((lens == m) & feasible)[0]
+        group = codes[starts[idx][:, None] + np.arange(int(m))]
+        result[idx] = _group_within(
+            q, group, encoded, budgets[idx], deadline_at, stats
+        )
+    obs.incr("matching.batch.cells", stats["cells"])
+    if stats["pruned"]:
+        obs.incr("matching.batch.pruned", stats["pruned"])
+    return result
+
+
+def _group_within(
+    q: np.ndarray,
+    group: np.ndarray,
+    encoded: EncodedCosts,
+    budgets: np.ndarray,
+    deadline_at: float | None,
+    stats: dict,
+) -> np.ndarray:
+    """Banded DP over a (B, m) batch of equal-length candidates.
+
+    Cells over their candidate's budget are clipped to ``inf`` after
+    every row (exact — see module docstring), and candidates whose whole
+    row clipped drop out of the batch, so hopeless candidates stop
+    costing work after a few rows.
+    """
+    batch, m = group.shape
+    n = len(q)
+    out = np.full(batch, np.inf, dtype=np.float64)
+    active = np.arange(batch)
+    bud = budgets.astype(np.float64).reshape(batch, 1)
+    ins_costs = encoded.ins[group]
+    c = np.zeros((batch, m + 1), dtype=np.float64)
+    np.cumsum(ins_costs, axis=1, out=c[:, 1:])
+    prev = np.where(c > bud, np.inf, c)
+    for i in range(n):
+        # Cooperative cancellation: one clock read per DP row, as in the
+        # scalar kernels.
+        if deadline_at is not None and time.monotonic() > deadline_at:
+            raise _batch_deadline_cancel(stats["cells"])
+        del_cost = encoded.dele[q[i]]
+        sub_costs = encoded.sub[q[i], group]  # (B, m)
+        t0 = prev[:, 0] + del_cost  # (B,)
+        t = np.minimum(prev[:, 1:] + del_cost, prev[:, :-1] + sub_costs)
+        stacked = np.concatenate(
+            [(t0 - c[:, 0])[:, None], t - c[:, 1:]], axis=1
+        )
+        np.minimum.accumulate(stacked, axis=1, out=stacked)
+        curr = stacked + c
+        over = curr > bud
+        curr[over] = np.inf
+        stats["cells"] += curr.shape[0] * (m + 1)
+        dead = over.all(axis=1)
+        if dead.any():
+            stats["pruned"] += int(dead.sum())
+            keep = ~dead
+            if not keep.any():
+                return out
+            group = group[keep]
+            c = c[keep]
+            bud = bud[keep]
+            active = active[keep]
+            curr = curr[keep]
+        prev = curr
+    out[active] = prev[:, -1]
+    return out
 
 
 def pairwise_distance_matrix(

@@ -11,7 +11,14 @@ Two entry points:
 * :func:`edit_distance_within` — a thresholded variant that only fills the
   diagonal band that can stay within the cost budget and abandons the
   computation as soon as every cell of a row exceeds it (Ukkonen's
-  cut-off).  Results are identical whenever the true distance is within
+  cut-off).  On top of the static band the kernel keeps an *adaptive
+  window*: the column range of the previous row whose cells were still
+  within budget.  Cells outside that window are provably over budget
+  (every DP predecessor is, and costs are non-negative), so each row
+  only fills the intersection of the static band with the window grown
+  by one column, plus the pure-insertion extension to its right.  The
+  window shrinks as mismatches accumulate and the scan aborts when it
+  empties.  Results are identical whenever the true distance is within
   the budget; the function returns ``None`` instead of the (possibly
   huge) exact distance otherwise.  The accelerated strategies use this.
 
@@ -98,8 +105,12 @@ def edit_distance_within(
     script can reach are evaluated: every step off the diagonal is an
     insertion or deletion costing at least ``costs.min_indel_cost()``, so
     a cell ``(i, j)`` with ``|i - j| * min_indel > budget`` is
-    unreachable.  The scan aborts early once a whole row exceeds the
-    budget.
+    unreachable.  Within that band an adaptive window tracks the columns
+    of the previous row still within budget — a cell all of whose DP
+    predecessors exceed the budget exceeds it too (costs are
+    non-negative), and no cell over budget can lie on the optimal path
+    of a within-budget result, so skipping those cells never changes the
+    answer.  The scan aborts early once the window empties.
     """
     if budget < 0:
         return None
@@ -124,7 +135,15 @@ def edit_distance_within(
     prev[0] = 0.0
     for j in range(1, limit + 1):
         prev[j] = prev[j - 1] + costs.insert(right[j - 1])
+    # Adaptive window [alo, ahi]: the previous row's within-budget column
+    # range.  Row 0 is a non-decreasing prefix sum, so a suffix trim finds
+    # it (prev[0] == 0.0 <= budget keeps the scan in bounds).
+    alo = 0
+    ahi = limit
+    while prev[ahi] > budget:
+        ahi -= 1
     curr = [_INF] * (len_r + 1)
+    last = len_r  # rightmost column written in the most recent row
     for i in range(1, len_l + 1):
         # Cooperative cancellation (see edit_distance): per-row check
         # only while a deadline is armed by the serving layer.
@@ -132,11 +151,20 @@ def edit_distance_within(
             raise _deadline_cancel(cells)
         tok_l = left[i - 1]
         del_cost = costs.delete(tok_l)
-        lo = max(1, i - band)
-        hi = min(len_r, i + band)
-        cells += hi - lo + 1
-        curr[lo - 1] = prev[lo - 1] + del_cost if lo == 1 else _INF
-        row_min = curr[lo - 1]
+        # Cells reachable from the previous row: static band intersected
+        # with the window grown one column right (diagonal step).
+        lo = max(1, i - band, alo)
+        hi = min(len_r, i + band, ahi + 1)
+        if lo > hi:
+            obs.incr("matching.dp.cells", cells)
+            obs.incr("matching.dp.early_aborts")
+            return None
+        # Left boundary: the deletion-only column 0 participates only
+        # while the previous row's column 0 is itself within budget.
+        if lo == 1 and alo == 0:
+            curr[0] = prev[0] + del_cost
+        else:
+            curr[lo - 1] = _INF
         for j in range(lo, hi + 1):
             tok_r = right[j - 1]
             best = prev[j] + del_cost
@@ -147,17 +175,40 @@ def edit_distance_within(
             if ins < best:
                 best = ins
             curr[j] = best
-            if best < row_min:
-                row_min = best
-        if hi < len_r:
-            curr[hi + 1] = _INF  # seal the band edge for the next row
-        if row_min > budget:
+        cells += hi - lo + 1
+        # Pure-insertion extension: right of the window, cells depend
+        # only on their left neighbour; extend while within budget (the
+        # static band caps how far an insertion run can drift).
+        ext = min(len_r, i + band)
+        j = hi + 1
+        while j <= ext and curr[j - 1] <= budget:
+            curr[j] = curr[j - 1] + costs.insert(right[j - 1])
+            cells += 1
+            j += 1
+        last = j - 1
+        # Next window: first/last within-budget cells of this row.
+        alo = -1
+        for j in range(lo - 1, last + 1):
+            if curr[j] <= budget:
+                alo = j
+                break
+        if alo == -1:
             obs.incr("matching.dp.cells", cells)
             obs.incr("matching.dp.early_aborts")
             return None
+        ahi = last
+        while curr[ahi] > budget:
+            ahi -= 1
+        # Seal the flanks so the next row never reads a stale cell from
+        # two rows back (its reads stay within [lo-2, last+1]).
+        if lo >= 2:
+            curr[lo - 2] = _INF
+        if last < len_r:
+            curr[last + 1] = _INF
         prev, curr = curr, prev
-        curr[0] = _INF
     obs.incr("matching.dp.cells", cells)
+    if len_r > last:
+        return None  # final column never came within reach
     result = prev[len_r]
     return result if result <= budget else None
 

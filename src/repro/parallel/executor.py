@@ -1,0 +1,351 @@
+"""The sharded process-pool match executor.
+
+One :class:`ParallelMatchExecutor` owns a worker pool and an
+:class:`~repro.parallel.table.EncodedNameTable` snapshot.  Selections
+split the table's row range into one contiguous shard per worker; joins
+split the pair triangle into shards of near-equal *pair* count (early
+rows pair with every later row, so equal row ranges would be lopsided).
+Workers run the vectorized banded kernel
+(:func:`~repro.matching.batch.batch_edit_distances_within_encoded`)
+over their shard and return matched ids + distances — a few hundred
+bytes per shard, regardless of table size.
+
+Shard protocol (DESIGN.md §9):
+
+* the table crosses the process boundary exactly once, at pool start —
+  inherited under ``fork``, pickled through the initializer under
+  ``spawn``; per-query traffic is the encoded query vector and the
+  threshold;
+* ``workers <= 1`` (or a one-row table) runs the same shard function
+  inline — no pool, no IPC, identical results;
+* results are exact: workers apply the same per-pair budget
+  ``threshold * min(|query|, |candidate|)`` as the scalar strategies,
+  and the kernel is bit-identical to the reference DP.
+
+Cooperative deadlines (``repro.deadline``) are thread-local and do not
+cross into worker processes; the executor checks the deadline at shard
+dispatch and merge instead, and the inline path keeps the full per-row
+granularity.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+
+from repro import deadline, obs
+from repro.errors import ReproError
+from repro.matching.batch import batch_edit_distances_within_encoded
+from repro.parallel.table import EncodedNameTable
+
+
+class ParallelExecutionError(ReproError):
+    """A shard task failed or the executor was used after close()."""
+
+
+#: Per-process table for pool workers.  Under ``fork`` the parent sets
+#: it just before creating the pool so children inherit it copy-on-write;
+#: under ``spawn`` the pool initializer assigns it from its pickled
+#: argument.  Worker processes never mutate it.
+_WORKER_TABLE: EncodedNameTable | None = None
+
+
+def _init_worker(table: EncodedNameTable | None = None) -> None:
+    global _WORKER_TABLE
+    if table is not None:
+        _WORKER_TABLE = table
+
+
+def _match_shard_on(
+    table: EncodedNameTable,
+    start: int,
+    stop: int,
+    q: np.ndarray,
+    threshold: float,
+    allowed: np.ndarray | None,
+):
+    """Match ``q`` against rows [start, stop); returns ids + distances."""
+    rows = np.arange(start, stop)
+    if allowed is not None:
+        rows = rows[np.isin(table.lang_codes[start:stop], allowed)]
+    lens = table.lens[rows]
+    budgets = threshold * np.minimum(len(q), lens)
+    candidates = int(
+        (np.abs(lens - len(q)) * table.encoded.min_indel <= budgets).sum()
+    )
+    dists = batch_edit_distances_within_encoded(
+        q, table.codes, table.offsets, table.encoded, budgets, rows=rows
+    )
+    hit = np.isfinite(dists)
+    return table.ids[rows[hit]], dists[hit], stop - start, candidates
+
+
+def _join_shard_on(
+    table: EncodedNameTable,
+    start: int,
+    stop: int,
+    threshold: float,
+    cross_language_only: bool,
+):
+    """All matching pairs (i, j) with i in [start, stop) and j > i."""
+    n = len(table)
+    ids_a: list[np.ndarray] = []
+    ids_b: list[np.ndarray] = []
+    dist_parts: list[np.ndarray] = []
+    pairs = 0
+    candidates = 0
+    for i in range(start, stop):
+        rows = np.arange(i + 1, n)
+        pairs += rows.size
+        if cross_language_only:
+            rows = rows[table.lang_codes[i + 1 :] != table.lang_codes[i]]
+        if rows.size == 0:
+            continue
+        q = table.codes[table.offsets[i] : table.offsets[i + 1]]
+        lens = table.lens[rows]
+        budgets = threshold * np.minimum(len(q), lens)
+        candidates += int(
+            (np.abs(lens - len(q)) * table.encoded.min_indel <= budgets)
+            .sum()
+        )
+        dists = batch_edit_distances_within_encoded(
+            q, table.codes, table.offsets, table.encoded, budgets, rows=rows
+        )
+        hit = np.isfinite(dists)
+        if hit.any():
+            matched = rows[hit]
+            ids_a.append(np.full(len(matched), table.ids[i]))
+            ids_b.append(table.ids[matched])
+            dist_parts.append(dists[hit])
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(ids_a) if ids_a else empty,
+        np.concatenate(ids_b) if ids_b else empty,
+        np.concatenate(dist_parts) if dist_parts else empty.astype(float),
+        pairs,
+        candidates,
+    )
+
+
+def _pool_match_shard(args):
+    return _match_shard_on(_WORKER_TABLE, *args)
+
+
+def _pool_join_shard(args):
+    return _join_shard_on(_WORKER_TABLE, *args)
+
+
+class ParallelMatchExecutor:
+    """Shards an :class:`EncodedNameTable` across a process pool."""
+
+    def __init__(
+        self,
+        table: EncodedNameTable,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.table = table
+        self.workers = max(1, int(workers))
+        self._start_method = start_method
+        self._pool = None
+        self._closed = False
+        #: Work accounting of the most recent match()/match_all_pairs().
+        self.last_stats: dict[str, int] = {}
+        if self.workers > 1 and len(table) > 1:
+            self._start_pool()
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _start_pool(self) -> None:
+        global _WORKER_TABLE
+        methods = multiprocessing.get_all_start_methods()
+        method = self._start_method or (
+            "fork" if "fork" in methods else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        if method == "fork":
+            # Children inherit the table copy-on-write; nothing pickles.
+            _WORKER_TABLE = self.table
+            try:
+                self._pool = ctx.Pool(
+                    self.workers, initializer=_init_worker
+                )
+            finally:
+                _WORKER_TABLE = None
+        else:
+            self._pool = ctx.Pool(
+                self.workers,
+                initializer=_init_worker,
+                initargs=(self.table,),
+            )
+        obs.incr("parallel.pool_starts")
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> ParallelMatchExecutor:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ----------------------------------------------------------- sharding
+
+    def _select_shards(self) -> list[tuple[int, int]]:
+        """Contiguous row ranges, one per worker (row-balanced)."""
+        n = len(self.table)
+        k = max(1, min(self.workers, n))
+        bounds = np.linspace(0, n, k + 1).astype(np.int64)
+        return [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(k)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    def _join_shards(self) -> list[tuple[int, int]]:
+        """Row ranges with near-equal pair counts (triangle-balanced)."""
+        n = len(self.table)
+        if n < 2:
+            return []
+        k = max(1, min(self.workers, n - 1))
+        total = n * (n - 1) // 2
+        target = total / k
+        shards = []
+        start = 0
+        acc = 0
+        for i in range(n - 1):
+            acc += n - i - 1
+            if acc >= target * (len(shards) + 1) or i == n - 2:
+                shards.append((start, i + 1))
+                start = i + 1
+                if len(shards) == k:
+                    break
+        if start < n - 1:
+            shards.append((start, n - 1))
+        return shards
+
+    # ------------------------------------------------------------- match
+
+    def _run(self, pool_fn, inline_fn, tasks: list[tuple]) -> list:
+        if self._closed:
+            raise ParallelExecutionError(
+                "executor used after close()"
+            )
+        deadline.check("parallel shard dispatch")
+        if self._pool is None:
+            return [inline_fn(self.table, *task) for task in tasks]
+        try:
+            results = self._pool.map(pool_fn, tasks)
+        except ReproError:
+            raise
+        except Exception as exc:  # worker crash, pool torn down, ...
+            raise ParallelExecutionError(
+                f"shard execution failed: {exc}"
+            ) from exc
+        deadline.check("parallel shard merge")
+        return results
+
+    def match(
+        self,
+        phonemes,
+        threshold: float,
+        languages: tuple[str, ...] = (),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All (id, distance) pairs matching within the relative budget.
+
+        Returns parallel arrays sorted by record id; decisions are
+        identical to the sequential scan with the reference DP.
+        """
+        table = self.table
+        q = table.encode_query(phonemes)
+        if q is None:
+            raise ParallelExecutionError(
+                "query contains a phoneme symbol outside the encoded "
+                "cost tables"
+            )
+        allowed = table.language_codes_for(tuple(languages))
+        empty = np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        if allowed is not None and allowed.size == 0:
+            self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
+            return empty
+        tasks = [
+            (start, stop, q, float(threshold), allowed)
+            for start, stop in self._select_shards()
+        ]
+        with obs.timed("parallel.match"):
+            parts = self._run(_pool_match_shard, _match_shard_on, tasks)
+        if not parts:
+            self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
+            return empty
+        ids = np.concatenate([p[0] for p in parts])
+        dists = np.concatenate([p[1] for p in parts])
+        rows = sum(p[2] for p in parts)
+        candidates = sum(p[3] for p in parts)
+        order = np.argsort(ids, kind="stable")
+        ids, dists = ids[order], dists[order]
+        self.last_stats = {
+            "rows": rows,
+            "candidates": candidates,
+            "matches": len(ids),
+        }
+        obs.incr("parallel.queries")
+        obs.incr("parallel.shards", len(tasks))
+        obs.incr("parallel.rows", rows)
+        obs.incr("parallel.candidates", candidates)
+        obs.incr("parallel.matches", len(ids))
+        return ids, dists
+
+    def match_all_pairs(
+        self,
+        threshold: float,
+        *,
+        cross_language_only: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The self equi-join: (ids_a, ids_b, distances), a < b by row.
+
+        Row order within the table is insertion order, so ``ids_a`` is
+        always the smaller record id of the pair.
+        """
+        tasks = [
+            (start, stop, float(threshold), bool(cross_language_only))
+            for start, stop in self._join_shards()
+        ]
+        with obs.timed("parallel.join"):
+            parts = self._run(_pool_join_shard, _join_shard_on, tasks)
+        empty = np.empty(0, dtype=np.int64)
+        if not parts:
+            self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
+            return empty, empty.copy(), empty.astype(np.float64)
+        ids_a = np.concatenate([p[0] for p in parts])
+        ids_b = np.concatenate([p[1] for p in parts])
+        dists = np.concatenate([p[2] for p in parts])
+        pairs = sum(p[3] for p in parts)
+        candidates = sum(p[4] for p in parts)
+        order = np.lexsort((ids_b, ids_a))
+        ids_a, ids_b, dists = ids_a[order], ids_b[order], dists[order]
+        self.last_stats = {
+            "rows": pairs,
+            "candidates": candidates,
+            "matches": len(ids_a),
+        }
+        obs.incr("parallel.join_queries")
+        obs.incr("parallel.shards", len(tasks))
+        obs.incr("parallel.rows", pairs)
+        obs.incr("parallel.candidates", candidates)
+        obs.incr("parallel.matches", len(ids_a))
+        return ids_a, ids_b, dists

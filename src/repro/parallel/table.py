@@ -1,0 +1,144 @@
+"""The fork-shippable encoded phoneme table.
+
+:class:`EncodedNameTable` is the flat-array snapshot the parallel
+executor shards: phoneme strings as one CSR int-code array pair, record
+ids, and language codes.  Everything is numpy or plain tuples, so the
+table pickles cheaply (``spawn``) and is inherited copy-on-write for
+free (``fork``); no per-row Python objects cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.matching.batch import EncodedCosts
+from repro.matching.costs import CostModel
+
+
+def _default_symbols(extra: Iterable[str] = ()) -> list[str]:
+    """The full phoneme inventory (plus any out-of-inventory extras).
+
+    Using the whole inventory makes the code space query-independent:
+    any string :func:`repro.phonetics.parse.parse_ipa` produces encodes
+    without rebuilding the cost tables.
+    """
+    from repro.phonetics.inventory import INVENTORY
+
+    symbols = list(INVENTORY)
+    seen = set(symbols)
+    for sym in extra:
+        if sym not in seen:
+            seen.add(sym)
+            symbols.append(sym)
+    return symbols
+
+
+class EncodedNameTable:
+    """An immutable encoded snapshot of ``(id, language, phonemes)`` rows."""
+
+    def __init__(
+        self,
+        encoded: EncodedCosts,
+        codes: np.ndarray,
+        offsets: np.ndarray,
+        ids: np.ndarray,
+        lang_codes: np.ndarray,
+        languages: tuple[str, ...],
+    ):
+        self.encoded = encoded
+        self.codes = codes
+        self.offsets = offsets
+        self.ids = ids
+        self.lang_codes = lang_codes
+        self.languages = languages
+        self.lens = np.diff(offsets)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_rows(
+        cls,
+        costs: CostModel,
+        rows: Iterable[tuple[int, str, tuple[str, ...]]],
+        symbols: Iterable[str] | None = None,
+    ) -> EncodedNameTable:
+        """Build from ``(record_id, language, phoneme_tuple)`` rows."""
+        rows = list(rows)
+        if symbols is None:
+            extra = {
+                tok for _id, _lang, phonemes in rows for tok in phonemes
+            }
+            symbols = _default_symbols(extra)
+        encoded = EncodedCosts(costs, list(symbols))
+        lang_index: dict[str, int] = {}
+        ids = np.empty(len(rows), dtype=np.int64)
+        lang_codes = np.empty(len(rows), dtype=np.int16)
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        chunks = []
+        for pos, (record_id, language, phonemes) in enumerate(rows):
+            ids[pos] = record_id
+            language = language.lower()
+            if language not in lang_index:
+                lang_index[language] = len(lang_index)
+            lang_codes[pos] = lang_index[language]
+            chunk = encoded.encode(phonemes)
+            chunks.append(chunk)
+            offsets[pos + 1] = offsets[pos] + len(chunk)
+        codes = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(
+            encoded,
+            codes,
+            offsets,
+            ids,
+            lang_codes,
+            tuple(lang_index),
+        )
+
+    @classmethod
+    def from_catalog(cls, catalog) -> EncodedNameTable:
+        """Snapshot a :class:`~repro.core.strategies.NameCatalog`."""
+        rows = [
+            (record.id, record.language, catalog.phonemes_of(record.id))
+            for record in catalog.records()
+        ]
+        return cls.from_rows(catalog.matcher.costs, rows)
+
+    def encode_query(self, phonemes) -> np.ndarray | None:
+        """Query phonemes -> code vector; None if a symbol is unknown.
+
+        Unknown symbols are possible only for cost-model symbol sets
+        narrower than the inventory; callers fall back to the scalar
+        kernels in that case.
+        """
+        index = self.encoded.index
+        try:
+            return np.fromiter(
+                (index[t] for t in phonemes),
+                dtype=np.int64,
+                count=len(phonemes),
+            )
+        except KeyError:
+            return None
+
+    def language_codes_for(
+        self, languages: tuple[str, ...]
+    ) -> np.ndarray | None:
+        """Allowed-language codes for an INLANGUAGES filter (None = all)."""
+        if not languages:
+            return None
+        wanted = {lang.lower() for lang in languages}
+        return np.fromiter(
+            (
+                code
+                for code, name in enumerate(self.languages)
+                if name in wanted
+            ),
+            dtype=np.int16,
+        )

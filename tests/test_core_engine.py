@@ -177,6 +177,68 @@ class TestIndexAccelerator:
         assert ("नेहरु",) not in result.rows
 
 
+class TestParallelAccelerator:
+    def test_results_identical_to_full_scan(self):
+        plain = make_db()
+        accelerated = make_db()
+        acc = create_phonetic_accelerator(
+            accelerated, "books", "author", method="parallel", workers=2
+        )
+        try:
+            for query in ["Nehru", "Gandhi", "Krishna", "Zzyzx"]:
+                for threshold in [0.1, 0.25, 0.4]:
+                    expected = plain.execute(
+                        LEXEQUAL_SQL, q=query, e=threshold
+                    ).rows
+                    got = accelerated.execute(
+                        LEXEQUAL_SQL, q=query, e=threshold
+                    ).rows
+                    assert got == expected, (query, threshold)
+        finally:
+            acc.drop()
+
+    def test_plan_uses_rowid_scan(self):
+        db = make_db()
+        acc = create_phonetic_accelerator(
+            db, "books", "author", method="parallel", workers=1
+        )
+        try:
+            assert plan_uses(db, LEXEQUAL_SQL, RowidScan)
+        finally:
+            acc.drop()
+
+    def test_insert_and_delete_maintain_executor(self):
+        db = make_db()
+        acc = create_phonetic_accelerator(
+            db, "books", "author", method="parallel", workers=1
+        )
+        try:
+            db.insert("books", ("Neru", "New Book"))
+            result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+            assert ("Neru",) in result.rows
+            db.delete_row("books", 1)  # नेहरु
+            result = db.execute(LEXEQUAL_SQL, q="Nehru", e=0.25)
+            assert ("नेहरु",) not in result.rows
+        finally:
+            acc.drop()
+
+    def test_inlanguages_restriction_applies(self):
+        db = make_db()
+        acc = create_phonetic_accelerator(
+            db, "books", "author", method="parallel", workers=1
+        )
+        try:
+            result = db.execute(
+                LEXEQUAL_SQL + " INLANGUAGES { english }",
+                q="Nehru",
+                e=0.25,
+            )
+            assert ("Nehru",) in result.rows
+            assert ("नेहरु",) not in result.rows
+        finally:
+            acc.drop()
+
+
 class TestLifecycle:
     def test_invalid_method_rejected(self):
         db = make_db()

@@ -1,0 +1,235 @@
+"""Differential tests: every fast kernel against the reference DP.
+
+The banded scalar kernel (``edit_distance_within``), the vectorized
+batch kernel (``batch_edit_distances_within``) and its pre-encoded CSR
+variant must return *exactly* the reference ``edit_distance``'s
+distances and accept/reject decisions — not approximately: every
+shipped cost value is a binary fraction (1, 0.5, 0.25, ...), so the DP
+arithmetic is exact in float64 and any deviation is a kernel bug, never
+rounding.
+
+The suite drives 5 000+ seeded random phoneme pairs (lengths 0–14,
+every shipped cost model, budgets from knife-edge to generous) through
+all three kernels, then separately exercises the cutoff (reject) path
+and the cooperative deadline-cancel path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro import deadline
+from repro.errors import DeadlineExceededError
+from repro.matching.batch import (
+    EncodedCosts,
+    batch_edit_distances_within,
+    batch_edit_distances_within_encoded,
+)
+from repro.matching.costs import ClusteredCost, LevenshteinCost
+from repro.matching.editdist import edit_distance, edit_distance_within
+
+SEED = 20040314
+
+# The same representative pool the property suite uses.
+SYMBOLS = [
+    "p", "b", "t", "d", "ʈ", "k", "g", "tʃ", "dʒ", "s", "z", "ʃ",
+    "m", "n", "ŋ", "r", "l", "j", "w", "v", "h", "f",
+    "a", "e", "i", "o", "u", "ə", "ɛ", "ɔ",
+]
+
+#: Every shipped cost-model shape: classical Levenshtein, the paper's
+#: default fractional clustering, a half-cost variant with classical
+#: indels, free intra-cluster substitution, and cheap weak indels.
+COST_MODELS = [
+    LevenshteinCost(),
+    ClusteredCost(0.25),
+    ClusteredCost(0.5, weak_indel_cost=1.0, vowel_cross_cost=1.0),
+    ClusteredCost(0.0),
+    ClusteredCost(1.0, weak_indel_cost=0.5),
+]
+
+THRESHOLDS = [0.0, 0.1, 0.25, 0.35, 0.5, 1.0]
+
+QUERIES_PER_MODEL = 21
+CANDIDATES_PER_QUERY = 48
+
+
+def _random_string(rng: random.Random, max_len: int = 14) -> tuple:
+    # Favor non-trivial lengths but keep empties in the mix.
+    length = rng.choice([0, 1, 2] + list(range(3, max_len + 1)) * 2)
+    return tuple(rng.choice(SYMBOLS) for _ in range(length))
+
+
+def _battery():
+    """(model, query, candidates, budgets) cases — ≥5k pairs in all."""
+    rng = random.Random(SEED)
+    cases = []
+    for costs in COST_MODELS:
+        for _ in range(QUERIES_PER_MODEL):
+            query = _random_string(rng)
+            candidates = [
+                _random_string(rng)
+                for _ in range(CANDIDATES_PER_QUERY)
+            ]
+            threshold = rng.choice(THRESHOLDS)
+            budgets = [
+                threshold * min(len(query), len(cand))
+                for cand in candidates
+            ]
+            cases.append((costs, query, candidates, budgets))
+    return cases
+
+
+BATTERY = _battery()
+
+
+def test_battery_covers_five_thousand_pairs():
+    assert sum(len(case[2]) for case in BATTERY) >= 5000
+
+
+class TestScalarBandedDifferential:
+    def test_distances_and_decisions_identical(self):
+        checked = 0
+        for costs, query, candidates, budgets in BATTERY:
+            for cand, budget in zip(candidates, budgets):
+                full = edit_distance(query, cand, costs)
+                banded = edit_distance_within(query, cand, budget, costs)
+                if full <= budget:
+                    assert banded == full, (query, cand, budget)
+                else:
+                    assert banded is None, (query, cand, budget, banded)
+                checked += 1
+        assert checked >= 5000
+
+    def test_symmetry_of_decisions(self):
+        # The banded window is asymmetric code-wise; results must not be.
+        rng = random.Random(SEED + 1)
+        for costs in COST_MODELS:
+            for _ in range(40):
+                a, b = _random_string(rng), _random_string(rng)
+                budget = rng.choice(THRESHOLDS) * min(len(a), len(b))
+                assert edit_distance_within(
+                    a, b, budget, costs
+                ) == edit_distance_within(b, a, budget, costs)
+
+    def test_negative_budget_rejects(self):
+        assert (
+            edit_distance_within(("a",), ("a",), -0.5, COST_MODELS[0])
+            is None
+        )
+
+    def test_zero_budget_accepts_only_identity(self):
+        costs = LevenshteinCost()
+        assert edit_distance_within(("a", "b"), ("a", "b"), 0.0, costs) == 0.0
+        assert edit_distance_within(("a", "b"), ("a", "c"), 0.0, costs) is None
+
+
+class TestBatchDifferential:
+    def test_batch_identical_to_reference(self):
+        checked = 0
+        for costs, query, candidates, budgets in BATTERY:
+            encoded = EncodedCosts(costs, SYMBOLS)
+            got = batch_edit_distances_within(
+                query, candidates, encoded, np.array(budgets)
+            )
+            for value, cand, budget in zip(got, candidates, budgets):
+                full = edit_distance(query, cand, costs)
+                if full <= budget:
+                    assert value == full, (query, cand, budget)
+                else:
+                    assert value == np.inf, (query, cand, budget, value)
+                checked += len(candidates)
+        assert checked >= 5000
+
+    def test_scalar_budget_broadcasts(self):
+        costs, query, candidates, _ = BATTERY[0]
+        encoded = EncodedCosts(costs, SYMBOLS)
+        got = batch_edit_distances_within(query, candidates, encoded, 2.0)
+        for value, cand in zip(got, candidates):
+            full = edit_distance(query, cand, costs)
+            assert (value == full) if full <= 2.0 else (value == np.inf)
+
+    def test_encoded_rows_subset(self):
+        """The CSR ``rows=`` path (what shard workers call) agrees."""
+        rng = random.Random(SEED + 2)
+        costs = ClusteredCost(0.25)
+        encoded = EncodedCosts(costs, SYMBOLS)
+        candidates = [_random_string(rng) for _ in range(60)]
+        offsets = np.zeros(len(candidates) + 1, dtype=np.int64)
+        for i, cand in enumerate(candidates):
+            offsets[i + 1] = offsets[i] + len(cand)
+        codes = np.concatenate(
+            [encoded.encode(c) for c in candidates]
+        ) if any(candidates) else np.empty(0, dtype=np.int64)
+        query = _random_string(rng)
+        rows = np.array(sorted(rng.sample(range(60), 25)))
+        budgets = 0.35 * np.minimum(
+            len(query), np.diff(offsets)[rows]
+        )
+        got = batch_edit_distances_within_encoded(
+            encoded.encode(query), codes, offsets, encoded, budgets,
+            rows=rows,
+        )
+        for value, row, budget in zip(got, rows, budgets):
+            full = edit_distance(query, candidates[row], costs)
+            if full <= budget:
+                assert value == full
+            else:
+                assert value == np.inf
+
+    def test_empty_candidate_list(self):
+        encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
+        got = batch_edit_distances_within(("a",), [], encoded, 1.0)
+        assert got.shape == (0,)
+
+    def test_empty_query_and_empty_candidates(self):
+        costs = ClusteredCost(0.25)
+        encoded = EncodedCosts(costs, SYMBOLS)
+        candidates = [(), ("a",), ("a", "b", "e")]
+        got = batch_edit_distances_within(
+            (), candidates, encoded, np.array([0.0, 1.0, 1.0])
+        )
+        assert got[0] == 0.0
+        assert got[1] == edit_distance((), ("a",), costs)
+        assert got[2] == np.inf  # three insertions exceed budget 1.0
+
+
+class TestDeadlineCancellation:
+    """Both kernels honour an armed (and already expired) deadline."""
+
+    LONG = tuple(SYMBOLS[i % len(SYMBOLS)] for i in range(40))
+    NOISY = tuple(SYMBOLS[(i * 7 + 3) % len(SYMBOLS)] for i in range(40))
+
+    def test_scalar_banded_cancels(self):
+        with deadline.deadline_scope(1e-4):
+            time.sleep(0.01)
+            with pytest.raises(DeadlineExceededError):
+                edit_distance_within(
+                    self.LONG, self.NOISY, 40.0, LevenshteinCost()
+                )
+
+    def test_reference_dp_cancels(self):
+        with deadline.deadline_scope(1e-4):
+            time.sleep(0.01)
+            with pytest.raises(DeadlineExceededError):
+                edit_distance(self.LONG, self.NOISY, LevenshteinCost())
+
+    def test_batch_cancels(self):
+        encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
+        with deadline.deadline_scope(1e-4):
+            time.sleep(0.01)
+            with pytest.raises(DeadlineExceededError):
+                batch_edit_distances_within(
+                    self.LONG, [self.NOISY] * 8, encoded, 40.0
+                )
+
+    def test_no_deadline_no_cancel(self):
+        # Outside a scope the same inputs complete normally.
+        got = edit_distance_within(
+            self.LONG, self.NOISY, 40.0, LevenshteinCost()
+        )
+        assert got == edit_distance(self.LONG, self.NOISY, LevenshteinCost())

@@ -97,6 +97,70 @@ class TestEditDistanceMetric:
             assert banded is None
 
 
+class TestWithinCutoffSemantics:
+    """The contract of ``edit_distance_within(a, b, cutoff)``.
+
+    It returns a value iff the true distance is within the cutoff, the
+    value is the true distance, acceptance is monotone in the cutoff,
+    and the whole function is symmetric under symmetric cost models.
+    (Arithmetic is exact — all shipped costs are binary fractions — so
+    the properties hold with equality, no epsilon.)
+    """
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        a=phoneme_strings,
+        b=phoneme_strings,
+        costs=cost_models,
+        cutoff=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    def test_value_iff_true_distance_within(self, a, b, costs, cutoff):
+        full = edit_distance(a, b, costs)
+        got = edit_distance_within(a, b, cutoff, costs)
+        if full <= cutoff:
+            assert got == full
+        else:
+            assert got is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        a=phoneme_strings,
+        b=phoneme_strings,
+        costs=cost_models,
+        lo=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+        extra=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    )
+    def test_monotone_in_cutoff(self, a, b, costs, lo, extra):
+        """Accepted at a cutoff => accepted (same value) at any larger."""
+        at_lo = edit_distance_within(a, b, lo, costs)
+        at_hi = edit_distance_within(a, b, lo + extra, costs)
+        if at_lo is not None:
+            assert at_hi == at_lo
+        # And the contrapositive: rejected at the larger cutoff =>
+        # rejected at the smaller.
+        if at_hi is None:
+            assert at_lo is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        a=phoneme_strings,
+        b=phoneme_strings,
+        costs=cost_models,
+        cutoff=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    )
+    def test_symmetric_for_symmetric_models(self, a, b, costs, cutoff):
+        # Every shipped model is symmetric (asserted by the metric-axiom
+        # suite), so the thresholded kernel must be too.
+        assert edit_distance_within(
+            a, b, cutoff, costs
+        ) == edit_distance_within(b, a, cutoff, costs)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=phoneme_strings, costs=cost_models)
+    def test_identity_accepted_at_zero(self, a, costs):
+        assert edit_distance_within(a, a, 0.0, costs) == 0.0
+
+
 class TestBatchAgreesWithScalar:
     @settings(max_examples=60, deadline=None)
     @given(
@@ -113,6 +177,37 @@ class TestBatchAgreesWithScalar:
         got = batch_edit_distances(query, candidates, encoded)
         expected = [edit_distance(query, c, costs) for c in candidates]
         assert np.allclose(got, expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        query=phoneme_strings,
+        candidates=st.lists(phoneme_strings, min_size=1, max_size=6),
+        costs=cost_models,
+        threshold=st.sampled_from([0.0, 0.25, 0.35, 0.5, 1.0]),
+    )
+    def test_batch_within_identical(
+        self, query, candidates, costs, threshold
+    ):
+        import numpy as np
+
+        from repro.matching.batch import (
+            EncodedCosts,
+            batch_edit_distances_within,
+        )
+
+        encoded = EncodedCosts(costs, SYMBOLS)
+        budgets = np.array(
+            [threshold * min(len(query), len(c)) for c in candidates]
+        )
+        got = batch_edit_distances_within(
+            query, candidates, encoded, budgets
+        )
+        for value, cand, budget in zip(got, candidates, budgets):
+            full = edit_distance(query, cand, costs)
+            if full <= budget:
+                assert value == full
+            else:
+                assert value == np.inf
 
 
 class TestQGramSoundness:
