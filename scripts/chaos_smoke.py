@@ -22,6 +22,7 @@ reproduce.  Run from the repository root::
 
 from __future__ import annotations
 
+import glob
 import os
 import sys
 import threading
@@ -213,6 +214,14 @@ def main() -> int:
             f"error rate {errors}/{total} exceeds "
             f"{MAX_ERROR_RATE:.0%} budget"
         )
+    # Shared-memory hygiene: whatever the fault schedule did to the
+    # parallel executor, no repro_par_* segment may outlive the run.
+    leaked = sorted(
+        os.path.basename(p)
+        for p in glob.glob("/dev/shm/repro_par_*")
+    )
+    if leaked:
+        failures.append(f"leaked /dev/shm segments: {leaked}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -25,7 +25,11 @@ echo "== domain lint (repro.analysis, DESIGN.md §8) =="
 PYTHONPATH=src python -m repro.cli lint
 
 echo "== perf smoke (banded kernel + parallel executor floors) =="
-python scripts/perf_smoke.py
+mkdir -p results
+python scripts/perf_smoke.py --out results/perf_smoke.json
+
+echo "== perf trend gate (fresh ratios vs committed baseline) =="
+python scripts/perf_compare.py BENCH_baseline.json results/perf_smoke.json
 
 echo "== benchmark smoke (Table 1) =="
 REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \

@@ -11,10 +11,19 @@ the build when either regression appears:
 * **lost speedup** — the banded kernel stops beating the reference DP,
   or the parallel executor stops beating the sequential naive scan.
 
-The floors here are deliberately lax (1.5x kernel, 2x executor at a
+The floors come from :mod:`repro.perf` — the single source shared with
+``scripts/perf_compare.py`` and the acceptance benchmark — and are
+deliberately lax at this scale (1.5x kernel, 2x executor on a
 1,500-row catalog) so the gate only trips on real regressions, not CI
-jitter; the acceptance-scale floors (2x / 3x at 200k rows) live in the
-benchmark and in ``BENCH_parallel.json``.
+jitter.  The acceptance-scale floors (20x kernel, 3x scaling at 200k
+rows) are enforced by the benchmark, not here.
+
+Besides asserting, the run writes a JSON report of its speedup ratios
+(``--out``); ``scripts/perf_compare.py`` diffs that report against the
+committed ``BENCH_baseline.json`` to catch slow drift that stays above
+the lax floors.  The report records ``cpu_count`` because the
+multi-worker scaling ratio is only meaningful (and only enforced) on
+machines with at least that many CPUs.
 
 Environment knobs: ``REPRO_PERF_SMOKE_ROWS`` (default 1500),
 ``REPRO_PERF_SMOKE_SEED`` (default 20040314).
@@ -22,6 +31,8 @@ Environment knobs: ``REPRO_PERF_SMOKE_ROWS`` (default 1500),
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import random
 import sys
@@ -33,6 +44,7 @@ sys.path.insert(
 
 import numpy as np
 
+from repro import perf
 from repro.core import (
     LexEqualMatcher,
     MatchConfig,
@@ -47,8 +59,6 @@ from repro.parallel import ParallelStrategy
 
 ROWS = int(os.environ.get("REPRO_PERF_SMOKE_ROWS", "1500"))
 SEED = int(os.environ.get("REPRO_PERF_SMOKE_SEED", "20040314"))
-KERNEL_FLOOR = 1.5
-EXECUTOR_FLOOR = 2.0
 PAIRS = 400
 QUERIES = 6
 
@@ -66,8 +76,11 @@ def build_catalog() -> NameCatalog:
     return catalog
 
 
-def check_kernels(catalog: NameCatalog) -> float:
-    """Banded + batch kernels: exact agreement, banded speedup floor."""
+def check_kernels(catalog: NameCatalog) -> tuple[float, float]:
+    """Banded + batch kernels: exact agreement, banded speedup floor.
+
+    Returns ``(banded_vs_reference, batch_vs_reference)`` speedups.
+    """
     rng = random.Random(SEED)
     costs = catalog.matcher.costs
     threshold = catalog.config.threshold
@@ -101,17 +114,20 @@ def check_kernels(catalog: NameCatalog) -> float:
                 f"{within!r} != {expected!r} (budget {budget})"
             )
 
-    # The batch kernel against the same sample, one query at a time.
+    # The batch kernel against the same sample, one query over all
+    # candidates at once (its production shape in the executor).
     symbols = sorted({s for string in strings for s in string})
     encoded = EncodedCosts(costs, symbols)
     query = pairs[0][0]
-    candidates = [b for _, b in pairs[:50]]
+    candidates = [b for _, b in pairs]
     batch_budgets = np.array(
         [threshold * min(len(query), len(c)) for c in candidates]
     )
+    start = time.perf_counter()
     got = batch_edit_distances_within(
         query, candidates, encoded, batch_budgets
     )
+    batch_s = time.perf_counter() - start
     for value, cand, budget in zip(got, candidates, batch_budgets):
         full = edit_distance(query, cand, costs)
         expected = full if full <= budget else np.inf
@@ -121,21 +137,29 @@ def check_kernels(catalog: NameCatalog) -> float:
                 f"{value!r} != {expected!r}"
             )
 
-    speedup = ref_s / max(banded_s, 1e-9)
+    banded_speedup = ref_s / max(banded_s, 1e-9)
+    batch_speedup = ref_s / max(batch_s, 1e-9)
     print(
         f"kernel: {PAIRS} pairs, reference {ref_s * 1e3:.1f} ms, "
-        f"banded {banded_s * 1e3:.1f} ms -> {speedup:.1f}x"
+        f"banded {banded_s * 1e3:.1f} ms -> {banded_speedup:.1f}x, "
+        f"batch {batch_s * 1e3:.1f} ms -> {batch_speedup:.1f}x"
     )
-    if speedup < KERNEL_FLOOR:
+    if banded_speedup < perf.SMOKE_KERNEL_FLOOR:
         raise AssertionError(
-            f"banded kernel lost its speedup: {speedup:.2f}x < "
-            f"{KERNEL_FLOOR}x floor"
+            f"banded kernel lost its speedup: {banded_speedup:.2f}x < "
+            f"{perf.SMOKE_KERNEL_FLOOR}x floor"
         )
-    return speedup
+    return banded_speedup, batch_speedup
 
 
-def check_executor(catalog: NameCatalog) -> float:
-    """Parallel strategy: identical match sets, executor speedup floor."""
+def check_executor(catalog: NameCatalog) -> tuple[float, float]:
+    """Parallel strategy: identical match sets, executor speedup floor.
+
+    Returns ``(best_vs_naive, scaling_4v1)`` where the scaling ratio is
+    the 1-worker wall time over the 4-worker wall time (> 1 means 4
+    workers win; on machines with < 4 CPUs it is recorded but not
+    enforced).
+    """
     rng = random.Random(SEED + 1)
     english = [
         record.name
@@ -151,37 +175,70 @@ def check_executor(catalog: NameCatalog) -> float:
     naive_s = time.perf_counter() - start
 
     best = 0.0
-    for workers in (1, 2):
+    seconds: dict[int, float] = {}
+    for workers in (1, 2, perf.SCALING_WORKERS):
         with ParallelStrategy(catalog, workers=workers) as strategy:
-            strategy.select(queries[0])  # build the encoded table once
+            strategy.select(queries[0])  # table built, pool warmed
             start = time.perf_counter()
             got = {q: [r.id for r in strategy.select(q)] for q in queries}
-            parallel_s = time.perf_counter() - start
+            seconds[workers] = time.perf_counter() - start
         if got != expected:
             raise AssertionError(
                 f"parallel executor (workers={workers}) diverged from "
                 "the naive scan"
             )
-        speedup = naive_s / max(parallel_s, 1e-9)
+        speedup = naive_s / max(seconds[workers], 1e-9)
         best = max(best, speedup)
         print(
             f"executor: workers={workers}, naive {naive_s * 1e3:.0f} ms, "
-            f"parallel {parallel_s * 1e3:.0f} ms -> {speedup:.1f}x"
+            f"parallel {seconds[workers] * 1e3:.0f} ms -> {speedup:.1f}x"
         )
 
-    if best < EXECUTOR_FLOOR:
+    if best < perf.SMOKE_EXECUTOR_FLOOR:
         raise AssertionError(
             f"parallel executor lost its speedup: best {best:.2f}x < "
-            f"{EXECUTOR_FLOOR}x floor"
+            f"{perf.SMOKE_EXECUTOR_FLOOR}x floor"
         )
-    return best
+    scaling = seconds[1] / max(seconds[perf.SCALING_WORKERS], 1e-9)
+    return best, scaling
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the speedup-ratio report as JSON to this path "
+        "(consumed by scripts/perf_compare.py)",
+    )
+    args = parser.parse_args(argv)
+
     print(f"perf smoke: rows={ROWS} seed={SEED}")
     catalog = build_catalog()
-    check_kernels(catalog)
-    check_executor(catalog)
+    banded, batch = check_kernels(catalog)
+    executor, scaling = check_executor(catalog)
+    report = {
+        "rows": ROWS,
+        "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "scaling_workers": perf.SCALING_WORKERS,
+        "ratios": {
+            "kernel_banded_vs_reference": round(banded, 3),
+            "kernel_batch_vs_reference": round(batch, 3),
+            "executor_vs_naive": round(executor, 3),
+            f"scaling_{perf.SCALING_WORKERS}v1": round(scaling, 3),
+        },
+    }
+    failures = perf.check_floors(report)
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report -> {args.out}")
     print("perf smoke OK")
     return 0
 

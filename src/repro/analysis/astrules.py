@@ -581,3 +581,95 @@ class LockDiscipline(Rule):
                 )
                 continue
             yield from self._check_class(spec, class_node)
+
+
+# ------------------------------------------------------------ LEX-A005
+
+
+class ManagedParallelism(Rule):
+    """Process-level parallelism lives only inside ``repro.parallel``.
+
+    The managed executor owns every hard part — shared-memory segment
+    lifecycle, worker crash teardown, deadline cancellation, SIGTERM
+    cleanup.  A stray ``multiprocessing.Pool`` elsewhere would re-grow
+    the exact leak and orphan bugs the executor exists to prevent, so
+    any direct import of ``multiprocessing``, call to ``os.fork``, or
+    use of ``ProcessPoolExecutor`` outside the package is a finding.
+    """
+
+    rule_id = "LEX-A005"
+    name = "managed-parallelism"
+    description = (
+        "multiprocessing / os.fork / ProcessPoolExecutor are used only "
+        "inside repro.parallel; other code goes through the managed "
+        "executor"
+    )
+
+    def __init__(
+        self,
+        subdir: str = "src/repro",
+        allowed: tuple[str, ...] = ("src/repro/parallel",),
+    ):
+        self.subdir = subdir
+        self.allowed = allowed
+
+    def _allowed(self, file: str) -> bool:
+        return any(
+            file == prefix or file.startswith(prefix + "/")
+            for prefix in self.allowed
+        )
+
+    def _violations(self, tree: ast.Module):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "multiprocessing":
+                        yield (
+                            node.lineno,
+                            f"direct import of {alias.name!r}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[0] == "multiprocessing":
+                    names = ", ".join(a.name for a in node.names)
+                    yield (
+                        node.lineno,
+                        f"direct import from {module!r} ({names})",
+                    )
+                elif any(
+                    a.name == "ProcessPoolExecutor" for a in node.names
+                ):
+                    yield (
+                        node.lineno,
+                        "direct import of ProcessPoolExecutor",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "ProcessPoolExecutor"
+            ):
+                yield (node.lineno, "use of ProcessPoolExecutor")
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fork"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "os"
+            ):
+                yield (node.lineno, "direct os.fork() call")
+
+    def run(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for file in ctx.python_files(self.subdir):
+            if self._allowed(file):
+                continue
+            try:
+                tree = ctx.tree(file)
+            except (OSError, SyntaxError):
+                continue
+            for line, what in self._violations(tree):
+                yield self.finding(
+                    file,
+                    line,
+                    f"{what} outside repro.parallel — spawn workers "
+                    "through the managed ParallelMatchExecutor instead",
+                )

@@ -23,6 +23,7 @@ def default_rules() -> list[Rule]:
     from repro.analysis.astrules import (
         FailpointDrift,
         LockDiscipline,
+        ManagedParallelism,
         MetricNames,
         OpDrift,
     )
@@ -44,6 +45,7 @@ def default_rules() -> list[Rule]:
         FailpointDrift(),
         MetricNames(),
         LockDiscipline(),
+        ManagedParallelism(),
     ]
 
 

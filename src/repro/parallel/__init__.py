@@ -9,21 +9,31 @@ vectorized banded kernels of :mod:`repro.matching.batch`.
 
 Design (DESIGN.md §9):
 
-* **encode once, ship int arrays** — the catalog is compiled into an
+* **encode once, attach everywhere** — the catalog is compiled into an
   :class:`EncodedNameTable` (CSR ``codes``/``offsets`` int arrays plus
-  ids, lengths and language codes, and the
-  :class:`~repro.matching.batch.EncodedCosts` lookup tables).  Workers
-  receive the table exactly once — inherited copy-on-write under the
-  ``fork`` start method, pickled through the pool initializer under
-  ``spawn`` — and every query afterwards ships only a tiny code vector;
+  ids, lengths, language codes and the cost matrices) and published
+  *once* into a ``multiprocessing.shared_memory`` segment
+  (:mod:`repro.parallel.shm`).  Workers attach by name and build
+  zero-copy numpy views — nothing table-sized is ever pickled or
+  copy-on-write duplicated, under either start method;
+* **warm pool, batched results** — a persistent worker pool with shard
+  affinity serves every query; each worker returns one packed numpy
+  buffer per query (ids, distances, counters), never per-pair pickles,
+  and a shared atomic counter lets finished workers *steal* tail chunks
+  from slow ones so shard imbalance is amortized;
 * **exact results** — the per-shard kernel is
   :func:`~repro.matching.batch.batch_edit_distances_within_encoded`,
-  which is bit-identical to the reference DP (differential suite), so
-  :class:`ParallelStrategy` returns exactly the
+  a padded all-candidates banded DP that is bit-identical to the
+  reference DP (differential suite), so :class:`ParallelStrategy`
+  returns exactly the
   :class:`~repro.core.strategies.NaiveUdfStrategy` match set;
-* **degrades to inline** — with ``workers <= 1`` no pool is created and
-  the same kernels run in-process, so the strategy is also the fastest
-  *sequential* scan.
+* **degrades to inline** — with ``workers <= 1`` no pool or segment is
+  created and the same kernels run in-process, so the strategy is also
+  the fastest *sequential* scan;
+* **explicit lifecycle** — segments are unlinked on executor
+  ``close()``, at interpreter exit, and on SIGTERM; any worker crash
+  mid-query tears the pool down (and its segment stays owned by the
+  parent, so nothing leaks in ``/dev/shm``).
 """
 
 from repro.parallel.executor import ParallelMatchExecutor

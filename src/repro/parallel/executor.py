@@ -1,65 +1,73 @@
-"""The sharded process-pool match executor.
+"""The shared-memory warm-pool match executor.
 
-One :class:`ParallelMatchExecutor` owns a worker pool and an
-:class:`~repro.parallel.table.EncodedNameTable` snapshot.  Selections
-split the table's row range into one contiguous shard per worker; joins
-split the pair triangle into shards of near-equal *pair* count (early
-rows pair with every later row, so equal row ranges would be lopsided).
-Workers run the vectorized banded kernel
-(:func:`~repro.matching.batch.batch_edit_distances_within_encoded`)
-over their shard and return matched ids + distances — a few hundred
-bytes per shard, regardless of table size.
+One :class:`ParallelMatchExecutor` owns an
+:class:`~repro.parallel.table.EncodedNameTable` snapshot, a shared
+memory segment holding it, and a persistent pool of worker processes
+that *attach* to the segment (zero-copy views) instead of inheriting
+pickles.  The pool stays warm across queries: per query the parent
+sends each worker one small task message and receives one packed
+result buffer back, so IPC cost is O(workers + matches), independent
+of table size.
 
-Shard protocol (DESIGN.md §9):
+Scheduling (DESIGN.md §9): every query's row range splits into
 
-* the table crosses the process boundary exactly once, at pool start —
-  inherited under ``fork``, pickled through the initializer under
-  ``spawn``; per-query traffic is the encoded query vector and the
-  threshold;
-* ``workers <= 1`` (or a one-row table) runs the same shard function
-  inline — no pool, no IPC, identical results;
-* results are exact: workers apply the same per-pair budget
-  ``threshold * min(|query|, |candidate|)`` as the scalar strategies,
-  and the kernel is bit-identical to the reference DP.
+* **affinity shards** — one contiguous slice per worker covering the
+  first ``1 - STEAL_FRACTION`` of the work (row-balanced for selects,
+  pair-balanced for joins).  A worker always starts on its own slice,
+  so the bulk of the scan runs with zero coordination;
+* **a stolen tail** — the remainder, cut into chunks of amortized size
+  (:func:`_steal_chunk`) that workers claim from a shared atomic
+  counter as they finish.  A straggler (CPU contention, unlucky
+  candidate mix) loses only its tail share, not the whole query.
 
-Cooperative deadlines (``repro.deadline``) are thread-local and do not
-cross into worker processes; the executor checks the deadline at shard
-dispatch and merge instead, and the inline path keeps the full per-row
-granularity.
+Failure semantics: a worker crash mid-query tears the pool down
+(terminate + segment unlink) and raises
+:class:`ParallelExecutionError`; the next query starts a fresh pool.  A
+worker found dead *between* queries is respawned in place (it attaches
+to the existing segment).  Cooperative deadlines are checked at
+dispatch and while waiting for shard results; an expired deadline also
+tears the pool down, because workers still computing the cancelled
+epoch may not race the next query's steal counter.  Segment cleanup on
+SIGTERM and interpreter exit is handled by :mod:`repro.parallel.shm`.
+
+``workers <= 1`` (or a one-row table) runs the same shard functions
+inline — no pool, no segment, no IPC, identical results: workers apply
+the same per-pair budget ``threshold * min(|query|, |candidate|)`` as
+the scalar strategies, and the kernel is bit-identical to the
+reference DP.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import time
+from dataclasses import dataclass
 
 import numpy as np
+from multiprocessing import connection
 
 from repro import deadline, obs
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, ReproError
 from repro.matching.batch import batch_edit_distances_within_encoded
+from repro.parallel import shm as shm_mod
 from repro.parallel.table import EncodedNameTable
+
+#: Fraction of each query's work left unassigned for work stealing.
+STEAL_FRACTION = 0.2
+
+#: Rows per stolen chunk are never fewer than this: one chunk must
+#: amortize a counter round-trip plus a kernel launch.
+MIN_STEAL_CHUNK = 1024
 
 
 class ParallelExecutionError(ReproError):
     """A shard task failed or the executor was used after close()."""
 
 
-#: Per-process table for pool workers.  Under ``fork`` the parent sets
-#: it just before creating the pool so children inherit it copy-on-write;
-#: under ``spawn`` the pool initializer assigns it from its pickled
-#: argument.  Worker processes never mutate it.
-_WORKER_TABLE: EncodedNameTable | None = None
-
-
-def _init_worker(table: EncodedNameTable | None = None) -> None:
-    global _WORKER_TABLE
-    if table is not None:
-        _WORKER_TABLE = table
-
-
 def _match_shard_on(
-    table: EncodedNameTable,
+    table,
     start: int,
     stop: int,
     q: np.ndarray,
@@ -83,14 +91,14 @@ def _match_shard_on(
 
 
 def _join_shard_on(
-    table: EncodedNameTable,
+    table,
     start: int,
     stop: int,
     threshold: float,
     cross_language_only: bool,
 ):
     """All matching pairs (i, j) with i in [start, stop) and j > i."""
-    n = len(table)
+    n = len(table.ids)
     ids_a: list[np.ndarray] = []
     ids_b: list[np.ndarray] = []
     dist_parts: list[np.ndarray] = []
@@ -129,16 +137,145 @@ def _join_shard_on(
     )
 
 
-def _pool_match_shard(args):
-    return _match_shard_on(_WORKER_TABLE, *args)
+# ------------------------------------------------------------- workers
 
 
-def _pool_join_shard(args):
-    return _join_shard_on(_WORKER_TABLE, *args)
+def _claim(counter) -> int:
+    """Atomically claim the next steal-chunk index."""
+    with counter.get_lock():
+        index = counter.value
+        counter.value += 1
+    return index
+
+
+def _worker_match(table, counter, task):
+    (start, stop, steal_base, steal_chunk, steal_stop, q, threshold,
+     allowed) = task
+    parts = []
+    if start < stop:
+        parts.append(
+            _match_shard_on(table, start, stop, q, threshold, allowed)
+        )
+    steals = 0
+    while steal_chunk:
+        lo = steal_base + _claim(counter) * steal_chunk
+        if lo >= steal_stop:
+            break
+        hi = min(steal_stop, lo + steal_chunk)
+        parts.append(
+            _match_shard_on(table, lo, hi, q, threshold, allowed)
+        )
+        steals += 1
+    empty = np.empty(0, dtype=np.int64)
+    ids = (
+        np.concatenate([p[0] for p in parts]) if parts else empty
+    )
+    dists = (
+        np.concatenate([p[1] for p in parts])
+        if parts
+        else empty.astype(np.float64)
+    )
+    rows = sum(p[2] for p in parts)
+    candidates = sum(p[3] for p in parts)
+    return ids, dists, rows, candidates, steals
+
+
+def _worker_join(table, counter, task):
+    (start, stop, steal_base, steal_chunk, steal_stop, threshold,
+     cross) = task
+    parts = []
+    if start < stop:
+        parts.append(
+            _join_shard_on(table, start, stop, threshold, cross)
+        )
+    steals = 0
+    while steal_chunk:
+        lo = steal_base + _claim(counter) * steal_chunk
+        if lo >= steal_stop:
+            break
+        hi = min(steal_stop, lo + steal_chunk)
+        parts.append(_join_shard_on(table, lo, hi, threshold, cross))
+        steals += 1
+    empty = np.empty(0, dtype=np.int64)
+    ids_a = (
+        np.concatenate([p[0] for p in parts]) if parts else empty
+    )
+    ids_b = (
+        np.concatenate([p[1] for p in parts]) if parts else empty
+    )
+    dists = (
+        np.concatenate([p[2] for p in parts])
+        if parts
+        else empty.astype(np.float64)
+    )
+    pairs = sum(p[3] for p in parts)
+    candidates = sum(p[4] for p in parts)
+    return ids_a, ids_b, dists, pairs, candidates, steals
+
+
+def _worker_main(descriptor, counter, task_conn, result_conn) -> None:
+    """Worker loop: attach once, serve tasks until EOF or "stop".
+
+    The worker never owns the segment: it clears the (fork-inherited)
+    live registry, resets SIGTERM to the default action, and only ever
+    closes its own mapping.
+    """
+    shm_mod._forget_all()
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    table, attached = EncodedNameTable.attach(descriptor)
+    try:
+        while True:
+            try:
+                message = task_conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "stop":
+                return
+            _kind, epoch, task = message
+            try:
+                if kind == "match":
+                    payload = _worker_match(table, counter, task)
+                else:
+                    payload = _worker_join(table, counter, task)
+                result_conn.send((epoch, True, payload))
+            except Exception as exc:
+                result_conn.send(
+                    (epoch, False, f"{type(exc).__name__}: {exc}")
+                )
+    finally:
+        del table
+        attached.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle: process + its task/result pipe ends."""
+
+    process: multiprocessing.process.BaseProcess
+    task_conn: connection.Connection
+    result_conn: connection.Connection
+
+    def close(self) -> None:
+        try:
+            self.task_conn.close()
+        except OSError:
+            pass
+        try:
+            self.result_conn.close()
+        except OSError:
+            pass
+
+
+# ------------------------------------------------------------ executor
 
 
 class ParallelMatchExecutor:
-    """Shards an :class:`EncodedNameTable` across a process pool."""
+    """Shards an :class:`EncodedNameTable` across a warm process pool."""
 
     def __init__(
         self,
@@ -151,46 +288,79 @@ class ParallelMatchExecutor:
         self.table = table
         self.workers = max(1, int(workers))
         self._start_method = start_method
-        self._pool = None
+        self._workers: list[_Worker] = []
+        self._segment: shm_mod.SharedSegment | None = None
+        self._descriptor = None
+        self._ctx = None
+        self._counter = None
+        self._epoch = 0
         self._closed = False
         #: Work accounting of the most recent match()/match_all_pairs().
         self.last_stats: dict[str, int] = {}
-        if self.workers > 1 and len(table) > 1:
+        if self._pooled():
             self._start_pool()
+
+    def _pooled(self) -> bool:
+        return self.workers > 1 and len(self.table) > 1
 
     # ---------------------------------------------------------- lifecycle
 
     def _start_pool(self) -> None:
-        global _WORKER_TABLE
         methods = multiprocessing.get_all_start_methods()
         method = self._start_method or (
             "fork" if "fork" in methods else "spawn"
         )
-        ctx = multiprocessing.get_context(method)
-        if method == "fork":
-            # Children inherit the table copy-on-write; nothing pickles.
-            _WORKER_TABLE = self.table
-            try:
-                self._pool = ctx.Pool(
-                    self.workers, initializer=_init_worker
-                )
-            finally:
-                _WORKER_TABLE = None
-        else:
-            self._pool = ctx.Pool(
-                self.workers,
-                initializer=_init_worker,
-                initargs=(self.table,),
-            )
+        self._ctx = multiprocessing.get_context(method)
+        shm_mod.install_signal_cleanup()
+        self._segment, self._descriptor = self.table.share()
+        self._counter = self._ctx.Value("q", 0)
+        self._workers = []
+        try:
+            for index in range(self.workers):
+                self._workers.append(self._spawn_worker(index))
+        except BaseException:
+            self._teardown_pool()
+            raise
         obs.incr("parallel.pool_starts")
+        obs.incr("parallel.segment_bytes", self._segment.nbytes)
+
+    def _spawn_worker(self, index: int) -> _Worker:
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._descriptor, self._counter, task_r, result_w),
+            name=f"repro-parallel-{index}",
+            daemon=True,
+        )
+        process.start()
+        task_r.close()
+        result_w.close()
+        return _Worker(process, task_w, result_r)
+
+    def _teardown_pool(self) -> None:
+        """Stop workers and unlink the segment (idempotent)."""
+        for worker in self._workers:
+            try:
+                worker.task_conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=0.5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.close()
+        self._workers = []
+        if self._segment is not None:
+            self._segment.unlink()
+            self._segment = None
+        self._descriptor = None
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and its segment (idempotent)."""
         self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._teardown_pool()
 
     def __enter__(self) -> ParallelMatchExecutor:
         return self
@@ -206,59 +376,203 @@ class ParallelMatchExecutor:
 
     # ----------------------------------------------------------- sharding
 
-    def _select_shards(self) -> list[tuple[int, int]]:
-        """Contiguous row ranges, one per worker (row-balanced)."""
-        n = len(self.table)
-        k = max(1, min(self.workers, n))
-        bounds = np.linspace(0, n, k + 1).astype(np.int64)
+    @staticmethod
+    def _split_range(start: int, stop: int, k: int) -> list[tuple[int, int]]:
+        """K near-equal contiguous slices of [start, stop)."""
+        n = stop - start
+        if n <= 0 or k <= 0:
+            return []
+        k = min(k, n)
+        bounds = start + np.linspace(0, n, k + 1).astype(np.int64)
         return [
             (int(bounds[i]), int(bounds[i + 1]))
             for i in range(k)
             if bounds[i] < bounds[i + 1]
         ]
 
-    def _join_shards(self) -> list[tuple[int, int]]:
-        """Row ranges with near-equal pair counts (triangle-balanced)."""
+    def _select_shards(self) -> list[tuple[int, int]]:
+        """Contiguous row ranges, one per worker (row-balanced)."""
+        return self._split_range(0, len(self.table), self.workers)
+
+    def _join_shards(
+        self, stop: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Row ranges with near-equal pair counts (triangle-balanced).
+
+        Row ``i`` of the self-join owns ``n - i - 1`` pairs, so equal
+        row ranges would be lopsided; boundaries are placed on the pair
+        prefix sums instead.  ``stop`` bounds the sharded row range
+        (default: the whole triangle, rows [0, n-1)).
+        """
         n = len(self.table)
         if n < 2:
             return []
-        k = max(1, min(self.workers, n - 1))
-        total = n * (n - 1) // 2
+        limit = n - 1 if stop is None else min(stop, n - 1)
+        if limit <= 0:
+            return []
+        k = max(1, min(self.workers, limit))
+        total = sum(n - i - 1 for i in range(limit))
         target = total / k
         shards = []
         start = 0
         acc = 0
-        for i in range(n - 1):
+        for i in range(limit):
             acc += n - i - 1
-            if acc >= target * (len(shards) + 1) or i == n - 2:
+            if acc >= target * (len(shards) + 1) or i == limit - 1:
                 shards.append((start, i + 1))
                 start = i + 1
                 if len(shards) == k:
                     break
-        if start < n - 1:
-            shards.append((start, n - 1))
+        if start < limit:
+            shards.append((start, limit))
         return shards
 
-    # ------------------------------------------------------------- match
+    @staticmethod
+    def _steal_chunk(tail: int, workers: int) -> int:
+        """Amortized chunk size for a stolen tail of ``tail`` rows."""
+        if tail <= 0:
+            return 0
+        return max(MIN_STEAL_CHUNK, -(-tail // (workers * 4)))
 
-    def _run(self, pool_fn, inline_fn, tasks: list[tuple]) -> list:
-        if self._closed:
-            raise ParallelExecutionError(
-                "executor used after close()"
+    def _plan_select(self) -> list[tuple]:
+        """Per-worker match tasks: affinity slice + shared steal tail."""
+        n = len(self.table)
+        static_stop = n - int(n * STEAL_FRACTION)
+        chunk = self._steal_chunk(n - static_stop, self.workers)
+        shards = self._split_range(0, static_stop, self.workers)
+        shards += [(0, 0)] * (self.workers - len(shards))
+        return [
+            (start, stop, static_stop, chunk, n)
+            for start, stop in shards
+        ]
+
+    def _plan_join(self) -> list[tuple]:
+        """Per-worker join tasks: pair-balanced slice + steal tail.
+
+        The tail is the *last* rows of the triangle — the cheapest ones
+        (row ``i`` owns ``n - i - 1`` pairs), so stolen chunks are fine
+        grained where fine grain is affordable.
+        """
+        n = len(self.table)
+        tail_rows = int((n - 1) * (1 - (1 - STEAL_FRACTION) ** 0.5))
+        static_stop = (n - 1) - tail_rows
+        chunk = self._steal_chunk(tail_rows, self.workers)
+        shards = self._join_shards(stop=static_stop)
+        shards += [(0, 0)] * (self.workers - len(shards))
+        return [
+            (start, stop, static_stop, chunk, n - 1)
+            for start, stop in shards
+        ]
+
+    # ------------------------------------------------------------ dispatch
+
+    def _ensure_pool(self) -> None:
+        """(Re)establish the warm pool: fresh after teardown, healed
+        in place when an idle worker died."""
+        if not self._workers:
+            self._start_pool()
+            return
+        for index, worker in enumerate(self._workers):
+            if not worker.process.is_alive():
+                worker.close()
+                self._workers[index] = self._spawn_worker(index)
+                obs.incr("parallel.worker_respawns")
+
+    def _drain_stale(self) -> None:
+        """Discard results from epochs no one is waiting for."""
+        for worker in self._workers:
+            try:
+                while worker.result_conn.poll():
+                    worker.result_conn.recv()
+            except (EOFError, OSError):
+                pass
+
+    def _run_pool(self, kind: str, extra: tuple) -> list:
+        """One warm-pool round trip: plan, dispatch, collect.
+
+        ``extra`` is the per-query suffix appended to every worker's
+        shard tuple (query vector + threshold for matches, threshold +
+        flags for joins).
+        """
+        self._ensure_pool()
+        self._drain_stale()
+        shards = (
+            self._plan_select() if kind == "match" else self._plan_join()
+        )
+        tasks = [shard + extra for shard in shards]
+        with self._counter.get_lock():
+            self._counter.value = 0
+        self._epoch += 1
+        epoch = self._epoch
+        for worker, task in zip(self._workers, tasks):
+            try:
+                worker.task_conn.send((kind, epoch, task))
+            except (OSError, ValueError) as exc:
+                self._teardown_pool()
+                raise ParallelExecutionError(
+                    f"worker pipe broke at dispatch: {exc}"
+                ) from exc
+        pending = {
+            worker.result_conn: worker for worker in self._workers
+        }
+        results = []
+        deadline_at = deadline.current()
+        while pending:
+            timeout = None
+            if deadline_at is not None:
+                timeout = deadline_at - time.monotonic()
+                if timeout <= 0:
+                    self._teardown_pool()
+                    obs.incr("parallel.deadline_cancels")
+                    raise DeadlineExceededError(
+                        "request deadline exceeded while waiting for "
+                        "parallel shards"
+                    )
+            sentinels = {
+                worker.process.sentinel: worker
+                for worker in pending.values()
+            }
+            ready = connection.wait(
+                list(pending) + list(sentinels), timeout=timeout
             )
-        deadline.check("parallel shard dispatch")
-        if self._pool is None:
-            return [inline_fn(self.table, *task) for task in tasks]
-        try:
-            results = self._pool.map(pool_fn, tasks)
-        except ReproError:
-            raise
-        except Exception as exc:  # worker crash, pool torn down, ...
-            raise ParallelExecutionError(
-                f"shard execution failed: {exc}"
-            ) from exc
-        deadline.check("parallel shard merge")
+            for item in ready:
+                if item in pending:
+                    worker = pending[item]
+                    try:
+                        got_epoch, ok, payload = item.recv()
+                    except (EOFError, OSError) as exc:
+                        self._teardown_pool()
+                        raise ParallelExecutionError(
+                            f"worker result pipe broke: {exc}"
+                        ) from exc
+                    if got_epoch != epoch:
+                        continue  # stale answer from a cancelled query
+                    if not ok:
+                        self._teardown_pool()
+                        raise ParallelExecutionError(
+                            f"shard execution failed: {payload}"
+                        )
+                    results.append(payload)
+                    del pending[item]
+                elif item in sentinels:
+                    worker = sentinels[item]
+                    if worker.result_conn in pending and not (
+                        worker.result_conn.poll()
+                    ):
+                        code = worker.process.exitcode
+                        self._teardown_pool()
+                        raise ParallelExecutionError(
+                            "worker died mid-query "
+                            f"(exitcode {code})"
+                        )
         return results
+
+    def _guard(self) -> None:
+        if self._closed:
+            raise ParallelExecutionError("executor used after close()")
+        deadline.check("parallel shard dispatch")
+
+    # ------------------------------------------------------------- match
 
     def match(
         self,
@@ -271,6 +585,7 @@ class ParallelMatchExecutor:
         Returns parallel arrays sorted by record id; decisions are
         identical to the sequential scan with the reference DP.
         """
+        self._guard()
         table = self.table
         q = table.encode_query(phonemes)
         if q is None:
@@ -283,12 +598,21 @@ class ParallelMatchExecutor:
         if allowed is not None and allowed.size == 0:
             self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
             return empty
-        tasks = [
-            (start, stop, q, float(threshold), allowed)
-            for start, stop in self._select_shards()
-        ]
         with obs.timed("parallel.match"):
-            parts = self._run(_pool_match_shard, _match_shard_on, tasks)
+            if self._pooled():
+                parts = self._run_pool(
+                    "match", (q, float(threshold), allowed)
+                )
+                deadline.check("parallel shard merge")
+                steals = sum(p[4] for p in parts)
+            else:
+                parts = [
+                    _match_shard_on(
+                        table, start, stop, q, float(threshold), allowed
+                    )
+                    for start, stop in self._select_shards()
+                ]
+                steals = 0
         if not parts:
             self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
             return empty
@@ -304,7 +628,8 @@ class ParallelMatchExecutor:
             "matches": len(ids),
         }
         obs.incr("parallel.queries")
-        obs.incr("parallel.shards", len(tasks))
+        obs.incr("parallel.shards", len(parts))
+        obs.incr("parallel.steal_chunks", steals)
         obs.incr("parallel.rows", rows)
         obs.incr("parallel.candidates", candidates)
         obs.incr("parallel.matches", len(ids))
@@ -321,13 +646,28 @@ class ParallelMatchExecutor:
         Row order within the table is insertion order, so ``ids_a`` is
         always the smaller record id of the pair.
         """
-        tasks = [
-            (start, stop, float(threshold), bool(cross_language_only))
-            for start, stop in self._join_shards()
-        ]
-        with obs.timed("parallel.join"):
-            parts = self._run(_pool_join_shard, _join_shard_on, tasks)
+        self._guard()
         empty = np.empty(0, dtype=np.int64)
+        with obs.timed("parallel.join"):
+            if self._pooled():
+                parts = self._run_pool(
+                    "join",
+                    (float(threshold), bool(cross_language_only)),
+                )
+                deadline.check("parallel shard merge")
+                steals = sum(p[5] for p in parts)
+            else:
+                parts = [
+                    _join_shard_on(
+                        self.table,
+                        start,
+                        stop,
+                        float(threshold),
+                        bool(cross_language_only),
+                    )
+                    for start, stop in self._join_shards()
+                ]
+                steals = 0
         if not parts:
             self.last_stats = {"rows": 0, "candidates": 0, "matches": 0}
             return empty, empty.copy(), empty.astype(np.float64)
@@ -344,7 +684,8 @@ class ParallelMatchExecutor:
             "matches": len(ids_a),
         }
         obs.incr("parallel.join_queries")
-        obs.incr("parallel.shards", len(tasks))
+        obs.incr("parallel.shards", len(parts))
+        obs.incr("parallel.steal_chunks", steals)
         obs.incr("parallel.rows", pairs)
         obs.incr("parallel.candidates", candidates)
         obs.incr("parallel.matches", len(ids_a))

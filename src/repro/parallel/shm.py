@@ -1,0 +1,279 @@
+"""Shared-memory segment lifecycle for the parallel executor.
+
+The executor publishes its encoded tables once into a POSIX shared
+memory segment (``multiprocessing.shared_memory``); worker processes
+*attach* to the segment by name and build zero-copy numpy views over
+it.  Nothing table-sized ever crosses a pipe: the only per-worker
+startup traffic is a :class:`SegmentDescriptor` (a name plus a field
+layout — a few hundred bytes), and the only per-query traffic is the
+encoded query vector out and one packed result buffer back.
+
+Lifecycle contract (DESIGN.md §9):
+
+* **create** — the owning process packs named arrays into one segment
+  (:class:`SharedSegment`), 64-byte aligned, and records it in a
+  process-local live registry;
+* **attach** — any process reconstructs read-only views from the
+  descriptor (:func:`attach`).  Attachers immediately unregister the
+  mapping from ``multiprocessing.resource_tracker``: pre-3.13 trackers
+  treat an attach like an ownership claim and would *unlink the
+  segment when the attaching process exits*, yanking it out from under
+  every other process;
+* **close** — attachers drop their views and mapping; the file
+  persists;
+* **unlink** — only the owner unlinks (idempotent), which removes the
+  ``/dev/shm`` entry once the last mapping goes away.
+
+Owner crash-safety is layered: ``atexit`` unlinks whatever is still
+live at interpreter shutdown, :func:`install_signal_cleanup` chains a
+SIGTERM handler in front of whatever is installed so a terminated
+process unlinks before dying, and ``os.register_at_fork`` empties the
+child's inherited copy of the registry so a forked worker can never
+unlink its parent's segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Every segment this library creates is named with this prefix, so
+#: leak checks (tests, the chaos harness) can diff ``/dev/shm``.
+SEGMENT_PREFIX = "repro_par_"
+
+_ALIGN = 64
+
+_counter_lock = threading.Lock()
+_counter = 0
+
+
+def _next_name() -> str:
+    """A per-process unique segment name under :data:`SEGMENT_PREFIX`."""
+    global _counter
+    with _counter_lock:
+        _counter += 1
+        return f"{SEGMENT_PREFIX}{os.getpid()}_{_counter}"
+
+
+@dataclass(frozen=True)
+class ArrayField:
+    """Layout of one array inside a segment."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """Everything an attacher needs: the name and the field layout."""
+
+    name: str
+    size: int
+    fields: tuple[ArrayField, ...]
+
+
+# ------------------------------------------------------------ registry
+
+_live_lock = threading.Lock()
+_LIVE: dict[str, "SharedSegment"] = {}
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments created by this process and not yet unlinked."""
+    with _live_lock:
+        return tuple(_LIVE)
+
+
+def cleanup_all() -> None:
+    """Unlink every live segment this process owns (idempotent)."""
+    with _live_lock:
+        segments = list(_LIVE.values())
+    for segment in segments:
+        segment.unlink()
+
+
+def _forget_all() -> None:
+    """Empty the registry without unlinking (fork-child safety).
+
+    A forked child inherits the parent's registry by memory copy; were
+    it to run cleanup it would unlink segments the parent still serves.
+    """
+    with _live_lock:
+        _LIVE.clear()
+
+
+os.register_at_fork(after_in_child=_forget_all)
+atexit.register(cleanup_all)
+
+
+# ------------------------------------------------------- signal chain
+
+_signal_installed = False
+
+
+def install_signal_cleanup() -> None:
+    """Chain segment cleanup in front of the current SIGTERM handler.
+
+    Installed once, from the main thread only (``signal.signal`` is
+    unavailable elsewhere — callers off the main thread fall back to
+    the ``atexit`` layer).  The previous handler still runs: a server's
+    drain sequence is preserved, and the default action is re-raised so
+    the exit status stays "killed by SIGTERM".
+    """
+    global _signal_installed
+    if _signal_installed:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _handler(signum, frame):
+            cleanup_all()
+            if callable(previous):
+                previous(signum, frame)
+            else:
+                signal.signal(signal.SIGTERM, signal.SIG_DFL)
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        signal.signal(signal.SIGTERM, _handler)
+        _signal_installed = True
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+# ------------------------------------------------------------ segments
+
+
+class SharedSegment:
+    """An owned shared-memory segment packing named numpy arrays.
+
+    The constructor copies each array into the segment (64-byte
+    aligned) and releases the owner's own mapping: the owner keeps only
+    the *name*, which is all :meth:`unlink` needs, so no exported
+    buffers pin the segment in the parent.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        fields: list[ArrayField] = []
+        packed: list[np.ndarray] = []
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = -(-offset // _ALIGN) * _ALIGN
+            fields.append(
+                ArrayField(key, array.dtype.str, array.shape, offset)
+            )
+            packed.append(array)
+            offset += array.nbytes
+        size = max(offset, 1)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=size, name=_next_name()
+        )
+        try:
+            for field, array in zip(fields, packed):
+                if array.nbytes:
+                    view = np.ndarray(
+                        array.shape,
+                        dtype=array.dtype,
+                        buffer=self._shm.buf,
+                        offset=field.offset,
+                    )
+                    view[...] = array
+                    del view
+        except BaseException:
+            self._shm.close()
+            self._shm.unlink()
+            raise
+        self.name = self._shm.name
+        self.nbytes = size
+        self.descriptor = SegmentDescriptor(
+            self.name, size, tuple(fields)
+        )
+        self._shm.close()  # owner keeps the name, not the mapping
+        self._unlinked = False
+        with _live_lock:
+            _LIVE[self.name] = self
+
+    def unlink(self) -> None:
+        """Remove the segment (idempotent; safe if already gone)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        with _live_lock:
+            _LIVE.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # someone else cleaned up first
+            pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach by name without handing ownership to the resource tracker.
+
+    Pre-3.13 ``SharedMemory`` registers *attaches* with the resource
+    tracker exactly like creations.  Un-registering afterwards is no
+    fix: under ``fork`` the tracker daemon is shared with the creator,
+    so the unregister would erase the *owner's* entry.  Instead the
+    registration is suppressed for the duration of the attach (3.13+
+    has ``track=False`` for exactly this).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class AttachedSegment:
+    """An attacher's zero-copy view bundle over someone else's segment."""
+
+    def __init__(self, descriptor: SegmentDescriptor):
+        self._shm = _attach_untracked(descriptor.name)
+        self.arrays: dict[str, np.ndarray] = {
+            field.key: np.ndarray(
+                field.shape,
+                dtype=np.dtype(field.dtype),
+                buffer=self._shm.buf,
+                offset=field.offset,
+            )
+            for field in descriptor.fields
+        }
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the views and the mapping (never unlinks)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+
+
+def attach(descriptor: SegmentDescriptor) -> AttachedSegment:
+    """Attach to a published segment and build its array views."""
+    return AttachedSegment(descriptor)

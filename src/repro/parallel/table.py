@@ -1,20 +1,51 @@
-"""The fork-shippable encoded phoneme table.
+"""The shared-memory-shippable encoded phoneme table.
 
 :class:`EncodedNameTable` is the flat-array snapshot the parallel
 executor shards: phoneme strings as one CSR int-code array pair, record
-ids, and language codes.  Everything is numpy or plain tuples, so the
-table pickles cheaply (``spawn``) and is inherited copy-on-write for
-free (``fork``); no per-row Python objects cross a process boundary.
+ids, and language codes.  Everything is numpy or plain tuples, and the
+table publishes itself into one ``multiprocessing.shared_memory``
+segment (:meth:`share`) that worker processes attach to by name
+(:meth:`attach`) — no per-row Python objects and no table-sized pickles
+ever cross a process boundary, under either start method.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.matching.batch import EncodedCosts
 from repro.matching.costs import CostModel
+from repro.parallel import shm as shm_mod
+
+
+@dataclass(frozen=True)
+class SharedTableDescriptor:
+    """The picklable handle a worker needs to attach a shared table."""
+
+    segment: shm_mod.SegmentDescriptor
+    languages: tuple[str, ...]
+    min_indel: float
+
+
+class _AttachedCosts:
+    """Kernel-facing cost tables as zero-copy views over a segment.
+
+    Quacks like :class:`~repro.matching.batch.EncodedCosts` for the
+    batch kernels (``sub``/``ins``/``dele``/``min_indel``); it carries
+    no ``CostModel`` and no symbol index, which workers never need —
+    queries arrive pre-encoded.
+    """
+
+    __slots__ = ("sub", "ins", "dele", "min_indel")
+
+    def __init__(self, sub, ins, dele, min_indel: float):
+        self.sub = sub
+        self.ins = ins
+        self.dele = dele
+        self.min_indel = min_indel
 
 
 def _default_symbols(extra: Iterable[str] = ()) -> list[str]:
@@ -109,6 +140,62 @@ class EncodedNameTable:
             for record in catalog.records()
         ]
         return cls.from_rows(catalog.matcher.costs, rows)
+
+    # --------------------------------------------------- shared memory
+
+    def share(
+        self,
+    ) -> tuple[shm_mod.SharedSegment, SharedTableDescriptor]:
+        """Publish the table into one owned shared-memory segment.
+
+        Returns the owning segment (whose ``unlink`` ends its life) and
+        the small picklable descriptor workers attach with.
+        """
+        segment = shm_mod.SharedSegment(
+            {
+                "codes": self.codes,
+                "offsets": self.offsets,
+                "ids": self.ids,
+                "lang_codes": self.lang_codes,
+                "lens": self.lens,
+                "sub": self.encoded.sub,
+                "ins": self.encoded.ins,
+                "dele": self.encoded.dele,
+            }
+        )
+        descriptor = SharedTableDescriptor(
+            segment.descriptor, self.languages, self.encoded.min_indel
+        )
+        return segment, descriptor
+
+    @classmethod
+    def attach(
+        cls, descriptor: SharedTableDescriptor
+    ) -> tuple[EncodedNameTable, shm_mod.AttachedSegment]:
+        """Rebuild a zero-copy view of a shared table in this process.
+
+        The returned table is read-only and kernel-complete (matching
+        and joins work); ``encode_query`` does not — workers receive
+        queries already encoded.  The caller owns the returned
+        :class:`~repro.parallel.shm.AttachedSegment` and must keep it
+        alive as long as the table is used.
+        """
+        attached = shm_mod.attach(descriptor.segment)
+        arrays = attached.arrays
+        table = cls.__new__(cls)
+        table.encoded = _AttachedCosts(
+            arrays["sub"],
+            arrays["ins"],
+            arrays["dele"],
+            descriptor.min_indel,
+        )
+        table.codes = arrays["codes"]
+        table.offsets = arrays["offsets"]
+        table.ids = arrays["ids"]
+        table.lang_codes = arrays["lang_codes"]
+        table.lens = arrays["lens"]
+        table.languages = descriptor.languages
+        return table, attached
 
     def encode_query(self, phonemes) -> np.ndarray | None:
         """Query phonemes -> code vector; None if a symbol is unknown.

@@ -35,6 +35,7 @@ from repro.analysis.astrules import (
     FailpointDrift,
     LockDiscipline,
     LockSpec,
+    ManagedParallelism,
     MetricNames,
     OpDrift,
 )
@@ -342,6 +343,43 @@ class TestSeededAstViolations:
         assert "Box.bad_append: self._items" in messages
         assert "Box.bad_count: self._count" in messages
 
+    def test_unmanaged_parallelism_fires_a005(self, tmp_path):
+        write_module(
+            tmp_path,
+            "pkg/rogue.py",
+            """
+            import os
+            import multiprocessing
+            from multiprocessing import Pool
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run():
+                os.fork()
+                return multiprocessing.get_context("spawn")
+            """,
+        )
+        write_module(
+            tmp_path,
+            "pkg/parallel/executor.py",
+            """
+            import multiprocessing
+            from multiprocessing import shared_memory
+            """,
+        )
+        rule = ManagedParallelism(
+            subdir="pkg", allowed=("pkg/parallel",)
+        )
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A005"}
+        messages = "\n".join(f.message for f in findings)
+        assert "import of 'multiprocessing'" in messages
+        assert "import from 'multiprocessing' (Pool)" in messages
+        assert "ProcessPoolExecutor" in messages
+        assert "os.fork()" in messages
+        assert len(findings) == 4  # allowed package produced none
+        assert all(f.file == "pkg/rogue.py" for f in findings)
+        assert all("ParallelMatchExecutor" in f.message for f in findings)
+
 
 # ------------------------------------------------- metric validation API
 
@@ -390,7 +428,7 @@ class TestRepoIsClean:
         assert result.clean, render_text(result.findings)
         # The shipped baseline is empty: nothing is being tolerated.
         assert result.suppressed == []
-        assert len(result.rules) == 9
+        assert len(result.rules) == 10
 
     def test_cli_lint_smoke(self, capsys):
         from repro.cli import main

@@ -181,6 +181,27 @@ class TestBatchDifferential:
             else:
                 assert value == np.inf
 
+    def test_block_boundary_identical(self, monkeypatch):
+        """Cache blocking (PADDED_BLOCK) never changes a result.
+
+        Production blocks are 8k candidates wide; shrinking the block to
+        7 forces many partial blocks (including a ragged final one) over
+        the same battery case and must reproduce the unblocked output
+        bit for bit.
+        """
+        from repro.matching import batch as batch_mod
+
+        costs, query, candidates, budgets = BATTERY[1]
+        encoded = EncodedCosts(costs, SYMBOLS)
+        unblocked = batch_edit_distances_within(
+            query, candidates, encoded, np.array(budgets)
+        )
+        monkeypatch.setattr(batch_mod, "PADDED_BLOCK", 7)
+        blocked = batch_edit_distances_within(
+            query, candidates, encoded, np.array(budgets)
+        )
+        assert np.array_equal(blocked, unblocked)
+
     def test_empty_candidate_list(self):
         encoded = EncodedCosts(LevenshteinCost(), SYMBOLS)
         got = batch_edit_distances_within(("a",), [], encoded, 1.0)

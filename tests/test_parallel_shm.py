@@ -1,0 +1,268 @@
+"""Shared-memory segment lifecycle: create/attach/close/unlink.
+
+The executor's contract (DESIGN.md §9) is that ``/dev/shm`` holds
+exactly one ``repro_par_*`` entry per live pool and zero after any exit
+path: clean ``close()``, a worker killed mid-query, an idle worker
+killed between queries, and SIGTERM delivered to the owning process.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.matching.costs import ClusteredCost
+from repro.parallel import EncodedNameTable, ParallelMatchExecutor
+from repro.parallel import shm as shm_mod
+from repro.parallel.executor import ParallelExecutionError
+
+SHM_DIR = "/dev/shm"
+HAVE_SHM_DIR = os.path.isdir(SHM_DIR)
+
+ROWS = [
+    (0, "english", ("n", "e", "h", "r", "u")),
+    (1, "hindi", ("n", "eː", "h", "r", "u")),
+    (2, "english", ("n", "e", "r", "o")),
+    (3, "tamil", ("n", "eː", "r", "u")),
+    (4, "english", ("s", "m", "i", "θ")),
+]
+
+
+def _table() -> EncodedNameTable:
+    return EncodedNameTable.from_rows(ClusteredCost(0.25), ROWS)
+
+
+def shm_entries() -> set[str]:
+    if not HAVE_SHM_DIR:
+        return set()
+    return {
+        os.path.basename(p)
+        for p in glob.glob(
+            os.path.join(SHM_DIR, shm_mod.SEGMENT_PREFIX + "*")
+        )
+    }
+
+
+# ------------------------------------------------------------- segments
+
+
+class TestSharedSegment:
+    def test_pack_attach_round_trip(self):
+        arrays = {
+            "codes": np.arange(17, dtype=np.int64),
+            "costs": np.linspace(0, 1, 12).reshape(3, 4),
+            "langs": np.array([0, 1, 0], dtype=np.int16),
+            "empty": np.empty(0, dtype=np.float64),
+        }
+        segment = shm_mod.SharedSegment(arrays)
+        try:
+            assert segment.name.startswith(shm_mod.SEGMENT_PREFIX)
+            attached = shm_mod.attach(segment.descriptor)
+            for key, original in arrays.items():
+                got = attached.arrays[key]
+                assert got.dtype == original.dtype
+                assert got.shape == original.shape
+                assert np.array_equal(got, original)
+            # Fields are 64-byte aligned so views are cache-friendly.
+            for field in segment.descriptor.fields:
+                assert field.offset % 64 == 0
+            attached.close()
+        finally:
+            segment.unlink()
+
+    def test_live_registry_and_idempotent_unlink(self):
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(4, dtype=np.int64)}
+        )
+        assert segment.name in shm_mod.live_segments()
+        segment.unlink()
+        assert segment.name not in shm_mod.live_segments()
+        segment.unlink()  # second unlink is a no-op, not an error
+
+    @pytest.mark.skipif(not HAVE_SHM_DIR, reason="no /dev/shm")
+    def test_unlink_removes_dev_shm_entry(self):
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(8, dtype=np.int64)}
+        )
+        assert segment.name in shm_entries()
+        segment.unlink()
+        assert segment.name not in shm_entries()
+
+    def test_attacher_close_does_not_unlink(self):
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(8, dtype=np.int64)}
+        )
+        try:
+            attached = shm_mod.attach(segment.descriptor)
+            attached.close()
+            attached.close()  # idempotent
+            # The segment survives its attachers.
+            again = shm_mod.attach(segment.descriptor)
+            assert np.array_equal(
+                again.arrays["x"], np.arange(8, dtype=np.int64)
+            )
+            again.close()
+        finally:
+            segment.unlink()
+
+    def test_table_share_attach_round_trip(self):
+        table = _table()
+        segment, descriptor = table.share()
+        try:
+            attached_table, attached = EncodedNameTable.attach(descriptor)
+            assert np.array_equal(attached_table.codes, table.codes)
+            assert np.array_equal(attached_table.offsets, table.offsets)
+            assert np.array_equal(attached_table.ids, table.ids)
+            assert np.array_equal(
+                attached_table.encoded.sub, table.encoded.sub
+            )
+            assert attached_table.encoded.min_indel == (
+                table.encoded.min_indel
+            )
+            assert attached_table.languages == table.languages
+            attached.close()
+        finally:
+            segment.unlink()
+
+
+# ------------------------------------------------------- executor paths
+
+
+def _pool_executor(workers: int = 2) -> ParallelMatchExecutor:
+    return ParallelMatchExecutor(_table(), workers=workers)
+
+
+class TestExecutorLifecycle:
+    def test_segment_unlinked_after_close(self):
+        ex = _pool_executor()
+        name = ex._segment.name
+        assert name in shm_mod.live_segments()
+        if HAVE_SHM_DIR:
+            assert name in shm_entries()
+        ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
+        assert len(ids) > 0
+        ex.close()
+        assert name not in shm_mod.live_segments()
+        if HAVE_SHM_DIR:
+            assert name not in shm_entries()
+
+    def test_close_is_idempotent_and_guards_use(self):
+        ex = _pool_executor()
+        ex.close()
+        ex.close()
+        with pytest.raises(ParallelExecutionError, match="after close"):
+            ex.match(("n", "e"), 0.3)
+
+    def test_worker_killed_mid_query_raises_and_unlinks(self):
+        ex = _pool_executor()
+        name = ex._segment.name
+        victim = ex._workers[0].process
+        # Freeze the worker so its shard result can never arrive, then
+        # kill it while the query is blocked waiting on it.
+        os.kill(victim.pid, signal.SIGSTOP)
+        killer = threading.Timer(
+            0.2, lambda: os.kill(victim.pid, signal.SIGKILL)
+        )
+        killer.start()
+        try:
+            with pytest.raises(
+                ParallelExecutionError, match="died mid-query"
+            ):
+                ex.match(("n", "e", "h", "r", "u"), 0.3)
+        finally:
+            killer.cancel()
+        # The crash tore the pool down and unlinked its segment ...
+        assert name not in shm_mod.live_segments()
+        if HAVE_SHM_DIR:
+            assert name not in shm_entries()
+        # ... and the next query transparently starts a fresh pool.
+        ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
+        assert len(ids) > 0
+        ex.close()
+        assert shm_mod.live_segments() == ()
+
+    def test_idle_dead_worker_is_respawned_in_place(self):
+        ex = _pool_executor()
+        name = ex._segment.name
+        victim = ex._workers[1].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=2.0)
+        assert not victim.is_alive()
+        # The pool heals without tearing down: same segment, fresh
+        # worker, correct answer.
+        ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
+        assert len(ids) > 0
+        assert ex._segment is not None and ex._segment.name == name
+        assert all(w.process.is_alive() for w in ex._workers)
+        ex.close()
+        if HAVE_SHM_DIR:
+            assert name not in shm_entries()
+
+    def test_inline_executor_owns_no_segment(self):
+        before = shm_mod.live_segments()
+        ex = ParallelMatchExecutor(_table(), workers=1)
+        assert ex._segment is None
+        assert shm_mod.live_segments() == before
+        ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
+        assert len(ids) > 0
+        ex.close()
+
+
+# ------------------------------------------------------- SIGTERM drain
+
+_SIGTERM_SCRIPT = """
+import sys, time
+from repro.matching.costs import ClusteredCost
+from repro.parallel import EncodedNameTable, ParallelMatchExecutor
+
+rows = [
+    (0, "english", ("n", "e", "h", "r", "u")),
+    (1, "hindi", ("n", "e", "r", "o")),
+    (2, "tamil", ("n", "e", "r", "u")),
+]
+table = EncodedNameTable.from_rows(ClusteredCost(0.25), rows)
+ex = ParallelMatchExecutor(table, workers=2)
+ex.match(("n", "e", "h", "r", "u"), 0.3)
+print(ex._segment.name, flush=True)
+time.sleep(30)
+"""
+
+
+@pytest.mark.skipif(not HAVE_SHM_DIR, reason="no /dev/shm")
+def test_sigterm_drain_unlinks_segment():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SIGTERM_SCRIPT],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name.startswith(shm_mod.SEGMENT_PREFIX)
+        assert name in shm_entries()
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    # The chained handler unlinked the segment, then re-raised the
+    # default action so the exit status still says "killed by SIGTERM".
+    assert proc.returncode == -signal.SIGTERM
+    deadline = time.monotonic() + 5.0
+    while name in shm_entries() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert name not in shm_entries()
