@@ -23,6 +23,7 @@ Scopes nest; an inner scope can only tighten the effective deadline.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -30,6 +31,20 @@ from contextlib import contextmanager
 from repro.errors import DeadlineExceededError
 
 _local = threading.local()
+
+
+def clear() -> None:
+    """Disarm any deadline on the current thread.
+
+    A forked child inherits the forking thread's armed deadline by
+    memory copy; it must not govern work the child does on behalf of
+    *later* requests, so worker mains (and the at-fork hook below)
+    clear it.
+    """
+    _local.at = None
+
+
+os.register_at_fork(after_in_child=clear)
 
 
 @contextmanager

@@ -42,6 +42,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 
@@ -213,14 +214,26 @@ def _worker_join(table, counter, task):
     return ids_a, ids_b, dists, pairs, candidates, steals
 
 
-def _worker_main(descriptor, counter, task_conn, result_conn) -> None:
-    """Worker loop: attach once, serve tasks until EOF or "stop".
+def _worker_main(descriptor, counter, task_conn, result_conn, parent_pid) -> None:
+    """Worker loop: attach once, serve tasks until EOF or parent death.
 
     The worker never owns the segment: it clears the (fork-inherited)
     live registry, resets SIGTERM to the default action, and only ever
-    closes its own mapping.
+    closes its own mapping.  Any deadline inherited from the parent
+    (the pool may be started lazily inside a request's
+    ``deadline_scope``) is disarmed — that deadline belongs to one
+    parent request, not to every query this warm worker will ever
+    serve; cancellation is enforced parent-side in ``_run_pool``.
+
+    The idle wait polls with a timeout and watches ``parent_pid``: pipe
+    EOF alone cannot signal parent death, because sibling workers hold
+    fork-inherited copies of every earlier worker's write end — if the
+    parent dies by signal (no atexit, daemon reaping never runs), the
+    workers would otherwise keep each other's pipes open and block in
+    ``recv()`` forever.
     """
     shm_mod._forget_all()
+    deadline.clear()
     try:
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -230,6 +243,10 @@ def _worker_main(descriptor, counter, task_conn, result_conn) -> None:
     try:
         while True:
             try:
+                if not task_conn.poll(1.0):
+                    if os.getppid() != parent_pid:
+                        return  # orphaned: parent died without "stop"
+                    continue
                 message = task_conn.recv()
             except (EOFError, OSError):
                 return
@@ -305,11 +322,23 @@ class ParallelMatchExecutor:
 
     # ---------------------------------------------------------- lifecycle
 
-    def _start_pool(self) -> None:
+    @staticmethod
+    def _default_start_method() -> str:
+        """``fork`` only when it is safe: single-threaded parent.
+
+        Forking a multi-threaded process can deadlock children on
+        locks held by other threads at fork time (and is deprecated on
+        Python 3.12+), and a server starts pools lazily from worker
+        threads.  ``spawn`` is cheap here by design — nothing
+        table-sized is pickled; workers attach to the shared segment.
+        """
         methods = multiprocessing.get_all_start_methods()
-        method = self._start_method or (
-            "fork" if "fork" in methods else "spawn"
-        )
+        if "fork" in methods and threading.active_count() == 1:
+            return "fork"
+        return "spawn"
+
+    def _start_pool(self) -> None:
+        method = self._start_method or self._default_start_method()
         self._ctx = multiprocessing.get_context(method)
         shm_mod.install_signal_cleanup()
         self._segment, self._descriptor = self.table.share()
@@ -329,7 +358,13 @@ class ParallelMatchExecutor:
         result_r, result_w = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self._descriptor, self._counter, task_r, result_w),
+            args=(
+                self._descriptor,
+                self._counter,
+                task_r,
+                result_w,
+                os.getpid(),
+            ),
             name=f"repro-parallel-{index}",
             daemon=True,
         )

@@ -119,14 +119,38 @@ atexit.register(cleanup_all)
 _signal_installed = False
 
 
+def _cleanup_for_signal() -> None:
+    """Best-effort unlink for the signal path — never takes ``_live_lock``.
+
+    Signal handlers run on the main thread, which may already hold the
+    non-reentrant registry lock (segment registration, ``unlink``, or
+    ``cleanup_all`` itself); acquiring it here would deadlock instead
+    of exiting.  Snapshotting the registry is a single C-level call,
+    atomic under the GIL, and the per-segment unlink is idempotent
+    against the locked path.
+    """
+    try:
+        segments = list(_LIVE.values())
+    except RuntimeError:  # registry mutated mid-snapshot
+        segments = []
+    for segment in segments:
+        try:
+            segment._unlink_nolock()
+        except Exception:
+            pass
+
+
 def install_signal_cleanup() -> None:
     """Chain segment cleanup in front of the current SIGTERM handler.
 
     Installed once, from the main thread only (``signal.signal`` is
     unavailable elsewhere — callers off the main thread fall back to
-    the ``atexit`` layer).  The previous handler still runs: a server's
-    drain sequence is preserved, and the default action is re-raised so
-    the exit status stays "killed by SIGTERM".
+    the ``atexit`` layer).  The previous disposition is preserved: a
+    Python handler (a server's drain sequence) still runs, the default
+    action is re-raised so the exit status stays "killed by SIGTERM",
+    an ignored signal stays ignored, and an unknown C-installed
+    handler (``getsignal()`` returning ``None``) is left alone rather
+    than converted into a kill.
     """
     global _signal_installed
     if _signal_installed:
@@ -137,12 +161,15 @@ def install_signal_cleanup() -> None:
         previous = signal.getsignal(signal.SIGTERM)
 
         def _handler(signum, frame):
-            cleanup_all()
+            _cleanup_for_signal()
             if callable(previous):
                 previous(signum, frame)
-            else:
+            elif previous == signal.SIG_DFL:
                 signal.signal(signal.SIGTERM, signal.SIG_DFL)
                 os.kill(os.getpid(), signal.SIGTERM)
+            # SIG_IGN (process chose to survive SIGTERM) and None
+            # (C-installed handler we cannot invoke): return without
+            # re-raising.
 
         signal.signal(signal.SIGTERM, _handler)
         _signal_installed = True
@@ -215,11 +242,28 @@ class SharedSegment:
         except FileNotFoundError:  # someone else cleaned up first
             pass
 
+    def _unlink_nolock(self) -> None:
+        """Signal-path unlink: no registry lock, errors swallowed.
+
+        Always attempts the OS unlink (rather than trusting
+        ``_unlinked``) so a signal landing between the locked path's
+        flag-set and its ``shm_unlink`` still removes the entry.
+        """
+        self._unlinked = True
+        _LIVE.pop(self.name, None)  # atomic under the GIL
+        try:
+            self._shm.unlink()
+        except OSError:
+            pass
+
     def __del__(self):  # pragma: no cover - GC safety net
         try:
             self.unlink()
         except Exception:
             pass
+
+
+_tracker_patch_lock = threading.Lock()
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -230,7 +274,10 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     fix: under ``fork`` the tracker daemon is shared with the creator,
     so the unregister would erase the *owner's* entry.  Instead the
     registration is suppressed for the duration of the attach (3.13+
-    has ``track=False`` for exactly this).
+    has ``track=False`` for exactly this).  The patch window is
+    serialized under a lock, and the replacement suppresses only names
+    under :data:`SEGMENT_PREFIX`, so a concurrent ``SharedMemory``
+    create/attach on another thread still registers normally.
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)
@@ -238,12 +285,22 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         pass
     from multiprocessing import resource_tracker
 
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    with _tracker_patch_lock:
+        original = resource_tracker.register
+
+        def _register(rname, rtype, *args, **kwargs):
+            base = os.path.basename(str(rname)).lstrip("/")
+            if rtype == "shared_memory" and base.startswith(
+                SEGMENT_PREFIX
+            ):
+                return None
+            return original(rname, rtype, *args, **kwargs)
+
+        resource_tracker.register = _register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 class AttachedSegment:

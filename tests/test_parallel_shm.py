@@ -19,6 +19,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import deadline
 from repro.matching.costs import ClusteredCost
 from repro.parallel import EncodedNameTable, ParallelMatchExecutor
 from repro.parallel import shm as shm_mod
@@ -206,6 +207,42 @@ class TestExecutorLifecycle:
         if HAVE_SHM_DIR:
             assert name not in shm_entries()
 
+    def test_pool_born_inside_deadline_scope_is_not_poisoned(self):
+        # The server starts pools lazily inside a request's
+        # deadline_scope; forked workers must not inherit that
+        # request's armed deadline, or every later query fails once it
+        # passes.
+        with deadline.deadline_scope(0.05):
+            ex = _pool_executor()
+        time.sleep(0.1)  # the first request's deadline expires
+        ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
+        assert len(ids) > 0
+        ex.close()
+
+    def test_default_start_method_avoids_fork_with_threads(self):
+        stop = threading.Event()
+        thread = threading.Thread(target=stop.wait)
+        thread.start()
+        try:
+            method = ParallelMatchExecutor._default_start_method()
+        finally:
+            stop.set()
+            thread.join()
+        assert method == "spawn"
+
+    def test_spawn_pool_matches(self):
+        ex = ParallelMatchExecutor(
+            _table(), workers=2, start_method="spawn"
+        )
+        try:
+            assert ex._ctx.get_start_method() == "spawn"
+            ids, dists = ex.match(("n", "e", "h", "r", "u"), 0.3)
+            assert len(ids) > 0
+            assert np.all(np.isfinite(dists))
+        finally:
+            ex.close()
+        assert shm_mod.live_segments() == ()
+
     def test_inline_executor_owns_no_segment(self):
         before = shm_mod.live_segments()
         ex = ParallelMatchExecutor(_table(), workers=1)
@@ -214,6 +251,37 @@ class TestExecutorLifecycle:
         ids, _ = ex.match(("n", "e", "h", "r", "u"), 0.3)
         assert len(ids) > 0
         ex.close()
+
+
+# ----------------------------------------------------- signal cleanup
+
+
+class TestSignalCleanup:
+    def test_cleanup_for_signal_runs_with_registry_lock_held(self):
+        # SIGTERM can land while the interrupted thread holds the
+        # registry lock; the signal path must not touch it (a Lock is
+        # not reentrant — this test would deadlock on regression).
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(4, dtype=np.int64)}
+        )
+        with shm_mod._live_lock:
+            shm_mod._cleanup_for_signal()
+        if HAVE_SHM_DIR:
+            assert segment.name not in shm_entries()
+        segment.unlink()  # still idempotent after the signal path
+
+    def test_unlink_nolock_unlinks_even_after_flag_race(self):
+        # A signal between unlink()'s flag-set and its shm_unlink must
+        # still remove the /dev/shm entry: the signal path ignores the
+        # _unlinked flag and swallows the double-unlink.
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(4, dtype=np.int64)}
+        )
+        segment._unlinked = True  # simulate the interrupted flag-set
+        segment._unlink_nolock()
+        if HAVE_SHM_DIR:
+            assert segment.name not in shm_entries()
+        segment._unlink_nolock()  # already gone: swallowed, no raise
 
 
 # ------------------------------------------------------- SIGTERM drain
@@ -262,7 +330,117 @@ def test_sigterm_drain_unlinks_segment():
     # The chained handler unlinked the segment, then re-raised the
     # default action so the exit status still says "killed by SIGTERM".
     assert proc.returncode == -signal.SIGTERM
-    deadline = time.monotonic() + 5.0
-    while name in shm_entries() and time.monotonic() < deadline:
+    until = time.monotonic() + 5.0
+    while name in shm_entries() and time.monotonic() < until:
         time.sleep(0.05)
     assert name not in shm_entries()
+
+
+_ORPHAN_SCRIPT = """
+import sys, time
+from repro.matching.costs import ClusteredCost
+from repro.parallel import EncodedNameTable, ParallelMatchExecutor
+
+rows = [
+    (0, "english", ("n", "e", "h", "r", "u")),
+    (1, "hindi", ("n", "e", "r", "o")),
+    (2, "tamil", ("n", "e", "r", "u")),
+]
+table = EncodedNameTable.from_rows(ClusteredCost(0.25), rows)
+ex = ParallelMatchExecutor(table, workers=2)
+ex.match(("n", "e", "h", "r", "u"), 0.3)
+print(" ".join(str(w.process.pid) for w in ex._workers), flush=True)
+time.sleep(30)
+"""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other owner
+        return True
+    return True
+
+
+def test_workers_exit_after_parent_sigkill():
+    # SIGKILL runs neither atexit nor daemon reaping, and pipe EOF
+    # cannot fire (sibling workers hold fork-inherited copies of each
+    # other's write ends) — the parent-liveness poll is what lets the
+    # orphans exit instead of blocking in recv() forever.
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _ORPHAN_SCRIPT],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        pids = [int(p) for p in proc.stdout.readline().split()]
+        assert len(pids) == 2
+        assert all(_pid_alive(p) for p in pids)
+    finally:
+        proc.kill()
+        proc.wait()
+    until = time.monotonic() + 10.0
+    while any(_pid_alive(p) for p in pids) and time.monotonic() < until:
+        time.sleep(0.1)
+    assert not any(_pid_alive(p) for p in pids)
+
+
+_SIGIGN_SCRIPT = """
+import os, signal, sys, time
+signal.signal(signal.SIGTERM, signal.SIG_IGN)
+from repro.matching.costs import ClusteredCost
+from repro.parallel import EncodedNameTable, ParallelMatchExecutor
+
+rows = [
+    (0, "english", ("n", "e", "h", "r", "u")),
+    (1, "hindi", ("n", "e", "r", "o")),
+    (2, "tamil", ("n", "e", "r", "u")),
+]
+table = EncodedNameTable.from_rows(ClusteredCost(0.25), rows)
+ex = ParallelMatchExecutor(table, workers=2)
+ex.match(("n", "e", "h", "r", "u"), 0.3)
+print(ex._segment.name, flush=True)
+for _ in range(200):  # survive SIGTERM, exit 0 once it was delivered
+    time.sleep(0.05)
+sys.exit(3)
+"""
+
+
+@pytest.mark.skipif(not HAVE_SHM_DIR, reason="no /dev/shm")
+def test_sigterm_on_ignoring_process_cleans_up_but_does_not_kill():
+    # A process that deliberately ignores SIGTERM must stay ignoring
+    # it: the chained handler unlinks segments but does not convert
+    # SIG_IGN into the default die-on-SIGTERM action.
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _SIGIGN_SCRIPT],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name.startswith(shm_mod.SEGMENT_PREFIX)
+        assert name in shm_entries()
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.5)
+        assert proc.poll() is None  # survived: SIG_IGN preserved
+        until = time.monotonic() + 5.0
+        while name in shm_entries() and time.monotonic() < until:
+            time.sleep(0.05)
+        assert name not in shm_entries()  # but cleanup still ran
+    finally:
+        proc.kill()
+        proc.wait()
