@@ -36,6 +36,11 @@ REPRO_BENCH_SIZE="${REPRO_BENCH_SIZE:-400}" \
 REPRO_BENCH_JOIN="${REPRO_BENCH_JOIN:-100}" \
 python -m pytest benchmarks/bench_table1_baseline.py -q
 
+echo "== storage smoke (crash recovery + cold-reopen benchmark) =="
+python scripts/recovery_smoke.py
+REPRO_BENCH_STORAGE_ROWS="${REPRO_BENCH_STORAGE_ROWS:-2000}" \
+python -m pytest benchmarks/bench_storage.py -q
+
 echo "== server smoke (serve + scripted client + SIGTERM drain) =="
 python scripts/server_smoke.py
 

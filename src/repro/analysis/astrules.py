@@ -251,6 +251,7 @@ METRIC_DOMAINS = frozenset(
         "minidb",
         "parallel",
         "server",
+        "storage",
         "strategy",
         "ttp",
         "udf",
@@ -672,4 +673,150 @@ class ManagedParallelism(Rule):
                     line,
                     f"{what} outside repro.parallel — spawn workers "
                     "through the managed ParallelMatchExecutor instead",
+                )
+
+
+# ------------------------------------------------------------ LEX-A006
+
+
+class StorageBoundary(Rule):
+    """Durable-format knowledge lives only inside ``repro.storage``.
+
+    The storage subsystem owns the on-disk contract (DESIGN.md §10):
+    artifact file names, WAL record framing, snapshot versioning, crash
+    recovery.  Code elsewhere that hard-codes a catalog/index/WAL file
+    name — or imports the path/framing internals — would let a second
+    writer corrupt what recovery assumes only the WAL protocol touches,
+    so both are findings (mirroring LEX-A005's managed-parallelism
+    boundary).  Everything else goes through the ``StorageManager``
+    interface (``repro.storage.manager``) or ``open_database``.
+    """
+
+    rule_id = "LEX-A006"
+    name = "storage-boundary"
+    description = (
+        "catalog/index/WAL artifact names and storage internals "
+        "(layout, wal) appear only inside repro.storage; other code "
+        "uses the StorageManager interface"
+    )
+
+    #: Internal submodules whose import outside the package is a
+    #: finding; ``manager`` (the interface) and ``snapshots`` (pure
+    #: in-memory [de]serialization, used by accelerator restore) are
+    #: deliberately not listed.
+    INTERNAL_MODULES = ("layout", "wal")
+
+    def __init__(
+        self,
+        subdir: str = "src/repro",
+        allowed: tuple[str, ...] = ("src/repro/storage",),
+    ):
+        self.subdir = subdir
+        self.allowed = allowed
+
+    def _allowed(self, file: str) -> bool:
+        return any(
+            file == prefix or file.startswith(prefix + "/")
+            for prefix in self.allowed
+        )
+
+    @staticmethod
+    def _reserved() -> tuple[frozenset[str], str]:
+        from repro.storage import layout
+
+        return (
+            frozenset(
+                {
+                    layout.MANIFEST_FILENAME,
+                    layout.WAL_FILENAME,
+                    layout.CHECKPOINT_FILENAME,
+                    layout.STATS_FILENAME,
+                }
+            ),
+            layout.INDEX_SUFFIX,
+        )
+
+    @staticmethod
+    def _docstrings(tree: ast.Module) -> set[int]:
+        """``id()`` of every docstring Constant (excluded from scan)."""
+        out: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(
+                node,
+                (
+                    ast.Module,
+                    ast.ClassDef,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                ),
+            ):
+                body = node.body
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    out.add(id(body[0].value))
+        return out
+
+    def _violations(self, tree: ast.Module):
+        names, idx_suffix = self._reserved()
+        docstrings = self._docstrings(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                parts = module.split(".")
+                if (
+                    parts[:2] == ["repro", "storage"]
+                    and len(parts) > 2
+                    and parts[2] in self.INTERNAL_MODULES
+                ):
+                    yield (
+                        node.lineno,
+                        f"import of storage internal {module!r}",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if (
+                        parts[:2] == ["repro", "storage"]
+                        and len(parts) > 2
+                        and parts[2] in self.INTERNAL_MODULES
+                    ):
+                        yield (
+                            node.lineno,
+                            f"import of storage internal {alias.name!r}",
+                        )
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+            ):
+                # Basename comparison: "data/wal.log" is as much a
+                # boundary breach as the bare file name.
+                base = node.value.rsplit("/", 1)[-1]
+                if base in names or (
+                    base.endswith(idx_suffix) and base != idx_suffix
+                ):
+                    yield (
+                        node.lineno,
+                        f"durable artifact name {node.value!r}",
+                    )
+
+    def run(self, ctx: AnalysisContext) -> Iterable[Finding]:
+        for file in ctx.python_files(self.subdir):
+            if self._allowed(file):
+                continue
+            try:
+                tree = ctx.tree(file)
+            except (OSError, SyntaxError):
+                continue
+            for line, what in self._violations(tree):
+                yield self.finding(
+                    file,
+                    line,
+                    f"{what} outside repro.storage — go through the "
+                    "StorageManager interface so durability invariants "
+                    "stay in one subsystem",
                 )

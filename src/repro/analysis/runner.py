@@ -26,6 +26,7 @@ def default_rules() -> list[Rule]:
         ManagedParallelism,
         MetricNames,
         OpDrift,
+        StorageBoundary,
     )
     from repro.analysis.datarules import (
         ClusterPartition,
@@ -46,6 +47,7 @@ def default_rules() -> list[Rule]:
         MetricNames(),
         LockDiscipline(),
         ManagedParallelism(),
+        StorageBoundary(),
     ]
 
 

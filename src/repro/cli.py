@@ -21,10 +21,20 @@ Commands:
 ``dismissals``
     Measure the phonetic index's false-dismissal rate (Section 5.3).
 
-``query SQL [--explain | --analyze] [--accelerate METHOD]``
+``query SQL [--explain | --analyze] [--strategy METHOD] [--data-dir D]``
     Run SQL (including the paper's LexEQUAL predicates) against the
-    bundled Books.com demo catalog; ``--explain``/``--analyze`` print
-    the query plan instead of rows.
+    bundled Books.com demo catalog, or — with ``--data-dir`` — against a
+    durable database created by ``init``; ``--explain``/``--analyze``
+    print the query plan instead of rows.  ``--accelerate`` is a
+    deprecated alias of ``--strategy`` (``--strategy`` wins when both
+    are given).
+
+``init --data-dir D [--rows N] [--strategy METHOD]``
+    Create a durable database directory (``repro.storage`` file
+    backend): the Books.com demo catalog plus, with ``--rows N``, a
+    seeded ``names`` lexicon; registers the phonetic accelerator, runs
+    ``ANALYZE``, and checkpoints so later opens attach the persisted
+    indexes instead of rebuilding them.
 
 ``stats [--json]``
     Run a representative matching workload with metrics enabled and
@@ -179,9 +189,57 @@ def _demo_books_db(accelerate: str = "none", workers: int | None = None):
     return demo_books_db(accelerate, workers=workers)
 
 
+#: ``--accelerate`` deprecation warning is emitted once per process.
+_accelerate_warned = False
+
+
+def _resolve_strategy(
+    args: argparse.Namespace, default: str = "qgram"
+) -> str:
+    """Unify ``--strategy`` (canonical) with deprecated ``--accelerate``.
+
+    Precedence: ``--strategy`` > ``--accelerate`` > ``default``.  The
+    first use of ``--accelerate`` warns on stderr; both flags accept the
+    same choices, so scripts migrate by renaming the flag.
+    """
+    global _accelerate_warned
+    accelerate = getattr(args, "accelerate", None)
+    strategy = getattr(args, "strategy", None)
+    if accelerate is not None:
+        if not _accelerate_warned:
+            print(
+                "warning: --accelerate is deprecated; use --strategy "
+                "(--strategy takes precedence when both are given)",
+                file=sys.stderr,
+            )
+            _accelerate_warned = True
+        if strategy is None:
+            return accelerate
+    return strategy if strategy is not None else default
+
+
+def _open_data_dir(args: argparse.Namespace):
+    from repro.storage import open_database
+
+    return open_database(
+        args.data_dir, matcher=LexEqualMatcher(_config_from_args(args))
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    method = args.strategy or args.accelerate
-    db = _demo_books_db(method, getattr(args, "workers", None))
+    if getattr(args, "data_dir", None):
+        if args.strategy or args.accelerate:
+            print(
+                "warning: --strategy/--accelerate ignored with "
+                "--data-dir (the persisted accelerator configuration "
+                "applies; re-run `lexequal init` to change it)",
+                file=sys.stderr,
+            )
+        db = _open_data_dir(args)
+    else:
+        db = _demo_books_db(
+            _resolve_strategy(args), getattr(args, "workers", None)
+        )
     if args.explain or args.analyze:
         print(db.explain(args.sql, analyze=args.analyze))
         return 0
@@ -222,6 +280,78 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_init(args: argparse.Namespace) -> int:
+    """Create a durable database directory (see module docstring)."""
+    import time
+
+    from repro.core.engine import create_phonetic_accelerator
+    from repro.core.integration import install_lexequal, populate_books_demo
+    from repro.storage import open_database
+
+    matcher = LexEqualMatcher(_config_from_args(args))
+    start = time.perf_counter()
+    # sync=False during the bulk load: one checkpoint at the end makes
+    # the result durable without an fsync per WAL commit.
+    db = open_database(args.data_dir, matcher=matcher, sync=False)
+    if db.table_names():
+        print(
+            f"error: {args.data_dir} already holds tables "
+            f"({', '.join(db.table_names())}); point --data-dir at a "
+            "new path",
+            file=sys.stderr,
+        )
+        db.storage.close()
+        return 1
+    strategy = _resolve_strategy(args, default="auto")
+    install_lexequal(db, matcher)
+    with db.transaction():
+        populate_books_demo(db)
+    if strategy != "none":
+        create_phonetic_accelerator(
+            db, "books", "author", matcher,
+            method=strategy, workers=getattr(args, "workers", None),
+        )
+    if args.rows:
+        from repro.data.generator import generate_performance_dataset
+        from repro.data.lexicon import build_lexicon
+        from repro.minidb.schema import Column
+        from repro.minidb.values import LangText, SqlType
+
+        db.create_table(
+            "names",
+            [
+                Column("id", SqlType.INTEGER, nullable=False),
+                Column("name", SqlType.LANGTEXT, nullable=False),
+                Column("language", SqlType.TEXT, nullable=False),
+            ],
+        )
+        with db.transaction():
+            for i, item in enumerate(
+                generate_performance_dataset(build_lexicon(), args.rows)
+            ):
+                db.insert(
+                    "names",
+                    (i, LangText(item.name, item.language), item.language),
+                )
+        if strategy != "none":
+            create_phonetic_accelerator(
+                db, "names", "name", matcher,
+                method=strategy, workers=getattr(args, "workers", None),
+            )
+    db.analyze()
+    db.checkpoint()
+    elapsed = time.perf_counter() - start
+    total = sum(len(db.table(name)) for name in db.table_names())
+    print(
+        f"initialised {args.data_dir}: "
+        f"{len(db.table_names())} tables, {total} rows, "
+        f"strategy={strategy}, analyzed + checkpointed "
+        f"in {elapsed:.1f}s"
+    )
+    db.storage.close()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.app import serve
     from repro.server.service import QueryService
@@ -229,9 +359,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     matcher = LexEqualMatcher(_config_from_args(args))
     from repro.core.integration import demo_books_db
 
-    service = QueryService(
-        demo_books_db(args.accelerate, matcher), matcher
-    )
+    if getattr(args, "data_dir", None):
+        service_db = _open_data_dir(args)
+    else:
+        service_db = demo_books_db(_resolve_strategy(args), matcher)
+    service = QueryService(service_db, matcher)
 
     def ready(host: str, port: int) -> None:
         print(f"listening on {host}:{port}", flush=True)
@@ -444,16 +576,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute and print the plan with actual row counts/timings",
     )
     p_query.add_argument(
-        "--accelerate",
-        choices=("qgram", "index", "parallel", "none"),
-        default="qgram",
-        help="phonetic accelerator for books.author (default: qgram)",
+        "--strategy",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="execution strategy for books.author (default: qgram; "
+        "'auto' = cost-based per-query choice)",
     )
     p_query.add_argument(
-        "--strategy",
-        choices=("qgram", "index", "parallel", "none"),
-        help="execution strategy (synonym of --accelerate; e.g. "
-        "--strategy parallel --workers 4)",
+        "--accelerate",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="deprecated alias of --strategy (--strategy wins when "
+        "both are given)",
     )
     p_query.add_argument(
         "--workers",
@@ -461,7 +593,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for --strategy parallel "
         "(default: CPU count)",
     )
+    p_query.add_argument(
+        "--data-dir",
+        help="run against a durable database created by `lexequal "
+        "init` instead of the in-memory demo catalog",
+    )
     p_query.set_defaults(func=cmd_query)
+
+    p_init = sub.add_parser(
+        "init",
+        help="create a durable database directory (repro.storage)",
+    )
+    p_init.add_argument(
+        "--data-dir", required=True, help="directory to initialise"
+    )
+    p_init.add_argument(
+        "--rows",
+        type=int,
+        help="also seed a generated multiscript `names` lexicon of "
+        "this size (paper scale: 200000)",
+    )
+    p_init.add_argument(
+        "--strategy",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="persisted accelerator method (default: auto)",
+    )
+    p_init.add_argument(
+        "--accelerate",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="deprecated alias of --strategy",
+    )
+    p_init.add_argument(
+        "--workers", type=int, help="pool size for strategy 'parallel'"
+    )
+    p_init.add_argument("--threshold", type=float)
+    p_init.add_argument("--cost", type=float)
+    p_init.set_defaults(func=cmd_init)
 
     p_stats = sub.add_parser(
         "stats", help="run a demo workload and print collected metrics"
@@ -496,10 +663,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="max seconds to drain in-flight requests on shutdown",
     )
     p_serve.add_argument(
+        "--strategy",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="phonetic accelerator for books.author (default: qgram; "
+        "'auto' = cost-based per-query choice)",
+    )
+    p_serve.add_argument(
         "--accelerate",
-        choices=("qgram", "index", "parallel", "none"),
-        default="qgram",
-        help="phonetic accelerator for books.author (default: qgram)",
+        choices=("auto", "qgram", "index", "parallel", "none"),
+        help="deprecated alias of --strategy (--strategy wins when "
+        "both are given)",
+    )
+    p_serve.add_argument(
+        "--data-dir",
+        help="serve a durable database created by `lexequal init` "
+        "instead of the in-memory demo catalog",
     )
     p_serve.add_argument(
         "--fault-injection",

@@ -60,11 +60,13 @@ class PhoneticAccelerator:
         matcher: LexEqualMatcher,
         method: str,
         workers: int | None = None,
+        allow_lossy: bool = False,
+        restore: dict | None = None,
     ):
-        if method not in ("qgram", "index", "parallel"):
+        if method not in ("qgram", "index", "parallel", "auto"):
             raise DatabaseError(
-                f"accelerator method must be 'qgram', 'index' or "
-                f"'parallel', got {method!r}"
+                f"accelerator method must be 'qgram', 'index', "
+                f"'parallel' or 'auto', got {method!r}"
             )
         self.db = db
         self.table_name = table_name
@@ -72,18 +74,39 @@ class PhoneticAccelerator:
         self.matcher = matcher
         self.method = method
         self.workers = workers
+        #: auto only: whether the cost model may choose the grouped-key
+        #: index, which can false-dismiss (paper Section 5.3).
+        self.allow_lossy = allow_lossy
+        # Which structures this accelerator maintains.  "auto" keeps
+        # both filter structures current so the cost model has a real
+        # choice per query (maintenance is two extra tree inserts/row).
+        self._maintain_qgram = method in ("qgram", "auto")
+        self._maintain_index = method in ("index", "auto")
+        self._maintain_parallel = method in ("parallel", "auto")
         table = db.table(table_name)
         self._position = table.schema.position(column_name)
         self._phonemes: dict[int, PhonemeString] = {}
         self._tokens: dict[int, tuple[str, ...]] = {}
         self._langs: dict[int, str] = {}
+        self._plen_sum = 0
         self._gpsid_tree = BPlusTree()
         self._gram_tree = BPlusTree()
-        #: method="parallel" executor, rebuilt lazily after table changes.
+        #: Encoded table + executor for the parallel path, rebuilt
+        #: lazily after table changes.
+        self._table = None
         self._executor = None
         self._executor_stale = True
-        for rowid, row in table.scan():
-            self.on_insert(rowid, row)
+        #: Cost-model report of the last candidate_rowids call: the
+        #: concrete method used and its StrategyEstimate (planner
+        #: surfaces these in EXPLAIN).
+        self.last_method: str | None = None
+        self.last_choice = None
+        self.last_estimates: list = []
+        if restore is not None and self._restore_state(restore):
+            self._sync_with_table(table)
+        else:
+            for rowid, row in table.scan():
+                self.on_insert(rowid, row)
 
     # ----------------------------------------------------- maintenance
 
@@ -100,45 +123,47 @@ class PhoneticAccelerator:
         if not phonemes:
             return
         self._phonemes[rowid] = phonemes
+        self._plen_sum += len(phonemes)
         config = self.matcher.config
-        if self.method == "parallel":
+        if self._maintain_parallel:
             language = self.matcher.language_of(row[self._position])
             self._langs[rowid] = language or ""
+            self._table = None
             self._executor_stale = True
-            return
-        if self.method == "index":
+        if self._maintain_index:
             key = grouped_key(
                 phonemes, config.clustering, mode=config.key_mode
             )
             self._gpsid_tree.insert(key, rowid)
-            return
-        tokens = self._tokens_of(phonemes)
-        self._tokens[rowid] = tokens
-        for gram in positional_qgrams(tokens, config.q):
-            self._gram_tree.insert(
-                _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
-            )
+        if self._maintain_qgram:
+            tokens = self._tokens_of(phonemes)
+            self._tokens[rowid] = tokens
+            for gram in positional_qgrams(tokens, config.q):
+                self._gram_tree.insert(
+                    _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
+                )
 
     def on_delete(self, rowid: int, row: tuple) -> None:
         phonemes = self._phonemes.pop(rowid, None)
         if phonemes is None:
             return
+        self._plen_sum -= len(phonemes)
         config = self.matcher.config
-        if self.method == "parallel":
+        if self._maintain_parallel:
             self._langs.pop(rowid, None)
+            self._table = None
             self._executor_stale = True
-            return
-        if self.method == "index":
+        if self._maintain_index:
             key = grouped_key(
                 phonemes, config.clustering, mode=config.key_mode
             )
             self._gpsid_tree.delete(key, rowid)
-            return
-        tokens = self._tokens.pop(rowid)
-        for gram in positional_qgrams(tokens, config.q):
-            self._gram_tree.delete(
-                _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
-            )
+        if self._maintain_qgram:
+            tokens = self._tokens.pop(rowid)
+            for gram in positional_qgrams(tokens, config.q):
+                self._gram_tree.delete(
+                    _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
+                )
 
     def _tokens_of(self, phonemes: PhonemeString) -> tuple[str, ...]:
         config = self.matcher.config
@@ -147,6 +172,80 @@ class PhoneticAccelerator:
                 str(c) for c in config.clustering.map_string(phonemes)
             )
         return tuple(phonemes)
+
+    # ------------------------------------------------- snapshot/restore
+
+    def snapshot_state(self) -> dict:
+        """Picklable snapshot of every maintained structure.
+
+        Persisted by the storage backend at checkpoint time so a
+        reopened database attaches this accelerator without re-running
+        TTP over the table (see :mod:`repro.storage.snapshots`).
+        """
+        from repro.storage import snapshots
+
+        state: dict = {
+            "method": self.method,
+            "phonemes": dict(self._phonemes),
+            "langs": dict(self._langs),
+        }
+        if self._maintain_qgram:
+            state["tokens"] = dict(self._tokens)
+            state["grams"] = snapshots.btree_state(self._gram_tree)
+        if self._maintain_index:
+            state["gpsid"] = snapshots.btree_state(self._gpsid_tree)
+        if self._maintain_parallel and self._phonemes:
+            state["encoded"] = snapshots.encoded_table_state(
+                self._build_table()
+            )
+        return state
+
+    def _restore_state(self, state: dict) -> bool:
+        """Install a snapshot; False = incompatible, rebuild instead."""
+        from repro.storage import snapshots
+
+        if state.get("method") != self.method:
+            return False
+        self._phonemes = {
+            int(rowid): tuple(ph)
+            for rowid, ph in state["phonemes"].items()
+        }
+        self._plen_sum = sum(len(p) for p in self._phonemes.values())
+        self._langs = {
+            int(rowid): lang for rowid, lang in state["langs"].items()
+        }
+        if self._maintain_qgram:
+            self._tokens = {
+                int(rowid): tuple(t)
+                for rowid, t in state["tokens"].items()
+            }
+            self._gram_tree = snapshots.restore_btree(state["grams"])
+        if self._maintain_index:
+            self._gpsid_tree = snapshots.restore_btree(state["gpsid"])
+        if self._maintain_parallel and "encoded" in state:
+            self._table = snapshots.restore_encoded_table(
+                state["encoded"], self.matcher.costs
+            )
+        return True
+
+    def _sync_with_table(self, table) -> None:
+        """Delta-sync a restored snapshot with the live heap.
+
+        The snapshot covers rows as of the last checkpoint; rows the
+        WAL replayed after it are indexed here (TTP only on the delta)
+        and rows deleted since are dropped.
+        """
+        live = {rowid for rowid, _row in table.scan()}
+        stale = [rowid for rowid in self._phonemes if rowid not in live]
+        for rowid in stale:
+            self.on_delete(rowid, ())
+        delta = 0
+        for rowid, row in table.scan():
+            if rowid not in self._phonemes:
+                self.on_insert(rowid, row)
+                delta += 1
+        if stale or delta:
+            obs.incr("accelerator.restore.delta_rows", len(stale) + delta)
 
     # --------------------------------------------------------- planning
 
@@ -185,12 +284,29 @@ class PhoneticAccelerator:
         config = self.matcher.config
         if threshold is not None:
             config = config.with_threshold(float(threshold))
-        if self.method == "parallel":
+        method, choice = self._resolve_method(query_phonemes, config)
+        self.last_method = method
+        self.last_choice = choice
+        if method == "naive":
+            # The cost model priced the plain scan cheapest (tiny
+            # table / unselective filter): decline, the planner's
+            # SeqScan + UDF recheck *is* the chosen plan.
+            obs.incr("accelerator.auto.chose_naive")
+            return None
+        if method == "parallel":
             candidates = self._parallel_candidates(query_phonemes, config)
             if candidates is None:
-                obs.incr(f"accelerator.{self.method}.declined")
-                return None
-        elif self.method == "index":
+                if self.method == "auto":
+                    # Unknown symbol for the encoded table: fall back
+                    # to the lossless q-gram path instead of declining.
+                    method = self.last_method = "qgram"
+                    candidates = self._qgram_candidates(
+                        query_phonemes, config
+                    )
+                else:
+                    obs.incr(f"accelerator.{self.method}.declined")
+                    return None
+        elif method == "index":
             key = grouped_key(
                 query_phonemes, config.clustering, mode=config.key_mode
             )
@@ -200,10 +316,58 @@ class PhoneticAccelerator:
                 obs.incr("btree.probe_misses")
         else:
             candidates = self._qgram_candidates(query_phonemes, config)
+        if self.method == "auto":
+            obs.incr(f"accelerator.auto.chose_{method}")
         obs.observe(
             f"accelerator.{self.method}.candidates", len(candidates)
         )
         return candidates
+
+    def _resolve_method(self, query_phonemes: PhonemeString, config):
+        """The concrete method for this query, with its cost estimate.
+
+        Fixed-method accelerators still get an estimate (for EXPLAIN's
+        est_rows/est_cost); ``method="auto"`` additionally *chooses*:
+        statistics from the last ANALYZE feed
+        :func:`repro.minidb.cost.estimate_strategies`, and the cheapest
+        eligible strategy wins.  Lossless strategies only, unless the
+        accelerator was created with ``allow_lossy=True``.
+        """
+        from repro.minidb import cost
+
+        if self.method == "auto":
+            available = ["naive", "qgram"]
+            if self.allow_lossy:
+                available.append("index")
+            if self.workers is not None:
+                available.append("parallel")
+        else:
+            available = [self.method]
+        stats = self.db.stats.accelerator(self.table_name, self.column_name)
+        rows = len(self._phonemes)
+        avg_plen = (
+            stats.avg_plen
+            if stats is not None and stats.avg_plen
+            else (self._plen_sum / rows if rows else 1.0)
+        )
+        avg_posting = None
+        if stats is not None and stats.distinct_grams:
+            avg_posting = stats.qgram_postings / stats.distinct_grams
+        estimates = cost.estimate_strategies(
+            rows=rows,
+            query_len=len(self._tokens_of(query_phonemes)),
+            avg_plen=avg_plen,
+            qgram_sel=stats.qgram_sel if stats is not None else None,
+            index_sel=stats.index_sel if stats is not None else None,
+            avg_posting=avg_posting,
+            workers=self.workers,
+            available=tuple(available),
+        )
+        self.last_estimates = estimates
+        if self.method != "auto":
+            return self.method, estimates[0] if estimates else None
+        choice = cost.choose(estimates, allow_lossy=self.allow_lossy)
+        return choice.strategy, choice
 
     def _parallel_candidates(
         self, query_phonemes: PhonemeString, config: MatchConfig
@@ -217,29 +381,36 @@ class PhoneticAccelerator:
         ids, _dists = executor.match(query_phonemes, config.threshold)
         return [int(i) for i in ids]
 
+    def _build_table(self):
+        """The encoded CSR table over the current rows (cached).
+
+        A snapshot restore pre-seeds the cache, so a reopened
+        accelerator skips even the numpy re-encode until the table
+        changes.
+        """
+        if self._table is None and self._phonemes:
+            from repro.parallel import EncodedNameTable
+
+            self._table = EncodedNameTable.from_rows(
+                self.matcher.costs,
+                [
+                    (rowid, self._langs.get(rowid, ""), phonemes)
+                    for rowid, phonemes in sorted(self._phonemes.items())
+                ],
+            )
+        return self._table
+
     def _parallel_executor(self):
-        """The method="parallel" executor, rebuilt after table changes."""
+        """The parallel-path executor, rebuilt after table changes."""
         if self._executor_stale:
             if self._executor is not None:
                 self._executor.close()
                 self._executor = None
             if self._phonemes:
-                from repro.parallel import (
-                    EncodedNameTable,
-                    ParallelMatchExecutor,
-                )
+                from repro.parallel import ParallelMatchExecutor
 
-                table = EncodedNameTable.from_rows(
-                    self.matcher.costs,
-                    [
-                        (rowid, self._langs.get(rowid, ""), phonemes)
-                        for rowid, phonemes in sorted(
-                            self._phonemes.items()
-                        )
-                    ],
-                )
                 self._executor = ParallelMatchExecutor(
-                    table, workers=self.workers
+                    self._build_table(), workers=self.workers
                 )
             self._executor_stale = False
         return self._executor
@@ -288,6 +459,67 @@ class PhoneticAccelerator:
         candidates.sort()
         return candidates
 
+    # ------------------------------------------------------- statistics
+
+    def collect_stats(self, sample: int = 32):
+        """Structure + sampled-selectivity statistics for ANALYZE.
+
+        Selectivities are measured, not modelled: up to ``sample``
+        stored phoneme strings (seeded choice, reproducible) are run
+        through the maintained filter structures and the mean candidate
+        fraction is recorded.  That grounds the cost model in this
+        lexicon's actual phonology rather than textbook constants.
+        """
+        import random
+
+        from repro.minidb.stats import AcceleratorStats
+
+        config = self.matcher.config
+        rows = len(self._phonemes)
+        stats = AcceleratorStats(
+            rows=rows,
+            avg_plen=(self._plen_sum / rows) if rows else 0.0,
+            threshold=config.threshold,
+        )
+        if self._maintain_index:
+            max_bucket = 0
+            distinct = 0
+            for _key, bucket in self._gpsid_tree.items():
+                distinct += 1
+                max_bucket = max(max_bucket, len(bucket))
+            stats.distinct_keys = distinct
+            stats.max_bucket = max_bucket
+        if self._maintain_qgram:
+            stats.qgram_postings = len(self._gram_tree)
+            stats.distinct_grams = self._gram_tree.key_count
+        if rows:
+            rng = random.Random(0x4C455861)  # stable across ANALYZE runs
+            rowids = sorted(self._phonemes)
+            probes = [
+                self._phonemes[rng.choice(rowids)]
+                for _ in range(min(sample, rows))
+            ]
+            stats.sample_size = len(probes)
+            if self._maintain_qgram:
+                total = sum(
+                    len(self._qgram_candidates(ph, config))
+                    for ph in probes
+                )
+                stats.qgram_sel = total / (len(probes) * rows)
+            if self._maintain_index:
+                total = sum(
+                    len(
+                        self._gpsid_tree.search(
+                            grouped_key(
+                                ph, config.clustering, mode=config.key_mode
+                            )
+                        )
+                    )
+                    for ph in probes
+                )
+                stats.index_sel = total / (len(probes) * rows)
+        return stats
+
     def drop(self) -> None:
         """Detach from the database (stop maintenance and planning)."""
         self.db.remove_observer(self.table_name, self.observer_handle)
@@ -310,6 +542,8 @@ def create_phonetic_accelerator(
     matcher: LexEqualMatcher | None = None,
     method: str = "qgram",
     workers: int | None = None,
+    allow_lossy: bool = False,
+    restore: dict | None = None,
 ) -> PhoneticAccelerator:
     """Build and register phonetic acceleration for ``table.column``.
 
@@ -317,8 +551,17 @@ def create_phonetic_accelerator(
     result change; ``method="index"`` gives Table 3 behaviour (fastest,
     may false-dismiss); ``method="parallel"`` evaluates predicates with
     the sharded banded-kernel executor (lossless; ``workers`` sizes its
-    process pool, default CPU count).  Also installs the LexEQUAL UDF
-    family if the database does not have it yet.
+    process pool, default CPU count); ``method="auto"`` maintains the
+    filter structures and lets the cost model pick a strategy per query
+    from ANALYZE statistics (lossy index only with ``allow_lossy``).
+    Also installs the LexEQUAL UDF family if the database does not have
+    it yet.
+
+    ``restore`` (storage recovery path) installs a snapshot produced by
+    :meth:`PhoneticAccelerator.snapshot_state` instead of scanning the
+    table; on a persistent database the accelerator also registers its
+    snapshot artifact and manifest entry so reopening the data dir
+    re-attaches it automatically.
     """
     matcher = matcher or LexEqualMatcher()
     if not db.has_udf("lexequal"):
@@ -326,9 +569,29 @@ def create_phonetic_accelerator(
 
         install_lexequal(db, matcher)
     accelerator = PhoneticAccelerator(
-        db, table_name, column_name, matcher, method, workers=workers
+        db,
+        table_name,
+        column_name,
+        matcher,
+        method,
+        workers=workers,
+        allow_lossy=allow_lossy,
+        restore=restore,
     )
     accelerator.observer_handle = accelerator
     db.add_observer(table_name, accelerator)
     db.register_accelerator(table_name, column_name, accelerator)
+    if db.storage.persistent:
+        artifact = f"accel_{table_name.lower()}_{column_name.lower()}"
+        db.storage.register_artifact(artifact, accelerator.snapshot_state)
+        db.storage.register_accelerator_meta(
+            {
+                "table": table_name.lower(),
+                "column": column_name.lower(),
+                "method": method,
+                "workers": workers,
+                "allow_lossy": allow_lossy,
+                "artifact": artifact,
+            }
+        )
     return accelerator

@@ -162,6 +162,41 @@ def install_lexequal(
     return matcher
 
 
+def populate_books_demo(db: Database) -> None:
+    """Create and fill the Books.com table of paper Figure 1 on ``db``.
+
+    Shared between the in-memory demo catalog and ``lexequal init``
+    (which seeds the same rows into a durable data directory).
+    """
+    from repro.minidb.schema import Column
+    from repro.minidb.values import SqlType
+
+    db.create_table(
+        "books",
+        [
+            Column("author", SqlType.LANGTEXT),
+            Column("title", SqlType.TEXT),
+            Column("price", SqlType.REAL),
+            Column("language", SqlType.TEXT),
+        ],
+    )
+    rows = [
+        (
+            LangText("Nehru", "english"),
+            "Discovery of India",
+            9.95,
+            "english",
+        ),
+        (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
+        (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
+        (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
+        (LangText("René", "french"), "Les Méditations", 49.0, "french"),
+        (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
+    ]
+    for row in rows:
+        db.insert("books", row)
+
+
 def demo_books_db(
     accelerate: str = "qgram",
     matcher: LexEqualMatcher | None = None,
@@ -172,12 +207,11 @@ def demo_books_db(
     The shared demo database behind ``lexequal query``/``stats`` and the
     query server's default service.  ``accelerate`` picks the phonetic
     accelerator on ``books.author``: ``"qgram"`` (default), ``"index"``,
-    ``"parallel"`` (sharded executor, sized by ``workers``), or
-    ``"none"`` for plain UDF evaluation.
+    ``"parallel"`` (sharded executor, sized by ``workers``), ``"auto"``
+    (cost-based per-query choice from ANALYZE statistics), or ``"none"``
+    for plain UDF evaluation.
     """
     from repro import faults
-    from repro.minidb.schema import Column
-    from repro.minidb.values import SqlType
 
     # Bootstrap runs with failpoints suppressed: a REPRO_FAULTS chaos
     # schedule must break *queries* against this catalog, not the
@@ -186,30 +220,7 @@ def demo_books_db(
         db = Database()
         matcher = matcher or LexEqualMatcher()
         install_lexequal(db, matcher)
-        db.create_table(
-            "books",
-            [
-                Column("author", SqlType.LANGTEXT),
-                Column("title", SqlType.TEXT),
-                Column("price", SqlType.REAL),
-                Column("language", SqlType.TEXT),
-            ],
-        )
-        rows = [
-            (
-                LangText("Nehru", "english"),
-                "Discovery of India",
-                9.95,
-                "english",
-            ),
-            (LangText("नेहरु", "hindi"), "भारत एक खोज", 175.0, "hindi"),
-            (LangText("நேரு", "tamil"), "ஆசிய ஜோதி", 250.0, "tamil"),
-            (LangText("Nero", "english"), "The Coronation", 99.0, "english"),
-            (LangText("René", "french"), "Les Méditations", 49.0, "french"),
-            (LangText("Σαρρη", "greek"), "Παιχνίδια στο Πιάνο", 15.5, "greek"),
-        ]
-        for row in rows:
-            db.insert("books", row)
+        populate_books_demo(db)
         if accelerate != "none":
             from repro.core.engine import create_phonetic_accelerator
 
@@ -217,4 +228,6 @@ def demo_books_db(
                 db, "books", "author", matcher,
                 method=accelerate, workers=workers,
             )
+            if accelerate == "auto":
+                db.analyze()  # cost-based choice wants fresh stats
     return db

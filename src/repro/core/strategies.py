@@ -809,3 +809,119 @@ class MetricIndexStrategy(Strategy):
         stats.results = len(results)
         self._finish(stats)
         return results
+
+
+# ---------------------------------------------------------------- choice
+
+#: Cost-model strategy name -> executable strategy class.
+STRATEGY_CLASSES: dict[str, type[Strategy]] = {
+    "naive": NaiveUdfStrategy,
+    "qgram": QGramStrategy,
+    "index": PhoneticIndexStrategy,
+    "metric": MetricIndexStrategy,
+}
+
+
+@dataclass
+class StrategyChoice:
+    """Outcome of cost-based strategy selection.
+
+    ``strategy`` is ready to run; ``estimate`` is the winning
+    :class:`~repro.minidb.cost.StrategyEstimate`; ``estimates`` holds
+    every considered alternative (for EXPLAIN-style reporting and the
+    cost-model test suite).
+    """
+
+    strategy: Strategy
+    estimate: object
+    estimates: list
+
+    @property
+    def name(self) -> str:
+        return self.estimate.strategy
+
+
+def catalog_cost_inputs(catalog: NameCatalog) -> dict:
+    """Cost-model inputs read off a catalog's live index structures.
+
+    No sampling: posting-list density and grouped-key bucket sizes come
+    straight from the B+ trees the strategies would probe, so the
+    estimate reflects *this* lexicon (ANALYZE-grade stats for the
+    accelerator path live in :mod:`repro.minidb.stats` instead).
+    """
+    rows = len(catalog)
+    avg_plen = (
+        sum(len(p) for p in catalog._phonemes.values()) / rows
+        if rows
+        else 1.0
+    )
+    gram_tree = catalog.db.index(
+        f"idx_{catalog.qgram_table_name}_gram"
+    ).tree
+    gpsid_tree = catalog.db.index(f"idx_{catalog.table_name}_gpsid").tree
+    distinct_grams = gram_tree.key_count
+    avg_posting = (
+        len(gram_tree) / distinct_grams if distinct_grams else None
+    )
+    distinct_keys = gpsid_tree.key_count
+    index_sel = (
+        (len(gpsid_tree) / distinct_keys) / rows
+        if distinct_keys and rows
+        else None
+    )
+    return {
+        "rows": rows,
+        "avg_plen": avg_plen,
+        "avg_posting": avg_posting,
+        "index_sel": index_sel,
+    }
+
+
+def choose_strategy(
+    catalog: NameCatalog,
+    query: str,
+    language: str = "english",
+    *,
+    allow_lossy: bool = False,
+    available: tuple[str, ...] | None = None,
+) -> StrategyChoice:
+    """Pick the cheapest execution strategy for one selection query.
+
+    Estimates every candidate strategy with :mod:`repro.minidb.cost`
+    over :func:`catalog_cost_inputs`, then instantiates the winner.
+    The grouped-key probe (``index``) may false-dismiss cross-cluster
+    matches, so it is only eligible under ``allow_lossy`` — exactly the
+    planner's rule.  ``available`` restricts the field (e.g. drop
+    ``metric`` to avoid the BK-tree build cost for one-shot queries).
+    """
+    from repro.minidb import cost
+
+    if available is None:
+        available = ("naive", "qgram", "index", "metric")
+    query_phonemes = catalog.matcher.registry.transform(query, language)
+    query_tokens = catalog.tokens_of_phonemes(query_phonemes)
+    inputs = catalog_cost_inputs(catalog)
+    qgram_sel = None
+    if inputs["avg_posting"] is not None and inputs["rows"]:
+        # Each of the ~|tokens| probed grams pulls one posting list; the
+        # union (ignoring dedup) bounds the candidate fraction.
+        qgram_sel = min(
+            1.0,
+            max(1, len(query_tokens))
+            * inputs["avg_posting"]
+            / inputs["rows"],
+        )
+    estimates = cost.estimate_strategies(
+        rows=inputs["rows"],
+        query_len=len(query_phonemes),
+        avg_plen=inputs["avg_plen"],
+        qgram_sel=qgram_sel,
+        index_sel=inputs["index_sel"],
+        avg_posting=inputs["avg_posting"],
+        available=available,
+    )
+    winner = cost.choose(estimates, allow_lossy=allow_lossy)
+    obs.incr(f"strategy.choice.{winner.strategy}")
+    return StrategyChoice(
+        STRATEGY_CLASSES[winner.strategy](catalog), winner, estimates
+    )

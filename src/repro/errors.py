@@ -45,6 +45,15 @@ class SchemaError(DatabaseError):
     """A table/column definition or reference is invalid."""
 
 
+class StorageError(DatabaseError):
+    """A durable-storage operation failed (WAL, checkpoint, snapshot).
+
+    Raised by :mod:`repro.storage` for torn or corrupt on-disk state
+    that cannot be recovered silently, and by its fault-injection
+    failpoints.
+    """
+
+
 class SQLSyntaxError(DatabaseError):
     """The SQL text could not be parsed."""
 

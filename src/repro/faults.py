@@ -94,6 +94,9 @@ ERROR_KINDS = {
     "internal": lambda point, language: RuntimeError(
         f"injected internal error at failpoint {point.name!r}"
     ),
+    "io": lambda point, language: OSError(
+        f"injected I/O error at failpoint {point.name!r}"
+    ),
 }
 
 
@@ -110,6 +113,9 @@ FAILPOINTS = frozenset(
         "pool.execute",
         "server.conn.drop_read",
         "server.conn.drop_write",
+        "storage.checkpoint",
+        "storage.wal.append",
+        "storage.wal.fsync",
         "ttp.transform",
     }
 )

@@ -31,7 +31,7 @@ class IndexInfo:
 
 
 class Database:
-    """An in-memory database: named tables, indexes and UDFs.
+    """A database catalog: named tables, indexes and UDFs.
 
     Mutations (DDL, row writes, UDF/observer registration) serialize on
     one reentrant lock so concurrent server sessions cannot corrupt the
@@ -39,9 +39,20 @@ class Database:
     query execution — stay lock-free: the read paths only traverse
     structures that mutations replace or append to atomically under the
     GIL, which keeps the many-readers/few-writers service workload fast.
+
+    ``storage`` selects the durability backend (see
+    :mod:`repro.storage.manager`): the default
+    :class:`~repro.storage.manager.MemoryBackend` keeps today's
+    in-memory behaviour; a
+    :class:`~repro.storage.manager.FileBackend` WAL-logs every
+    committed mutation and checkpoints heap + index snapshots, so
+    :func:`repro.storage.open_database` can reopen the catalog after a
+    crash.  Mutation hooks fire *after* the in-memory structures are
+    consistent, inside the write lock, so the log order equals the
+    effect order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, storage=None) -> None:
         # Reentrant because write paths nest (insert → observer →
         # accelerator maintenance may consult the catalog again).
         self._write_lock = threading.RLock()
@@ -51,6 +62,18 @@ class Database:
         self._udfs: dict[str, Callable] = {}
         self._observers: dict[str, list] = {}
         self._accelerators: dict[tuple[str, str], object] = {}
+        if storage is None:
+            from repro.storage.manager import MemoryBackend
+
+            storage = MemoryBackend()
+        self.storage = storage
+        bind = getattr(storage, "bind", None)
+        if bind is not None:
+            bind(self)
+        from repro.minidb.stats import StatsCatalog
+
+        #: The stats catalog ``ANALYZE`` fills (cost-based planning input).
+        self.stats = StatsCatalog()
 
     # ------------------------------------------------------------- tables
 
@@ -65,16 +88,18 @@ class Database:
             table = HeapTable(TableSchema(name, tuple(columns)))
             self._tables[key] = table
             self._indexes_by_table[key] = []
+            self.storage.on_create_table(table.schema)
             return table
 
     def drop_table(self, name: str) -> None:
         """Drop a table and all its indexes."""
         key = name.lower()
         with self._write_lock:
-            self._require_table(name)
+            table = self._require_table(name)
             for info in self._indexes_by_table.pop(key, []):
                 self._indexes.pop(info.name.lower(), None)
             del self._tables[key]
+            self.storage.on_drop_table(table.name)
 
     def table(self, name: str) -> HeapTable:
         return self._require_table(name)
@@ -104,16 +129,18 @@ class Database:
                 key = stored[pos]
                 if key is not None:  # B-tree indexes skip NULL keys
                     info.tree.insert(key, rowid)
+            self.storage.on_insert(table.name, rowid, stored)
             for observer in self._observers.get(table_name.lower(), []):
                 observer.on_insert(rowid, stored)
             return rowid
 
     def insert_many(self, table_name: str, rows: Iterable[tuple]) -> int:
-        """Bulk insert; returns the number of rows inserted."""
+        """Bulk insert in one storage transaction (one WAL commit)."""
         count = 0
-        for row in rows:
-            self.insert(table_name, row)
-            count += 1
+        with self.storage.transaction():
+            for row in rows:
+                self.insert(table_name, row)
+                count += 1
         return count
 
     def delete_row(self, table_name: str, rowid: int) -> None:
@@ -125,6 +152,7 @@ class Database:
                 pos = table.schema.position(info.column_name)
                 if old[pos] is not None:
                     info.tree.delete(old[pos], rowid)
+            self.storage.on_delete(table.name, rowid)
             for observer in self._observers.get(table_name.lower(), []):
                 observer.on_delete(rowid, old)
 
@@ -157,6 +185,9 @@ class Database:
             info = IndexInfo(index_name, table.name, column_name, tree)
             self._indexes[key] = info
             self._indexes_by_table[table_name.lower()].append(info)
+            self.storage.on_create_index(
+                index_name, table.name, column_name, order
+            )
             return info
 
     def drop_index(self, index_name: str) -> None:
@@ -167,6 +198,7 @@ class Database:
             except KeyError:
                 raise SchemaError(f"no such index {index_name!r}") from None
             self._indexes_by_table[info.table_name.lower()].remove(info)
+            self.storage.on_drop_index(info.name)
 
     def index(self, index_name: str) -> IndexInfo:
         try:
@@ -226,6 +258,87 @@ class Database:
         return self._accelerators.get(
             (table_name.lower(), column_name.lower())
         )
+
+    # ------------------------------------------------------- durability
+
+    def transaction(self):
+        """Group mutations into one storage commit (one WAL fsync)."""
+        return self.storage.transaction()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a fresh checkpoint (no-op in memory)."""
+        self.storage.checkpoint(self)
+
+    def analyze(self, table_name: str | None = None) -> int:
+        """Collect planner statistics (the ``ANALYZE`` statement).
+
+        Returns the number of tables analyzed; the refreshed stats
+        catalog is persisted through the storage backend.
+        """
+        from repro.minidb.stats import analyze_database
+
+        count = analyze_database(self, table_name)
+        self.storage.save_stats(self.stats.to_dict())
+        return count
+
+    def snapshot_state(self) -> dict:
+        """Consistent catalog state for a storage checkpoint.
+
+        Index entries carry the live ``tree`` objects; the storage
+        layer serializes them (the catalog stays format-agnostic).
+        """
+        with self._write_lock:
+            tables = [
+                {
+                    "name": table.schema.name,
+                    "columns": [
+                        (c.name, c.type.name, c.nullable)
+                        for c in table.schema.columns
+                    ],
+                    "slots": table.slot_snapshot(),
+                }
+                for table in self._tables.values()
+            ]
+            indexes = [
+                {
+                    "name": info.name,
+                    "table": info.table_name,
+                    "column": info.column_name,
+                    "tree": info.tree,
+                }
+                for info in self._indexes.values()
+            ]
+        return {"tables": tables, "indexes": indexes}
+
+    def attach_table(self, table: HeapTable) -> None:
+        """Attach a recovered heap table (storage restore path: no
+        storage hook, rowids and tombstones preserved exactly)."""
+        key = table.name.lower()
+        with self._write_lock:
+            if key in self._tables:
+                raise SchemaError(f"table {table.name!r} already exists")
+            self._tables[key] = table
+            self._indexes_by_table[key] = []
+
+    def attach_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column_name: str,
+        tree: BPlusTree,
+    ) -> IndexInfo:
+        """Attach a recovered index without backfilling it (storage
+        restore path; the snapshot already holds every entry)."""
+        key = index_name.lower()
+        with self._write_lock:
+            if key in self._indexes:
+                raise SchemaError(f"index {index_name!r} already exists")
+            table = self._require_table(table_name)
+            table.schema.position(column_name)  # validate the column
+            info = IndexInfo(index_name, table.name, column_name, tree)
+            self._indexes[key] = info
+            self._indexes_by_table[table.name.lower()].append(info)
+            return info
 
     # --------------------------------------------------------------- UDFs
 

@@ -39,6 +39,13 @@ class PhysicalOp(abc.ABC):
 
     layout: RowLayout
 
+    #: Planner cost annotations (cost-based planning, DESIGN.md §10.5):
+    #: estimated output rows and cumulative cost in DP-cell equivalents
+    #: (:mod:`repro.minidb.cost`).  None = the planner had no estimate;
+    #: EXPLAIN renders them next to the actual counts when present.
+    est_rows: float | None = None
+    est_cost: float | None = None
+
     @abc.abstractmethod
     def rows(self) -> Iterator[tuple]:
         """Yield output rows.  Must be callable repeatedly."""

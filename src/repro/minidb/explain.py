@@ -80,6 +80,16 @@ def instrument(plan: PhysicalOp) -> InstrumentedNode:
     return node
 
 
+def _estimate_suffix(op: PhysicalOp) -> str:
+    """`` (est_rows=N est_cost=C)`` when the planner annotated ``op``."""
+    if op.est_rows is None:
+        return ""
+    text = f"  (est_rows={op.est_rows:.0f}"
+    if op.est_cost is not None:
+        text += f" est_cost={op.est_cost:.0f}"
+    return text + ")"
+
+
 def render_plan(plan: PhysicalOp) -> list[str]:
     """Indented EXPLAIN lines for a plan tree (no execution)."""
     lines: list[str] = []
@@ -87,7 +97,7 @@ def render_plan(plan: PhysicalOp) -> list[str]:
     def visit(op: PhysicalOp, depth: int) -> None:
         indent = "  " * depth
         prefix = "" if depth == 0 else "->  "
-        lines.append(f"{indent}{prefix}{op.describe()}")
+        lines.append(f"{indent}{prefix}{op.describe()}{_estimate_suffix(op)}")
         for child in op.children():
             visit(child, depth + 1)
 
@@ -96,7 +106,12 @@ def render_plan(plan: PhysicalOp) -> list[str]:
 
 
 def render_analyzed(node: InstrumentedNode) -> list[str]:
-    """Indented EXPLAIN ANALYZE lines from an instrumented run."""
+    """Indented EXPLAIN ANALYZE lines from an instrumented run.
+
+    Estimated and actual counts render side by side — the estimated-vs-
+    actual gap is the planner's report card, exactly what the paper
+    could not get out of the commercial optimizer.
+    """
     lines: list[str] = []
 
     def visit(inode: InstrumentedNode, depth: int) -> None:
@@ -105,7 +120,8 @@ def render_analyzed(node: InstrumentedNode) -> list[str]:
         stats = inode.stats
         millis = stats.seconds * 1000.0
         lines.append(
-            f"{indent}{prefix}{inode.op.describe()}  "
+            f"{indent}{prefix}{inode.op.describe()}"
+            f"{_estimate_suffix(inode.op)}  "
             f"(actual rows={stats.rows} loops={stats.loops} "
             f"time={millis:.3f}ms)"
         )

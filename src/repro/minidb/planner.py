@@ -58,6 +58,7 @@ from repro.minidb.expr import (
     walk,
 )
 from repro.minidb.sql import (
+    AnalyzeStmt,
     CreateIndexStmt,
     CreateTableStmt,
     DropIndexStmt,
@@ -142,13 +143,16 @@ def execute_statement(db: Database, stmt: Statement, params: dict):
         return 0
     if isinstance(stmt, InsertStmt):
         count = 0
-        for row_exprs in stmt.rows:
-            values = tuple(
-                _eval_constant(expr, params) for expr in row_exprs
-            )
-            db.insert(stmt.table, values)
-            count += 1
+        with db.storage.transaction():
+            for row_exprs in stmt.rows:
+                values = tuple(
+                    _eval_constant(expr, params) for expr in row_exprs
+                )
+                db.insert(stmt.table, values)
+                count += 1
         return count
+    if isinstance(stmt, AnalyzeStmt):
+        return db.analyze(stmt.table)
     raise PlanningError(f"unsupported statement {stmt!r}")  # pragma: no cover
 
 
@@ -347,14 +351,23 @@ def _access_path(
     conjuncts: list[Expr],
     params: dict,
 ) -> PhysicalOp:
-    """Choose scan type for one table and apply its pushed-down filters."""
+    """Choose scan type for one table and apply its pushed-down filters.
+
+    Every access path (and the pushed-down filters above it) is
+    annotated with ``est_rows``/``est_cost`` — from the stats catalog
+    when ANALYZE has run, from live structure sizes otherwise — so
+    EXPLAIN shows what the planner believed next to what happened.
+    """
     plan: PhysicalOp | None = None
     rest = conjuncts
+    row_count = len(table)
     for expr in conjuncts:
         match = _index_equality(db, table, expr, params)
         if match is not None:
             tree, key = match
             plan = IndexEqualScan(table, tree, key, alias=alias)
+            plan.est_rows = _index_equality_rows(db, table, expr)
+            plan.est_cost = 8.0 + plan.est_rows
             rest = [c for c in conjuncts if c is not expr]
             break
     if plan is None:
@@ -367,26 +380,60 @@ def _access_path(
             if accelerated is not None:
                 from repro.minidb.executor import RowidScan
 
-                rowids, source = accelerated
+                rowids, source, estimate = accelerated
                 obs.incr("minidb.plans.accelerated")
                 obs.observe("minidb.accelerator.candidates", len(rowids))
                 plan = RowidScan(table, rowids, alias=alias, source=source)
+                if estimate is not None:
+                    plan.est_rows = estimate.est_rows
+                    plan.est_cost = estimate.est_cost
+                else:
+                    plan.est_rows = float(len(rowids))
+                    plan.est_cost = float(len(rowids))
                 break
     if plan is None:
         plan = SeqScan(table, alias=alias)
+        plan.est_rows = float(row_count)
+        plan.est_cost = float(row_count)
     for expr in rest:
+        child = plan
         plan = Filter(plan, expr, db.udf, params)
+        if child.est_rows is not None:
+            plan.est_rows = child.est_rows * _filter_selectivity(expr)
+            plan.est_cost = (child.est_cost or 0.0) + child.est_rows
     return plan
+
+
+def _index_equality_rows(db: Database, table: HeapTable, expr: Expr) -> float:
+    """Estimated rows for ``col = const`` via ANALYZE's distinct counts."""
+    for node in walk(expr):
+        if isinstance(node, ColumnRef):
+            cstats = db.stats.column(table.name, node.column)
+            if cstats is not None and cstats.n_distinct > 0:
+                return max(1.0, len(table) / cstats.n_distinct)
+    return 1.0
+
+
+def _filter_selectivity(expr: Expr) -> float:
+    """Crude textbook selectivities for pushed-down filter conjuncts."""
+    if isinstance(expr, FuncCall) and expr.name.lower() == "lexequal":
+        return 0.05  # approximate-match predicates are selective
+    if isinstance(expr, BinaryOp) and expr.op == "=":
+        return 0.1
+    return 0.33
 
 
 def _accelerated_candidates(
     db: Database, table: HeapTable, expr: Expr, params: dict
-) -> tuple[list[int], str] | None:
-    """``(candidate rowids, source label)`` for a ``lexequal(col, const,
-    e, langs)`` conjunct.
+):
+    """``(candidate rowids, source label, estimate)`` for a
+    ``lexequal(col, const, e, langs)`` conjunct.
 
-    Returns None when the conjunct has a different shape, no accelerator
-    is registered, or the accelerator declines.
+    ``estimate`` is the accelerator's
+    :class:`~repro.minidb.cost.StrategyEstimate` for the chosen method
+    (None for accelerators predating the cost model).  Returns None when
+    the conjunct has a different shape, no accelerator is registered, or
+    the accelerator declines.
     """
     if not (
         isinstance(expr, FuncCall)
@@ -418,8 +465,17 @@ def _accelerated_candidates(
     if rowids is None:
         return None
     method = getattr(accelerator, "method", None)
-    source = f"{method} accelerator" if method else "accelerator"
-    return rowids, source
+    # An auto accelerator reports the concrete method it chose; the
+    # label keeps the "via <method> accelerator" shape with the choice
+    # mode appended, so plans stay attributable either way.
+    chosen = getattr(accelerator, "last_method", None)
+    if method == "auto" and chosen:
+        source = f"{chosen} accelerator (auto)"
+    elif method:
+        source = f"{method} accelerator"
+    else:
+        source = "accelerator"
+    return rowids, source, getattr(accelerator, "last_choice", None)
 
 
 def _index_equality(

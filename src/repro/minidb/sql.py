@@ -162,6 +162,13 @@ class ExplainStmt:
     analyze: bool = False
 
 
+@dataclass
+class AnalyzeStmt:
+    """``ANALYZE [table]`` — refresh the planner's statistics catalog."""
+
+    table: str | None = None
+
+
 Statement = (
     SelectStmt
     | CreateTableStmt
@@ -170,6 +177,7 @@ Statement = (
     | DropIndexStmt
     | InsertStmt
     | ExplainStmt
+    | AnalyzeStmt
 )
 
 
@@ -243,6 +251,8 @@ class Parser:
             stmt = self._parse_drop()
         elif self._at_keyword("insert"):
             stmt = self._parse_insert()
+        elif self._at_keyword("analyze"):
+            stmt = self._parse_analyze()
         else:
             tok = self._peek()
             raise SQLSyntaxError(
@@ -265,6 +275,13 @@ class Parser:
                 f"EXPLAIN supports only SELECT, got {tok.text!r}", tok.pos
             )
         return ExplainStmt(query=self._parse_select(), analyze=analyze)
+
+    def _parse_analyze(self) -> AnalyzeStmt:
+        self._expect_keyword("analyze")
+        tok = self._peek()
+        if tok.kind == "eof" or (tok.kind == "op" and tok.text == ";"):
+            return AnalyzeStmt()
+        return AnalyzeStmt(table=self._expect_name())
 
     def _parse_select(self) -> SelectStmt:
         self._expect_keyword("select")

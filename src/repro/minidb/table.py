@@ -76,6 +76,37 @@ class HeapTable:
             self._live_count -= 1
             return row
 
+    def slot_snapshot(self) -> list[tuple | None]:
+        """Raw slot list for checkpointing; tombstones become ``None``.
+
+        The *shape* of the slot list is part of durable state: rowids
+        are slot positions, so a reopened table must keep every
+        tombstone hole exactly where it was or index entries would
+        point at the wrong rows.
+        """
+        return [
+            None if row is _TOMBSTONE else row for row in self._rows
+        ]
+
+    @classmethod
+    def from_slots(
+        cls, schema: TableSchema, slots: Iterable[tuple | None]
+    ) -> "HeapTable":
+        """Rebuild a table from :meth:`slot_snapshot` output.
+
+        Storage-recovery path: rows were validated when first inserted
+        (and the checkpoint is checksummed), so they are not
+        re-validated here.
+        """
+        table = cls(schema)
+        for slot in slots:
+            if slot is None:
+                table._rows.append(_TOMBSTONE)
+            else:
+                table._rows.append(tuple(slot))
+                table._live_count += 1
+        return table
+
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield ``(rowid, row)`` for every live row, in heap order."""
         for rowid, row in enumerate(self._rows):

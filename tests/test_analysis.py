@@ -380,6 +380,56 @@ class TestSeededAstViolations:
         assert all(f.file == "pkg/rogue.py" for f in findings)
         assert all("ParallelMatchExecutor" in f.message for f in findings)
 
+    def test_storage_boundary_fires_a006(self, tmp_path):
+        from repro.analysis.astrules import StorageBoundary
+
+        write_module(
+            tmp_path,
+            "pkg/rogue.py",
+            '''
+            """Mentioning wal.log in a docstring is fine."""
+            from repro.storage.layout import wal_path
+            from repro.storage.wal import WriteAheadLog
+            import repro.storage.layout
+
+            def sneak(data_dir):
+                with open(data_dir + "/wal.log", "ab") as fh:
+                    fh.write(b"x")
+                return data_dir + "/books.idx"
+            ''',
+        )
+        write_module(
+            tmp_path,
+            "pkg/storage/manager.py",
+            """
+            from repro.storage.layout import wal_path
+
+            WAL = "wal.log"
+            """,
+        )
+        write_module(
+            tmp_path,
+            "pkg/fine.py",
+            """
+            from repro.storage import open_database
+            from repro.storage.manager import MemoryBackend
+            from repro.storage.snapshots import restore_btree
+            """,
+        )
+        rule = StorageBoundary(subdir="pkg", allowed=("pkg/storage",))
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert rule_ids(findings) == {"LEX-A006"}
+        messages = "\n".join(f.message for f in findings)
+        assert "'repro.storage.layout'" in messages
+        assert "'repro.storage.wal'" in messages
+        assert "'/wal.log'" in messages
+        assert "'/books.idx'" in messages
+        # 3 imports + 2 literals; allowed package and the public
+        # interface (manager/snapshots/open_database) produced none.
+        assert len(findings) == 5
+        assert all(f.file == "pkg/rogue.py" for f in findings)
+        assert all("StorageManager" in f.message for f in findings)
+
 
 # ------------------------------------------------- metric validation API
 
@@ -428,7 +478,7 @@ class TestRepoIsClean:
         assert result.clean, render_text(result.findings)
         # The shipped baseline is empty: nothing is being tolerated.
         assert result.suppressed == []
-        assert len(result.rules) == 10
+        assert len(result.rules) == 11
 
     def test_cli_lint_smoke(self, capsys):
         from repro.cli import main

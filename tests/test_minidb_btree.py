@@ -145,3 +145,57 @@ def test_btree_matches_reference_model(ops):
         assert sorted(tree.search(key)) == sorted(values)
     scanned = [(k, v) for k, v in tree.range_scan()]
     assert len(scanned) == sum(len(v) for v in reference.values())
+
+
+class TestBulkLoad:
+    """bulk_load must be indistinguishable from incremental insertion."""
+
+    def test_matches_incremental_insert(self):
+        items = [(k, [k * 10, k * 10 + 1]) for k in range(500)]
+        loaded = BPlusTree.bulk_load(items, order=8)
+        loaded.check_invariants()
+        reference = BPlusTree(order=8)
+        for key, bucket in items:
+            for value in bucket:
+                reference.insert(key, value)
+        assert len(loaded) == len(reference)
+        assert list(loaded.items()) == list(reference.items())
+        assert list(loaded.range_scan()) == list(reference.range_scan())
+
+    def test_empty_and_single(self):
+        empty = BPlusTree.bulk_load([], order=4)
+        empty.check_invariants()
+        assert len(empty) == 0
+        one = BPlusTree.bulk_load([("k", ["v"])], order=4)
+        one.check_invariants()
+        assert one.search("k") == ["v"]
+
+    def test_rejects_unsorted_or_duplicate_keys(self):
+        with pytest.raises(DatabaseError):
+            BPlusTree.bulk_load([(2, [1]), (1, [1])], order=4)
+        with pytest.raises(DatabaseError):
+            BPlusTree.bulk_load([(1, [1]), (1, [2])], order=4)
+        with pytest.raises(DatabaseError):
+            BPlusTree.bulk_load([(1, [])], order=4)
+
+    def test_loaded_tree_accepts_mutation(self):
+        items = [(k, [k]) for k in range(0, 200, 2)]
+        tree = BPlusTree.bulk_load(items, order=5)
+        for k in range(1, 200, 2):
+            tree.insert(k, k)
+        for k in range(0, 200, 4):
+            assert tree.delete(k, k)
+        tree.check_invariants()
+        assert len(tree) == 150
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=0, max_value=400),
+        order=st.sampled_from([4, 5, 8, 64]),
+    )
+    def test_bulk_load_invariants_property(self, size, order):
+        items = [(k, [k]) for k in range(size)]
+        tree = BPlusTree.bulk_load(items, order=order)
+        tree.check_invariants()
+        assert len(tree) == size
+        assert list(tree.keys()) == [k for k, _ in items]

@@ -1,0 +1,168 @@
+"""WAL unit tests: append/commit/replay, damage handling, failpoints."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro import faults
+from repro.errors import StorageError
+from repro.storage.wal import COMMIT_OP, WalRecord, WriteAheadLog, replay
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _wal_path(tmp_path) -> str:
+    return str(tmp_path / "wal.log")
+
+
+def test_append_commit_replay_round_trip(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("people", (1, "Nehru")))
+    wal.append("insert", ("people", (2, "Nero")))
+    wal.commit()
+    wal.append("delete", ("people", 1))
+    wal.commit()
+    wal.close()
+
+    info = replay(path)
+    assert not info.damaged
+    assert [[r.op for r in batch] for batch in info.batches] == [
+        ["insert", "insert"],
+        ["delete"],
+    ]
+    assert info.batches[0][0] == WalRecord(1, "insert", ("people", (1, "Nehru")))
+    # LSNs are contiguous across records and commit markers.
+    assert info.next_lsn == 6
+
+
+def test_uncommitted_tail_is_dropped(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    wal.append("insert", ("t", (2,)))  # no commit marker follows
+    wal._file.flush()
+    wal.close()
+
+    info = replay(path)
+    assert not info.damaged  # intact records, just uncommitted
+    assert len(info.batches) == 1
+    assert info.batches[0][0].args == ("t", (1,))
+    # valid_bytes points just past the commit marker, before the tail.
+    assert 0 < info.valid_bytes < os.path.getsize(path)
+
+
+def test_torn_record_truncated_on_open(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    wal.close()
+    committed_size = os.path.getsize(path)
+    with open(path, "ab") as fh:
+        fh.write(struct.pack("<II", 4096, 0))  # header promising 4 KiB
+        fh.write(b"\x00" * 7)  # ...followed by 7 bytes
+
+    info = replay(path)
+    assert info.damaged
+    assert len(info.batches) == 1
+
+    wal, opened = WriteAheadLog.open(path)
+    wal.close()
+    assert opened.damaged
+    assert os.path.getsize(path) == committed_size  # tail gone
+
+
+def test_crc_corruption_ends_scan_at_last_commit(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    wal.append("insert", ("t", (2,)))
+    wal.commit()
+    wal.close()
+    data = bytearray(open(path, "rb").read())
+    data[-3] ^= 0xFF  # flip a byte inside the final commit marker
+    open(path, "wb").write(bytes(data))
+
+    info = replay(path)
+    assert info.damaged
+    # The second batch's commit marker is corrupt, so only batch one
+    # counts as committed.
+    assert len(info.batches) == 1
+
+
+def test_open_missing_file_starts_fresh(tmp_path):
+    wal, info = WriteAheadLog.open(_wal_path(tmp_path))
+    assert info.batches == [] and info.next_lsn == 1 and not info.damaged
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    wal.close()
+
+
+def test_commit_without_appends_is_a_noop(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.commit()
+    wal.close()
+    assert os.path.getsize(path) == 0
+
+
+def test_reset_truncates_after_checkpoint(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    wal.reset()
+    assert os.path.getsize(path) == 0
+    # The log stays usable after a reset.
+    wal.append("insert", ("t", (2,)))
+    wal.commit()
+    wal.close()
+    info = replay(path)
+    assert len(info.batches) == 1
+    assert info.batches[0][0].args == ("t", (2,))
+
+
+def test_torn_append_failpoint_poisons_log(tmp_path):
+    path = _wal_path(tmp_path)
+    wal = WriteAheadLog(path)
+    wal.append("insert", ("t", (1,)))
+    wal.commit()
+    faults.configure("storage.wal.append", count=1)
+    with pytest.raises(StorageError, match="torn"):
+        wal.append("insert", ("t", (2,)))
+    # Subsequent appends refuse: the process is presumed dead.
+    with pytest.raises(StorageError, match="poisoned"):
+        wal.append("insert", ("t", (3,)))
+    wal.close()
+    # Recovery truncates the half-record; the committed batch survives.
+    wal, info = WriteAheadLog.open(path)
+    wal.close()
+    assert info.damaged
+    assert len(info.batches) == 1
+
+
+def test_fsync_failpoint_surfaces_io_error(tmp_path):
+    wal = WriteAheadLog(_wal_path(tmp_path))
+    wal.append("insert", ("t", (1,)))
+    faults.configure("storage.wal.fsync", error="io", count=1)
+    with pytest.raises(OSError):
+        wal.commit()
+    wal.close()
+
+
+def test_commit_marker_op_name_reserved(tmp_path):
+    # Nothing stops an op literally named "commit" from being appended,
+    # but replay would treat it as a marker — the backend never does
+    # this; assert the constant so a rename breaks loudly here.
+    assert COMMIT_OP == "commit"
