@@ -28,6 +28,14 @@ Proves the repro.storage durability contract on a real process tree:
   keeps writing; reopen must recover everything from the previous
   checkpoint + WAL.
 
+* **post-rename crash round** — the child arms
+  ``storage.checkpoint.post_rename`` and dies in the window *between*
+  the checkpoint rename and the WAL reset: the new checkpoint is on
+  disk but the stale pre-checkpoint WAL was never truncated.  Reopen
+  must skip the already-folded records (replaying them would
+  double-insert and brick the directory with a rowid-drift error) and
+  recover exactly the committed rows.
+
 The schedule is seeded (``REPRO_RECOVERY_SEED``, default 20040314) so
 failures reproduce.  Run from the repository root::
 
@@ -70,7 +78,12 @@ def name_of(i: int) -> str:
 # --------------------------------------------------------------- child
 
 
-def run_child(data_dir: str, fail_append_at: int, fail_checkpoint_at: int) -> int:
+def run_child(
+    data_dir: str,
+    fail_append_at: int,
+    fail_checkpoint_at: int,
+    fail_post_rename_at: int,
+) -> int:
     from repro import faults
     from repro.core.engine import create_phonetic_accelerator
     from repro.core.matcher import LexEqualMatcher
@@ -100,6 +113,15 @@ def run_child(data_dir: str, fail_append_at: int, fail_checkpoint_at: int) -> in
                 db.checkpoint()
             except StorageError:
                 print(f"checkpoint aborted at {i}", flush=True)
+        if i == fail_post_rename_at:
+            faults.configure("storage.checkpoint.post_rename", count=1)
+            try:
+                db.checkpoint()
+            except StorageError:
+                # Die right here: the new checkpoint was renamed in,
+                # the stale WAL was never reset.
+                print(f"post-rename crash at {i}", flush=True)
+                return 4
         try:
             db.insert("people", (i, name_of(i)))
         except StorageError as exc:
@@ -183,7 +205,8 @@ def last_committed(output: str) -> int:
 
 
 def spawn_child(data_dir: str, *, fail_append_at: int = -1,
-                fail_checkpoint_at: int = -1) -> subprocess.Popen:
+                fail_checkpoint_at: int = -1,
+                fail_post_rename_at: int = -1) -> subprocess.Popen:
     return subprocess.Popen(
         [
             sys.executable,
@@ -192,6 +215,7 @@ def spawn_child(data_dir: str, *, fail_append_at: int = -1,
             data_dir,
             str(fail_append_at),
             str(fail_checkpoint_at),
+            str(fail_post_rename_at),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -257,10 +281,30 @@ def aborted_checkpoint_round(base: Path, rng: random.Random) -> None:
     )
 
 
+def post_rename_round(base: Path, rng: random.Random) -> None:
+    data_dir = str(base / "post-rename")
+    fail_at = rng.randint(5, CHILD_ROWS - 5)
+    child = spawn_child(data_dir, fail_post_rename_at=fail_at)
+    output, _ = child.communicate(timeout=600)
+    assert child.returncode == 4, (
+        f"child should die in the rename/reset window "
+        f"(rc={child.returncode}):\n{output}"
+    )
+    assert f"post-rename crash at {fail_at}" in output, output
+    # New checkpoint + stale untruncated WAL: recovery must skip the
+    # already-folded records, not replay them over the checkpoint.
+    verify(data_dir, fail_at, slack=0)
+    print(
+        f"  post-rename round: crash between checkpoint rename and "
+        f"WAL reset at row {fail_at} recovered OK"
+    )
+
+
 def main() -> int:
     if len(sys.argv) > 1 and sys.argv[1] == "--child":
         return run_child(
-            sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+            sys.argv[2], int(sys.argv[3]), int(sys.argv[4]),
+            int(sys.argv[5]),
         )
     import tempfile
 
@@ -273,6 +317,7 @@ def main() -> int:
             kill_round(base, rng, round_no)
         torn_round(base, rng)
         aborted_checkpoint_round(base, rng)
+        post_rename_round(base, rng)
     print(f"recovery smoke OK in {time.perf_counter() - started:.1f}s")
     return 0
 

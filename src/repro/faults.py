@@ -114,6 +114,7 @@ FAILPOINTS = frozenset(
         "server.conn.drop_read",
         "server.conn.drop_write",
         "storage.checkpoint",
+        "storage.checkpoint.post_rename",
         "storage.wal.append",
         "storage.wal.fsync",
         "ttp.transform",

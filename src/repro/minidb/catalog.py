@@ -75,6 +75,20 @@ class Database:
         #: The stats catalog ``ANALYZE`` fills (cost-based planning input).
         self.stats = StatsCatalog()
 
+    @property
+    def write_lock(self):
+        """The catalog write lock (reentrant, usable as a context
+        manager).
+
+        Lock order is catalog -> storage backend everywhere: mutations
+        hold this lock when they reach the storage hooks (which then
+        take the backend's lock), and
+        :meth:`repro.storage.manager.FileBackend.checkpoint` acquires
+        it *before* its own lock — acquiring them in the opposite order
+        anywhere would deadlock against a concurrent writer.
+        """
+        return self._write_lock
+
     # ------------------------------------------------------------- tables
 
     def create_table(
@@ -92,14 +106,19 @@ class Database:
             return table
 
     def drop_table(self, name: str) -> None:
-        """Drop a table and all its indexes."""
+        """Drop a table, its indexes, and its planner statistics."""
         key = name.lower()
         with self._write_lock:
             table = self._require_table(name)
             for info in self._indexes_by_table.pop(key, []):
                 self._indexes.pop(info.name.lower(), None)
             del self._tables[key]
+            # Stale stats would keep skewing the cost-based planner
+            # (worse: attach to a recreated table of the same name).
+            self.stats.drop(table.name)
             self.storage.on_drop_table(table.name)
+            if self.storage.persistent and not self.storage.replaying:
+                self.storage.save_stats(self.stats.to_dict())
 
     def table(self, name: str) -> HeapTable:
         return self._require_table(name)

@@ -76,6 +76,19 @@ class StatsCatalog:
     def drop(self, table_name: str) -> None:
         self._tables.pop(table_name.lower(), None)
 
+    def prune(self, keep) -> int:
+        """Drop stats for tables not in ``keep``; returns the count.
+
+        Recovery uses this: ``stats.json`` may predate a ``DROP TABLE``
+        that only the WAL recorded, and stale stats for a vanished (or
+        later recreated) table would skew the cost-based planner.
+        """
+        keep_keys = {name.lower() for name in keep}
+        stale = [key for key in self._tables if key not in keep_keys]
+        for key in stale:
+            del self._tables[key]
+        return len(stale)
+
     def table(self, table_name: str) -> TableStats | None:
         return self._tables.get(table_name.lower())
 

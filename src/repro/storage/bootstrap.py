@@ -9,8 +9,11 @@
    rowids are exactly what the indexes recorded;
 3. replay committed WAL batches through the ordinary catalog mutation
    paths (re-logging suppressed), asserting that every replayed insert
-   lands on the rowid the log recorded;
-4. load the persisted stats catalog;
+   lands on the rowid the log recorded; records at or below the
+   checkpoint's WAL high-water mark are skipped — they are already in
+   the checkpoint, and survive on disk only when a crash hit between
+   the checkpoint rename and the WAL reset;
+4. load the persisted stats catalog (pruned of tables the WAL dropped);
 5. re-attach phonetic accelerators from the manifest, restoring their
    snapshot artifacts and delta-syncing any rows committed after the
    last checkpoint — the expensive TTP pass runs only over the delta.
@@ -68,6 +71,8 @@ def open_database(
     stats_payload = backend.load_stats()
     if stats_payload is not None:
         db.stats = StatsCatalog.from_dict(stats_payload)
+        # stats.json may predate a DROP TABLE replayed from the WAL.
+        db.stats.prune(db.table_names())
     if attach_accelerators:
         _attach_accelerators(db, backend, matcher)
     return db

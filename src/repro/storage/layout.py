@@ -9,9 +9,10 @@ subsystems.
 A data directory looks like::
 
     data/
-      MANIFEST.json     # format version, checkpoint id, accelerator meta
+      MANIFEST.json     # format version, accelerator meta
       wal.log           # write-ahead log since the last checkpoint
       checkpoint.bin    # schemas + heap slots + index snapshots
+                        # + the WAL high-water mark it folded in
       stats.json        # ANALYZE output (the persisted stats catalog)
       indexes/          # one .idx snapshot per registered artifact
         accel_books_author.idx
@@ -40,6 +41,28 @@ _SAFE = frozenset(
 def safe_artifact_name(name: str) -> str:
     """Normalize an artifact name into a path-safe filename stem."""
     return "".join(c if c in _SAFE else "_" for c in name) or "artifact"
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creations inside it are durable.
+
+    POSIX only guarantees a rename (or a new file's directory entry)
+    survives power loss once the *containing directory's* metadata is
+    on disk; fsyncing the file alone is not enough.  Platforms where
+    directories cannot be opened (e.g. Windows) skip silently — there
+    the rename-durability semantics differ anyway.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path or ".", flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync support
+        pass
+    finally:
+        os.close(fd)
 
 
 def manifest_path(data_dir: str) -> str:

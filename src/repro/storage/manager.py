@@ -35,6 +35,10 @@ class StorageManager:
     #: bookkeeping in callers that is pointless for the memory backend).
     persistent = False
 
+    #: True while recovery replays logged state into the catalog
+    #: (mutation hooks and stats persistence must not re-log it).
+    replaying = False
+
     # -- catalog mutation hooks (called with the catalog lock held) ----
 
     def on_create_table(self, schema) -> None:
@@ -120,9 +124,18 @@ class FileBackend(StorageManager):
         #: hooks must not re-log what the WAL already holds.
         self.replaying = False
         self._manifest = self._load_manifest()
+        self._checkpoint = self._load_checkpoint()
+        #: WAL high-water mark folded into the last checkpoint: records
+        #: at or below it are already in the checkpoint and must never
+        #: be replayed again (a crash between the checkpoint rename and
+        #: the WAL reset leaves them behind on disk).
+        self._checkpoint_wal_lsn = (
+            (self._checkpoint or {}).get("wal_lsn", 0)
+        )
         self._wal, self._replay = WriteAheadLog.open(
             layout.wal_path(data_dir), sync=sync
         )
+        self._wal.ensure_next_lsn(self._checkpoint_wal_lsn + 1)
 
     # ------------------------------------------------------- recovery
 
@@ -144,18 +157,44 @@ class FileBackend(StorageManager):
             )
         return manifest
 
-    def recovered_checkpoint(self) -> dict | None:
-        """The last checkpoint payload, or None (fresh directory)."""
+    def _load_checkpoint(self) -> dict | None:
         path = layout.checkpoint_path(self.data_dir)
         if not os.path.exists(path):
             return None
         with open(path, "rb") as fh:
             return snapshots.load(fh, "checkpoint")
 
+    def recovered_checkpoint(self) -> dict | None:
+        """The last checkpoint payload, or None (fresh directory).
+
+        The payload cached at open is released on first call (heap
+        slots can be large); later calls re-read the file.
+        """
+        if self._checkpoint is not None:
+            payload, self._checkpoint = self._checkpoint, None
+            return payload
+        return self._load_checkpoint()
+
     def recovered_wal(self) -> WalReplay:
-        """Committed WAL batches found at open (replayed over the
-        checkpoint by :func:`repro.storage.open_database`)."""
-        return self._replay
+        """Committed WAL batches newer than the checkpoint (replayed
+        over it by :func:`repro.storage.open_database`).
+
+        Records at or below the checkpoint's WAL high-water mark are
+        already folded into the checkpoint — they survive on disk only
+        when a crash hit between the checkpoint rename and the WAL
+        reset — and replaying them again would double-apply mutations,
+        so they are dropped here.
+        """
+        if not self._checkpoint_wal_lsn:
+            return self._replay
+        batches = [
+            [r for r in batch if r.lsn > self._checkpoint_wal_lsn]
+            for batch in self._replay.batches
+        ]
+        skipped = len(self._replay.batches) - sum(1 for b in batches if b)
+        if skipped:
+            obs.incr("storage.wal.stale_batches_skipped", skipped)
+        return self._replay._replace(batches=[b for b in batches if b])
 
     def bind(self, db) -> None:
         """Give the backend its database (for auto-checkpointing)."""
@@ -168,9 +207,14 @@ class FileBackend(StorageManager):
             return
         with self._lock:
             self._wal.append(op, args)
-            if self._txn_depth == 0:
+            commit = self._txn_depth == 0
+            if commit:
                 self._wal.commit()
-                self._maybe_auto_checkpoint()
+        # Auto-checkpoint outside the backend lock: checkpoint() takes
+        # the catalog write lock first (lock order catalog -> backend),
+        # so it must not be entered while holding only the backend lock.
+        if commit:
+            self._maybe_auto_checkpoint()
 
     def on_create_table(self, schema) -> None:
         columns = [
@@ -207,9 +251,11 @@ class FileBackend(StorageManager):
         finally:
             with self._lock:
                 self._txn_depth -= 1
-                if self._txn_depth == 0 and not self.replaying:
+                commit = self._txn_depth == 0 and not self.replaying
+                if commit:
                     self._wal.commit()
-                    self._maybe_auto_checkpoint()
+            if commit:
+                self._maybe_auto_checkpoint()
 
     def _maybe_auto_checkpoint(self) -> None:
         if (
@@ -224,15 +270,27 @@ class FileBackend(StorageManager):
     def checkpoint(self, db) -> None:
         """Atomically replace the checkpoint and truncate the WAL.
 
-        Crash-safe ordering: artifacts and the new checkpoint are
-        written to temp files, fsynced, then renamed into place; only
-        after both renames does the WAL reset.  A crash anywhere leaves
-        either the old checkpoint + full WAL or the new checkpoint +
-        (possibly stale but superseded) WAL — both recover correctly.
+        Crash-safe ordering: artifacts and the new checkpoint — which
+        records the WAL high-water mark (``wal_lsn``) it folded in —
+        are written to temp files, fsynced, renamed into place, and
+        the containing directory fsynced; only then does the WAL
+        reset.  A crash before the rename leaves the old checkpoint +
+        full WAL; a crash between the rename and the reset leaves the
+        new checkpoint + a stale WAL whose records all sit at or below
+        the recorded high-water mark, so recovery skips them instead
+        of replaying them twice (the ``storage.checkpoint.post_rename``
+        failpoint exercises exactly this window).
+
+        Lock order is catalog -> backend, the same order the mutation
+        hooks use (they fire under the catalog write lock and then take
+        the backend lock), so a checkpoint can never deadlock against a
+        concurrent writer.
         """
-        with self._lock, obs.timed("storage.checkpoint"):
+        with db.write_lock, self._lock, obs.timed("storage.checkpoint"):
             state = db.snapshot_state()
+            wal_lsn = self._wal.last_lsn
             payload = {
+                "wal_lsn": wal_lsn,
                 "tables": state["tables"],
                 "indexes": [
                     {
@@ -262,7 +320,13 @@ class FileBackend(StorageManager):
                 lambda fh: snapshots.dump(fh, "checkpoint", payload),
             )
             self._write_manifest()
+            if faults.fire("storage.checkpoint.post_rename"):
+                raise StorageError(
+                    "injected crash between checkpoint rename and WAL "
+                    f"reset ({self.data_dir!r})"
+                )
             self._wal.reset()
+            self._checkpoint_wal_lsn = wal_lsn
             obs.incr("storage.checkpoint.completed")
 
     def _write_atomic(self, path: str, write_fn) -> None:
@@ -272,6 +336,8 @@ class FileBackend(StorageManager):
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The rename itself is durable only once the directory entry is.
+        layout.fsync_dir(os.path.dirname(path))
 
     def _write_manifest(self) -> None:
         body = json.dumps(self._manifest, indent=2, sort_keys=True)

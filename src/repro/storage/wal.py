@@ -16,9 +16,11 @@ uncommitted tail.
 Failpoints (``repro.faults``): ``storage.wal.append`` tears a record in
 half mid-write (then poisons the log — the writing process is presumed
 dead), ``storage.wal.fsync`` fires just before ``fsync`` (configure it
-with ``error=io`` to simulate a failing disk), and
-``storage.checkpoint`` aborts a checkpoint between WAL append and the
-checkpoint rename.
+with ``error=io`` to simulate a failing disk), ``storage.checkpoint``
+aborts a checkpoint between WAL append and the checkpoint rename, and
+``storage.checkpoint.post_rename`` aborts it in the window between the
+checkpoint rename and the WAL reset (recovery must then *skip* the
+stale records the new checkpoint already folded in).
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from typing import NamedTuple
 
 from repro import faults, obs
 from repro.errors import StorageError
+from repro.storage import layout
 
 _HEADER = struct.Struct("<II")
 
@@ -120,7 +123,12 @@ class WriteAheadLog:
         self.sync = sync
         self._next_lsn = next_lsn
         self._poisoned = False
+        created = not os.path.exists(path)
         self._file = open(path, "ab")
+        if created:
+            # The directory entry must be durable too, or a power loss
+            # could drop the file while later appends "committed".
+            layout.fsync_dir(os.path.dirname(path))
         self._dirty = False
 
     @classmethod
@@ -151,6 +159,22 @@ class WriteAheadLog:
     def tail_bytes(self) -> int:
         """Bytes appended since the file head (auto-checkpoint input)."""
         return self._file.tell()
+
+    @property
+    def last_lsn(self) -> int:
+        """The highest LSN handed out so far (0 = nothing appended)."""
+        return self._next_lsn - 1
+
+    def ensure_next_lsn(self, min_next: int) -> None:
+        """Raise the next LSN to at least ``min_next``.
+
+        Recovery calls this with the checkpoint's WAL high-water mark
+        + 1: LSNs must stay monotonic *across* checkpoints and process
+        restarts, or records written after a reset would sort at or
+        below the mark and be skipped by the next recovery.
+        """
+        if min_next > self._next_lsn:
+            self._next_lsn = min_next
 
     def append(self, op: str, args: tuple) -> int:
         """Append one record (buffered; durable only after commit)."""

@@ -142,6 +142,105 @@ def test_checkpoint_failpoint_preserves_previous_checkpoint(tmp_path):
     db.storage.close()
 
 
+def test_crash_between_checkpoint_rename_and_wal_reset(tmp_path):
+    db = _people_db(tmp_path)
+    for i in range(5):
+        db.insert("people", (i, f"Row{i}"))
+    faults.configure("storage.checkpoint.post_rename", count=1)
+    with pytest.raises(StorageError):
+        db.checkpoint()
+    # The surviving process may keep committing: those records carry
+    # LSNs above the checkpoint's high-water mark and must replay.
+    db.insert("people", (5, "Row5"))
+    db.storage.close()
+
+    # New checkpoint + stale untruncated WAL: recovery must skip the
+    # already-folded records instead of double-applying them (which
+    # would raise a rowid-drift StorageError and brick the directory).
+    db = open_database(str(tmp_path))
+    assert sorted(db.table("people").rows()) == [
+        (i, f"Row{i}") for i in range(6)
+    ]
+    db.storage.close()
+
+
+def test_wal_lsns_stay_monotonic_across_reopen(tmp_path):
+    db = _people_db(tmp_path)
+    db.insert("people", (1, "One"))
+    db.checkpoint()  # WAL resets; the file is now empty
+    db.storage.close()
+
+    # A fresh process would restart LSNs at 1 from the empty file; they
+    # must be bumped past the checkpoint's high-water mark or the next
+    # recovery would skip these records as "already folded in".
+    db = open_database(str(tmp_path))
+    db.insert("people", (2, "Two"))
+    db.storage.close()
+
+    db = open_database(str(tmp_path))
+    assert sorted(db.table("people").rows()) == [(1, "One"), (2, "Two")]
+    db.storage.close()
+
+
+def test_concurrent_inserts_and_checkpoints_do_not_deadlock(tmp_path):
+    import threading
+
+    db = _people_db(tmp_path, sync=False)
+    errors: list[Exception] = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for i in range(200):
+                db.insert("people", (i, f"Row{i}"))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            done.set()
+
+    def checkpointer():
+        try:
+            while not done.is_set():
+                db.checkpoint()
+            db.checkpoint()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, daemon=True),
+        threading.Thread(target=checkpointer, daemon=True),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in threads), (
+        "insert/checkpoint deadlocked (lock-order inversion)"
+    )
+    assert not errors, errors
+    db.storage.close()
+
+    db = open_database(str(tmp_path))
+    assert len(list(db.table("people").rows())) == 200
+    db.storage.close()
+
+
+def test_drop_table_clears_stats(tmp_path):
+    db = _people_db(tmp_path)
+    db.insert("people", (1, "One"))
+    assert db.analyze() > 0
+    assert db.stats.table("people") is not None
+    db.drop_table("people")
+    assert db.stats.table("people") is None
+    db.storage.close()
+
+    # The persisted stats catalog must not resurrect the dropped table
+    # (its row counts would skew the cost-based planner on a recreate).
+    db = open_database(str(tmp_path))
+    assert db.stats.table("people") is None
+    db.storage.close()
+
+
 def test_manifest_version_mismatch_refuses_to_open(tmp_path):
     db = _people_db(tmp_path)
     db.checkpoint()  # checkpoints (re)write the manifest
