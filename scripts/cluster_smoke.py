@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""CI cluster chaos smoke: shard-kill failover under concurrent load.
+
+Proves the repro.cluster availability contract on a real process tree
+(DESIGN.md §11): a router thread in this process supervises three
+shard backend *processes*, and a seeded concurrent workload keeps
+running while one shard is SIGKILLed mid-storm.  The gate asserts:
+
+* **zero wrong results** — every response is either the exact full
+  answer for its query or is *labeled*: ``degraded: true`` plus a
+  ``failed_shards`` list naming real shards, with the returned rows a
+  subset of the full answer (never garbage, never a silent subset);
+* **zero hangs** — every request resolves inside the client timeout;
+  one stuck fan-out fails the gate;
+* **recovery** — after the supervisor restarts the killed shard, an
+  uncached read returns the clean full answer again;
+* **zero leaks** — once the router drains, every shard PID ever
+  observed is gone (``os.kill(pid, 0)`` raises) and ``/dev/shm``
+  holds no new ``repro_par_*`` segments.
+
+The workload is seeded (``REPRO_CLUSTER_SEED``, default 20040314) so
+failures reproduce.  Run from the repository root::
+
+    python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SEED = int(os.environ.get("REPRO_CLUSTER_SEED", "20040314"))
+REQUESTS = int(os.environ.get("REPRO_CLUSTER_REQUESTS", "600"))
+WORKERS = int(os.environ.get("REPRO_CLUSTER_WORKERS", "8"))
+SHARDS = 3
+CLIENT_TIMEOUT = 20.0
+#: Per-request pacing.  Unthrottled, 8 workers drain the whole storm
+#: over loopback in tens of milliseconds — inside a single cache TTL
+#: window and faster than any failure can propagate, which would turn
+#: the "kill a shard mid-storm" gate into "kill a shard after the
+#: storm".  20ms/request stretches the storm across the outage.
+THROTTLE = float(os.environ.get("REPRO_CLUSTER_THROTTLE", "0.02"))
+
+LEXEQUAL_SQL = (
+    "SELECT author FROM books "
+    "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+)
+EXPECTED_AUTHORS = {"Nehru", "नेहरु", "நேரு"}
+ALL_AUTHORS = {"Nehru", "नेहरु", "நேரு", "Nero", "René", "Σαρρη"}
+ALL_TITLES = {
+    "Discovery of India", "भारत एक खोज", "ஆசிய ஜோதி",
+    "The Coronation", "Les Méditations", "Παιχνίδια στο Πιάνο",
+}
+
+
+def authors_of(result: dict) -> set:
+    return {row[0]["text"] for row in result["rows"]}
+
+
+#: (kind, full answer) — what a *clean* response must equal exactly
+#: and a *degraded* response must be a subset of.
+QUERIES = (
+    ("lexequal_sql", LEXEQUAL_SQL, EXPECTED_AUTHORS),
+    ("authors", "SELECT author FROM books", ALL_AUTHORS),
+    ("titles", "SELECT title FROM books", ALL_TITLES),
+)
+
+VALID_SHARDS = {f"shard-{i}" for i in range(SHARDS)}
+
+
+class Tally:
+    """Thread-safe outcome ledger for the request storm."""
+
+    def __init__(self, kill_after: int):
+        self.lock = threading.Lock()
+        self.clean = 0
+        self.degraded = 0
+        self.unavailable = 0
+        self.wrong: list[str] = []
+        self.processed = 0
+        self.kill_after = kill_after
+        #: set once ``kill_after`` requests have resolved — the signal
+        #: to SIGKILL the victim *mid-storm*, not before or after it.
+        self.kill_point = threading.Event()
+
+    def record(self, outcome: str, detail: str = "") -> None:
+        with self.lock:
+            if outcome == "wrong":
+                self.wrong.append(detail)
+            else:
+                setattr(self, outcome, getattr(self, outcome) + 1)
+            self.processed += 1
+            if self.processed >= self.kill_after:
+                self.kill_point.set()
+
+
+def check_response(kind: str, full: set, result: dict, tally) -> None:
+    got = (
+        {row[0] if isinstance(row[0], str) else row[0]["text"]
+         for row in result["rows"]}
+    )
+    if result.get("degraded"):
+        failed = result.get("failed_shards", [])
+        if not failed and not result.get("failed_languages"):
+            tally.record("wrong", f"{kind}: degraded but nothing named")
+        elif not set(failed) <= VALID_SHARDS:
+            tally.record("wrong", f"{kind}: bogus failed_shards {failed}")
+        elif not got <= full:
+            tally.record(
+                "wrong", f"{kind}: degraded rows not a subset: {got - full}"
+            )
+        else:
+            tally.record("degraded")
+    elif got != full:
+        tally.record("wrong", f"{kind}: clean but wrong: {got} != {full}")
+    else:
+        tally.record("clean")
+
+
+def worker(index: int, host: str, port: int, specs, tally) -> None:
+    from repro.errors import RequestFailedError, TransportError
+    from repro.server import LexEqualClient, protocol
+
+    try:
+        with LexEqualClient(host, port, timeout=CLIENT_TIMEOUT) as client:
+            for kind, sql, full in specs:
+                time.sleep(THROTTLE)
+                try:
+                    if kind == "lexequal_op":
+                        result = client.lexequal(sql[0], sql[1], 0.25)
+                        if not isinstance(result.get("match"), bool):
+                            tally.record(
+                                "wrong", f"lexequal_op: {result!r}"
+                            )
+                        else:
+                            tally.record("clean")
+                        continue
+                    check_response(
+                        kind, full, client.query(sql), tally
+                    )
+                except RequestFailedError as exc:
+                    # A structured refusal is an allowed (counted)
+                    # outcome during the outage — never a wrong answer.
+                    if exc.code == protocol.E_UNAVAILABLE:
+                        tally.record("unavailable")
+                    else:
+                        tally.record("wrong", f"{kind}: {exc}")
+    except TransportError as exc:
+        tally.record("wrong", f"worker {index} transport: {exc}")
+
+
+def main() -> int:
+    from repro.cluster import BackgroundCluster
+    from repro.server import LexEqualClient
+
+    rng = random.Random(SEED)
+    started = time.perf_counter()
+    shm_before = set(glob.glob("/dev/shm/repro_par_*"))
+
+    # Seeded request storm: hot-name skew plus full-table scans, plus
+    # matcher-only lexequal ops, pre-dealt to the workers.
+    specs: list = []
+    for _ in range(REQUESTS):
+        roll = rng.random()
+        if roll < 0.15:
+            specs.append(
+                ("lexequal_op", ("Nehru", rng.choice(["नेहरु", "Nero"])),
+                 None)
+            )
+        else:
+            specs.append(QUERIES[rng.randrange(len(QUERIES))])
+    deals = [specs[i::WORKERS] for i in range(WORKERS)]
+
+    print(
+        f"cluster smoke (seed {SEED}, {REQUESTS} requests, "
+        f"{WORKERS} workers, {SHARDS} shards)"
+    )
+    from repro.server import RetryPolicy
+
+    all_pids: set[int] = set()
+    tally = Tally(kill_after=REQUESTS // 3)
+    cluster = BackgroundCluster(
+        SHARDS,
+        supervisor_options={
+            "health_interval": 0.25,
+            # Hold the victim down ~1.5s so the storm demonstrably
+            # runs through the outage window before the restart.
+            "restart_policy": RetryPolicy(
+                max_attempts=100, base_delay=1.5,
+                multiplier=1.0, max_delay=1.5,
+            ),
+        },
+        # Near-zero TTL: the gate is about fan-outs hitting a dead
+        # shard, so almost every request must actually fan out
+        # (cache behaviour has its own tests and benchmark).
+        cache_ttl=0.05,
+    )
+    with cluster:
+        with LexEqualClient(
+            cluster.host, cluster.port, timeout=CLIENT_TIMEOUT
+        ) as control:
+            health = control.health()
+            assert health["status"] == "ok", health
+            pids = {s["name"]: s["pid"] for s in health["shards"]}
+            all_pids.update(pids.values())
+
+            threads = [
+                threading.Thread(
+                    target=worker,
+                    args=(i, cluster.host, cluster.port, deals[i], tally),
+                )
+                for i in range(WORKERS)
+            ]
+            for t in threads:
+                t.start()
+
+            # SIGKILL a seeded shard from the *outside* once a third
+            # of the storm has resolved — the supervisor must notice
+            # on its own, and the remaining two thirds run through
+            # the outage.
+            assert tally.kill_point.wait(timeout=120.0), "storm stalled"
+            victim = f"shard-{rng.randrange(SHARDS)}"
+            os.kill(pids[victim], 9)
+            print(
+                f"  SIGKILLed {victim} (pid {pids[victim]}) after "
+                f"{tally.processed} requests"
+            )
+
+            deadline = time.monotonic() + 120.0
+            for t in threads:
+                t.join(timeout=max(0.0, deadline - time.monotonic()))
+            hung = [t for t in threads if t.is_alive()]
+            assert not hung, f"{len(hung)} worker(s) hung — fan-out stuck"
+
+            assert not tally.wrong, "wrong results:\n  " + "\n  ".join(
+                tally.wrong[:20]
+            )
+            total = tally.clean + tally.degraded + tally.unavailable
+            assert total == REQUESTS, (total, REQUESTS)
+            assert tally.clean > 0, "no clean responses at all"
+            assert tally.degraded > 0, (
+                "the outage was never visible: no degraded responses"
+            )
+            print(
+                f"  storm done: {tally.clean} clean, "
+                f"{tally.degraded} degraded (labeled), "
+                f"{tally.unavailable} refused, 0 wrong, 0 hung"
+            )
+
+            # Recovery: the supervisor restarts the victim and an
+            # uncached read is clean again (cache_ttl=1s has lapsed).
+            assert cluster.supervisor.wait_all_up(timeout=60.0), (
+                "killed shard was never readmitted"
+            )
+            recovered = None
+            for _ in range(150):
+                result = control.query("SELECT author FROM books")
+                if not result.get("degraded"):
+                    recovered = result
+                    break
+                time.sleep(0.2)
+            assert recovered is not None, "cluster never healed"
+            assert authors_of(recovered) == ALL_AUTHORS, recovered
+            health = control.health()
+            assert health["status"] == "ok", health
+            all_pids.update(s["pid"] for s in health["shards"])
+            restarts = sum(s["restarts"] for s in health["shards"])
+            assert restarts >= 1, health["shards"]
+            print(
+                f"  recovered: {victim} restarted "
+                f"(ring restarts={restarts}), full answers are back"
+            )
+
+    # The drain must reap every shard process ever spawned...
+    for pid in sorted(all_pids):
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        raise AssertionError(f"leaked shard process {pid}")
+    # ...and leave no new shared-memory segments behind.
+    leaked = set(glob.glob("/dev/shm/repro_par_*")) - shm_before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+    print(
+        f"cluster smoke OK in {time.perf_counter() - started:.1f}s "
+        f"(no leaked processes, no leaked shm)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

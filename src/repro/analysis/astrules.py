@@ -21,35 +21,57 @@ from repro.analysis.findings import Finding
 
 
 class OpDrift(Rule):
-    """Protocol ops, server dispatch, client retries and docs agree."""
+    """Protocol ops, dispatchers, client retries and docs agree.
+
+    Covers both dispatchers: the single-process server *and* the
+    cluster router (which reimplements dispatch for fan-out) must each
+    handle every declared op — a new op added to one but not the other
+    would work single-process and 404 behind ``--cluster``.  The
+    degradation field names (``protocol.DEGRADED_FIELDS``) are pinned
+    the same way: each must appear as a literal in a producer (service
+    or router) and in the protocol docs.
+    """
 
     rule_id = "LEX-A001"
     name = "op-drift"
     description = (
-        "protocol.OPS, the server dispatcher, the client retry "
-        "whitelist and DESIGN.md §7 must name the same operations"
+        "protocol.OPS, the server and router dispatchers, the client "
+        "retry whitelist, protocol.DEGRADED_FIELDS producers and "
+        "DESIGN.md §7 must name the same operations and fields"
+    )
+
+    #: Names in protocol.py whose string values form DEGRADED_FIELDS.
+    DEGRADED_FIELD_CONSTANTS = (
+        "F_DEGRADED",
+        "F_FAILED_LANGUAGES",
+        "F_FAILED_SHARDS",
     )
 
     def __init__(
         self,
         protocol_file: str = "src/repro/server/protocol.py",
         server_file: str = "src/repro/server/app.py",
+        router_file: str = "src/repro/cluster/router.py",
         client_file: str = "src/repro/server/client.py",
+        service_file: str = "src/repro/server/service.py",
         design_file: str = "DESIGN.md",
         design_section: str = "## 7.",
     ):
         self.protocol_file = protocol_file
         self.server_file = server_file
+        self.router_file = router_file
         self.client_file = client_file
+        self.service_file = service_file
         self.design_file = design_file
         self.design_section = design_section
 
+    @staticmethod
     def _dispatched(
-        self, ctx: AnalysisContext
+        ctx: AnalysisContext, file: str
     ) -> dict[str, int] | None:
         """Op literal -> line of its ``op == "..."`` comparison."""
         try:
-            tree = ctx.tree(self.server_file)
+            tree = ctx.tree(file)
         except (OSError, SyntaxError):
             return None
         for node in ast.walk(tree):
@@ -103,7 +125,7 @@ class OpDrift(Rule):
         declared = tuple(declared)
         ops_line = ctx.assignment_line(self.protocol_file, "OPS")
 
-        dispatched = self._dispatched(ctx)
+        dispatched = self._dispatched(ctx, self.server_file)
         if dispatched is None:
             yield self.finding(
                 self.server_file, 1, "_dispatch method not found"
@@ -140,6 +162,30 @@ class OpDrift(Rule):
                 "dispatcher never handles",
             )
 
+        routed = self._dispatched(ctx, self.router_file)
+        if routed is None:
+            yield self.finding(
+                self.router_file, 1, "router _dispatch method not found"
+            )
+        else:
+            for op in sorted(set(routed) - set(declared)):
+                yield self.finding(
+                    self.router_file,
+                    routed[op],
+                    f"cluster router dispatches op {op!r} that is not "
+                    "declared in protocol.OPS",
+                )
+            for op in sorted(set(declared) - set(routed)):
+                yield self.finding(
+                    self.protocol_file,
+                    ops_line,
+                    f"protocol.OPS declares {op!r}, which the cluster "
+                    "router never handles (works single-process, fails "
+                    "behind --cluster)",
+                )
+
+        yield from self._check_degraded_fields(ctx)
+
         section = self._design_section_text(ctx)
         if section is None:
             yield self.finding(
@@ -157,6 +203,54 @@ class OpDrift(Rule):
                     heading_line,
                     f"op {op!r} is not documented in the protocol "
                     "section",
+                )
+
+    def _check_degraded_fields(
+        self, ctx: AnalysisContext
+    ) -> Iterable[Finding]:
+        """Degradation field names agree across protocol, producers, docs.
+
+        Each ``F_*`` constant's value must be written as a quoted
+        literal by at least one producer (the service marks
+        ``degraded``/``failed_languages``; the router marks
+        ``failed_shards``) and documented in DESIGN.md §7 — renaming
+        one side silently breaks clients keying on the old field.
+        """
+        producers = (self.service_file, self.router_file)
+        sources: dict[str, str] = {}
+        for file in producers:
+            try:
+                sources[file] = ctx.source(file)
+            except OSError:
+                yield self.finding(
+                    file, 1, "degradation producer file missing"
+                )
+        section = self._design_section_text(ctx)
+        for constant in self.DEGRADED_FIELD_CONSTANTS:
+            value = ctx.literal(self.protocol_file, constant)
+            line = ctx.assignment_line(self.protocol_file, constant)
+            if not isinstance(value, str):
+                yield self.finding(
+                    self.protocol_file,
+                    1,
+                    f"protocol.{constant} not found (degradation field "
+                    "registry is stale)",
+                )
+                continue
+            quoted = f'"{value}"'
+            if not any(quoted in src for src in sources.values()):
+                yield self.finding(
+                    self.protocol_file,
+                    line,
+                    f"degradation field {value!r} ({constant}) is never "
+                    "produced by the service or the cluster router",
+                )
+            if section is not None and f"`{value}`" not in section[0]:
+                yield self.finding(
+                    self.design_file,
+                    section[1],
+                    f"degradation field {value!r} is not documented in "
+                    "the protocol section",
                 )
 
 
@@ -245,6 +339,7 @@ METRIC_DOMAINS = frozenset(
         "accelerator",
         "btree",
         "client",
+        "cluster",
         "faults",
         "filters",
         "matching",

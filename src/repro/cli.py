@@ -356,14 +356,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.app import serve
     from repro.server.service import QueryService
 
-    matcher = LexEqualMatcher(_config_from_args(args))
-    from repro.core.integration import demo_books_db
+    if getattr(args, "cluster", 0):
+        return _serve_cluster(args)
 
-    if getattr(args, "data_dir", None):
-        service_db = _open_data_dir(args)
+    matcher = LexEqualMatcher(_config_from_args(args))
+
+    if getattr(args, "shard_index", None) is not None:
+        # Shard backend mode: spawned by the cluster supervisor, never
+        # by hand (the flags are hidden).  Serve one owned slice.
+        from repro.cluster.backend import sharded_service
+
+        service = sharded_service(
+            args.shard_index,
+            args.shard_count,
+            strategy=_resolve_strategy(args),
+            data_dir=getattr(args, "data_dir", None),
+            matcher=matcher,
+        )
     else:
-        service_db = demo_books_db(_resolve_strategy(args), matcher)
-    service = QueryService(service_db, matcher)
+        from repro.core.integration import demo_books_db
+
+        if getattr(args, "data_dir", None):
+            service_db = _open_data_dir(args)
+            meta = getattr(
+                service_db.storage, "accelerator_meta", lambda: []
+            )()
+            strategy = (
+                ",".join(sorted({e["method"] for e in meta})) or "none"
+            )
+        else:
+            strategy = _resolve_strategy(args)
+            service_db = demo_books_db(strategy, matcher)
+        service = QueryService(service_db, matcher, strategy=strategy)
 
     def ready(host: str, port: int) -> None:
         print(f"listening on {host}:{port}", flush=True)
@@ -392,6 +416,55 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         return 1
     print("server drained and stopped", flush=True)
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``serve --cluster N``: router + N supervised shard backends."""
+    import os
+
+    from repro.cluster.router import serve_cluster
+
+    shard_args: list[str] = []
+    if getattr(args, "data_dir", None):
+        shard_args += ["--data-dir", args.data_dir]
+    else:
+        shard_args += ["--strategy", _resolve_strategy(args)]
+    if args.threshold is not None:
+        shard_args += ["--threshold", str(args.threshold)]
+    if args.cost is not None:
+        shard_args += ["--cost", str(args.cost)]
+    shard_args += [
+        "--workers", str(args.workers),
+        "--max-inflight", str(args.max_inflight),
+        "--request-timeout", str(args.request_timeout),
+    ]
+    fault_injection = args.fault_injection or bool(
+        os.environ.get("REPRO_FAULT_OPS")
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"listening on {host}:{port}", flush=True)
+
+    try:
+        serve_cluster(
+            args.cluster,
+            args.host,
+            args.port,
+            shard_args=tuple(shard_args),
+            ready=ready,
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+            fault_injection=fault_injection,
+            cache_ttl=args.cache_ttl,
+        )
+    except OSError as exc:  # e.g. port already bound
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print("cluster drained and stopped", flush=True)
     return 0
 
 
@@ -452,15 +525,25 @@ def cmd_client(args: argparse.Namespace) -> int:
         if op == "stats":
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
             return 0
+        if op == "health":
+            result = client.health()
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0 if result.get("status") == "ok" else 1
     raise AssertionError(f"unhandled client op {op!r}")  # pragma: no cover
 
 
 def _warn_degraded(result: dict) -> None:
     """Surface a degraded (partial) server answer on stderr."""
     if result.get("degraded"):
-        failed = ", ".join(result.get("failed_languages", ())) or "unknown"
+        detail = []
+        languages = ", ".join(result.get("failed_languages", ()))
+        if languages:
+            detail.append(f"language(s) unavailable: {languages}")
+        shards = ", ".join(result.get("failed_shards", ()))
+        if shards:
+            detail.append(f"shard(s) unavailable: {shards}")
         print(
-            f"-- degraded result: language(s) unavailable: {failed}",
+            f"-- degraded result: {'; '.join(detail) or 'cause unknown'}",
             file=sys.stderr,
         )
 
@@ -687,6 +770,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--threshold", type=float)
     p_serve.add_argument("--cost", type=float)
+    p_serve.add_argument(
+        "--cluster", type=int, default=0, metavar="N",
+        help="cluster mode: route over N supervised shard backend "
+        "processes with health-checked failover (DESIGN.md §11)",
+    )
+    p_serve.add_argument(
+        "--cache-ttl", type=float, default=5.0,
+        help="cluster mode: router result-cache TTL in seconds "
+        "(default: 5)",
+    )
+    # Internal flags the cluster supervisor passes to shard backends;
+    # hidden because a shard is only meaningful under its supervisor.
+    p_serve.add_argument(
+        "--shard-index", type=int, default=None, help=argparse.SUPPRESS
+    )
+    p_serve.add_argument(
+        "--shard-count", type=int, default=1, help=argparse.SUPPRESS
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_client = sub.add_parser(
@@ -715,6 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc_lex.add_argument("--threshold", type=float)
     pc_lex.add_argument("--languages", help="comma-separated restriction")
     client_sub.add_parser("stats", help="server + engine metrics (JSON)")
+    client_sub.add_parser(
+        "health",
+        help="liveness/readiness probe (exit 0 only when status is ok)",
+    )
     p_client.set_defaults(func=cmd_client)
 
     p_lex = sub.add_parser("lexicon", help="lexicon utilities")

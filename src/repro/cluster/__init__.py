@@ -1,0 +1,45 @@
+"""repro.cluster: a supervised shard cluster behind one NDJSON router.
+
+The cluster splits the lexicon across N supervised shard backend
+processes (each the existing :mod:`repro.server` app over its owned
+slice, :mod:`~repro.cluster.backend`) and puts a router in front
+(:mod:`~repro.cluster.router`) that fans reads out under per-shard
+deadline budgets, merges and dedupes, labels partial answers with
+``degraded`` + ``failed_shards``, and caches hot results under a TTL
+(:mod:`~repro.cluster.cache`).  A supervisor
+(:mod:`~repro.cluster.supervisor`) health-checks the shards and
+restarts crashed or hung ones with backoff, replaying warmup before
+readmission.  DESIGN.md §11 is the architecture chapter.
+"""
+
+from repro.cluster.ring import row_key, shard_name, shard_of
+from repro.cluster.cache import ResultCache
+from repro.cluster.links import ShardLink, ShardTimeoutError
+from repro.cluster.backend import (
+    ShardedQueryService,
+    owns_row,
+    sharded_service,
+)
+from repro.cluster.supervisor import ShardHandle, ShardSupervisor
+from repro.cluster.router import (
+    BackgroundCluster,
+    ClusterRouter,
+    serve_cluster,
+)
+
+__all__ = [
+    "BackgroundCluster",
+    "ClusterRouter",
+    "ResultCache",
+    "ShardHandle",
+    "ShardLink",
+    "ShardTimeoutError",
+    "ShardSupervisor",
+    "ShardedQueryService",
+    "owns_row",
+    "row_key",
+    "serve_cluster",
+    "shard_name",
+    "shard_of",
+    "sharded_service",
+]

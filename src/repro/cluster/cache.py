@@ -1,0 +1,95 @@
+"""The router's TTL result cache for hot names.
+
+A multiscript name service sees heavily skewed traffic — the same few
+celebrity/customer names asked in every script — and a fan-out to N
+shards per repeat is pure waste.  The router caches *fully successful*
+read results (SELECT fan-outs and ``lexequal`` comparisons) under a
+TTL; degraded or partial results are never cached, so a shard outage
+cannot be frozen into the cache and served past recovery.
+
+Invalidation is write-driven and deliberately coarse: any write routed
+through the cluster flushes the whole cache (DESIGN.md §11.5).  Writes
+are rare on this workload and a full flush is the only rule that is
+obviously correct for LEXEQUAL predicates — a new row can become a
+phonetic match for *any* cached query, so per-key invalidation would
+need phonetic reasoning just to stay correct.
+
+Single-task discipline: the cache lives on the router's event loop and
+is only touched from it, so there is no lock; the monotonic clock is
+injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded TTL map from request keys to response payloads."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl: float = 5.0,
+        *,
+        clock=time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        #: key -> (expires_at, payload); insertion-ordered for eviction.
+        self._entries: dict[object, tuple[float, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            expires_at, payload = entry
+            if self._clock() < expires_at:
+                self.hits += 1
+                obs.incr("cluster.cache.hits")
+                return payload
+            del self._entries[key]
+        self.misses += 1
+        obs.incr("cluster.cache.misses")
+        return None
+
+    def put(self, key, payload: dict) -> None:
+        """Cache a payload (caller guarantees it is not degraded)."""
+        if key in self._entries:
+            # Re-insert at the back so eviction order tracks recency
+            # of writes (not strict LRU: reads don't reorder).
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = (self._clock() + self.ttl, payload)
+
+    def flush(self) -> int:
+        """Drop everything (write invalidation); returns entries lost."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += dropped
+            obs.incr("cluster.cache.invalidations", dropped)
+        return dropped
+
+    def info(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,169 @@
+"""Async NDJSON links from the router to one shard backend.
+
+A :class:`ShardLink` is a small connection pool on the router's event
+loop: each in-flight request checks out one connection (opening a new
+one when the free list is empty), writes a single request line, awaits
+the single response line under the caller's deadline, and returns the
+connection for reuse.  Anything that breaks the request/response
+framing — connect failure, reset, EOF, a deadline that fires with a
+response still owed — closes that connection instead of returning it,
+because a late response would be mis-matched to the next request.
+
+Failure taxonomy mirrors the blocking client: every transport problem
+becomes :class:`~repro.errors.TransportError` and a deadline becomes
+:class:`ShardTimeoutError` (its own type so the router can tell "shard
+too slow" from "shard unreachable" — only the latter is retried and
+only the latter trips the shard's circuit breaker toward open).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from repro import faults
+from repro.errors import ProtocolError, TransportError
+from repro.server.protocol import E_PARSE, MAX_LINE_BYTES
+
+__all__ = ["ShardLink", "ShardTimeoutError"]
+
+
+class ShardTimeoutError(TransportError):
+    """The per-shard deadline budget expired awaiting a response."""
+
+
+class ShardLink:
+    """Pooled connections to one shard process (one generation of it)."""
+
+    def __init__(self, name: str, host: str, port: int, generation: int):
+        self.name = name
+        self.host = host
+        self.port = port
+        #: The supervisor bumps the shard generation on every restart;
+        #: the router drops links whose generation is stale (the old
+        #: process — and its port — are gone).
+        self.generation = generation
+        self._ids = itertools.count(1)
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._closed = False
+
+    async def request(self, payload: dict, timeout: float) -> dict:
+        """One request/response round-trip under ``timeout`` seconds.
+
+        Returns the decoded response envelope (``{"ok": ..., ...}``).
+        Raises :class:`TransportError` (connection-level failure),
+        :class:`ShardTimeoutError` (budget expired) or
+        :class:`~repro.errors.ProtocolError` (unparseable response).
+        """
+        if self._closed:
+            raise TransportError(
+                f"link to {self.name} is closed", op=str(payload.get("op"))
+            )
+        loop = asyncio.get_running_loop()
+        if faults.is_active():
+            # Chaos hook: a latency-mode slow-shard injection sleeps in
+            # a worker thread so it stalls *this* fan-out branch, never
+            # the router's event loop.
+            def _slow_shard() -> None:
+                faults.fire("cluster.shard.slow")
+
+            await loop.run_in_executor(None, _slow_shard)
+        deadline = loop.time() + timeout
+        op = str(payload.get("op"))
+        conn = await self._checkout(op, deadline)
+        reader, writer = conn
+        request_id = next(self._ids)
+        line = json.dumps(
+            {**payload, "id": request_id}, ensure_ascii=False
+        ) + "\n"
+        try:
+            writer.write(line.encode("utf-8"))
+            await asyncio.wait_for(
+                writer.drain(), max(0.0, deadline - loop.time())
+            )
+            raw = await asyncio.wait_for(
+                reader.readline(), max(0.0, deadline - loop.time())
+            )
+        except asyncio.TimeoutError:
+            self._discard(conn)
+            raise ShardTimeoutError(
+                f"shard {self.name} exceeded its {timeout:.3f}s budget",
+                op=op,
+                request_id=request_id,
+            ) from None
+        except (OSError, ConnectionError) as exc:
+            self._discard(conn)
+            raise TransportError(
+                f"connection to shard {self.name} failed: {exc}",
+                op=op,
+                request_id=request_id,
+            ) from None
+        if not raw:
+            self._discard(conn)
+            raise TransportError(
+                f"shard {self.name} closed the connection",
+                op=op,
+                request_id=request_id,
+            )
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._discard(conn)
+            raise ProtocolError(
+                E_PARSE, f"unparseable response from shard {self.name}: {exc}"
+            ) from None
+        if not isinstance(response, dict) or "ok" not in response:
+            self._discard(conn)
+            raise ProtocolError(
+                E_PARSE,
+                f"malformed response from shard {self.name}: {response!r}",
+            )
+        if response.get("id") != request_id:
+            self._discard(conn)
+            raise ProtocolError(
+                E_PARSE,
+                f"shard {self.name} answered id {response.get('id')!r} "
+                f"to request id {request_id!r}",
+            )
+        if self._closed:
+            self._discard(conn)
+        else:
+            self._free.append(conn)
+        return response
+
+    async def _checkout(self, op: str, deadline: float):
+        while self._free:
+            conn = self._free.pop()
+            if not conn[1].is_closing():
+                return conn
+            self._discard(conn)
+        loop = asyncio.get_running_loop()
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                ),
+                max(0.0, deadline - loop.time()),
+            )
+        except asyncio.TimeoutError:
+            raise ShardTimeoutError(
+                f"connect to shard {self.name} exceeded the budget", op=op
+            ) from None
+        except (OSError, ConnectionError) as exc:
+            raise TransportError(
+                f"cannot connect to shard {self.name} at "
+                f"{self.host}:{self.port}: {exc}",
+                op=op,
+            ) from None
+
+    @staticmethod
+    def _discard(conn) -> None:
+        _, writer = conn
+        writer.close()
+
+    def close(self) -> None:
+        """Close pooled connections (in-flight ones close themselves)."""
+        self._closed = True
+        while self._free:
+            self._discard(self._free.pop())

@@ -1,0 +1,54 @@
+"""Shard ownership: which backend process owns which lexicon rows.
+
+The cluster partitions the lexicon by *name key*: the first
+:class:`~repro.minidb.values.LangText` (or string) value of a row is
+hashed with CRC-32 and reduced modulo the shard count.  CRC-32 is
+stable across Python processes and versions (unlike ``hash()``, which
+is salted per process), so the router, every shard, and offline tools
+all agree on ownership without coordination.
+
+This is deliberately *not* a consistent-hash ring with virtual nodes:
+the shard count is fixed for the lifetime of one cluster (``serve
+--cluster N``), and a crashed shard is restarted in place by the
+supervisor rather than having its keys reassigned — reassignment would
+require data movement the storage layer doesn't do yet.  What the ring
+does track is *availability*: the router asks it for the healthy
+subset and labels the unavailable remainder as ``failed_shards``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.minidb.values import LangText
+
+__all__ = ["shard_of", "row_key", "shard_name"]
+
+
+def shard_name(index: int) -> str:
+    """The stable public name of shard ``index`` (``failed_shards``)."""
+    return f"shard-{index}"
+
+
+def shard_of(key: str, shard_count: int) -> int:
+    """The shard index owning ``key`` (stable across processes)."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    return zlib.crc32(key.encode("utf-8")) % shard_count
+
+
+def row_key(row) -> str | None:
+    """The partition key of a table row, or ``None`` (unpartitioned).
+
+    The first :class:`LangText` value wins (the lexicon name column);
+    a plain string is the fallback for tables without one.  Rows with
+    no text at all — purely numeric tables — are owned by shard 0 so a
+    broadcast INSERT still lands each row exactly once.
+    """
+    fallback = None
+    for value in row:
+        if isinstance(value, LangText):
+            return value.text
+        if fallback is None and isinstance(value, str):
+            fallback = value
+    return fallback

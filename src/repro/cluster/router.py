@@ -1,0 +1,695 @@
+"""The cluster front door: fan-out, merge, degrade, cache.
+
+:class:`ClusterRouter` speaks the same NDJSON protocol as a single
+server — clients cannot tell the difference until they look at a
+``health`` payload — but executes nothing itself.  Reads fan out to
+every healthy shard under a **per-shard deadline budget** (a fraction
+of the request timeout, forwarded as the shard request's ``timeout``
+field so the PR 3 cooperative deadline machinery cancels overlong DP
+work shard-side too), results are merged and deduped, and any shard
+that could not answer is *named*: the response carries
+``degraded: true`` + ``failed_shards: [...]`` instead of silently
+returning a subset.  Writes broadcast to all shards (each
+:class:`~repro.cluster.backend.ShardedQueryService` keeps only its
+owned rows) and require the full ring — a partial write is an
+``unavailable`` error, never a silent divergence.
+
+Each shard link is wrapped in the PR 3 resilience machinery: one
+:class:`~repro.server.resilience.CircuitBreaker` per shard (so a dead
+shard costs one fast-fail, not a connect timeout, per request) and a
+:class:`~repro.server.resilience.RetryPolicy` applied only to
+*idempotent* calls (reads; never broadcast writes) and only within the
+shard's deadline budget.
+
+Hot names hit the TTL :class:`~repro.cluster.cache.ResultCache`
+instead of the ring; see its module docstring for the invalidation
+rules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import faults, obs
+from repro.errors import (
+    CircuitOpenError,
+    ProtocolError,
+    ServerError,
+    TransportError,
+)
+from repro.minidb.expr import contains_aggregate
+from repro.minidb.sql import AnalyzeStmt, ExplainStmt, InsertStmt, SelectStmt
+from repro.server import protocol
+from repro.server.app import LexEqualServer, serve_async
+from repro.server.cache import StatementCache
+from repro.server.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.server.service import QueryService
+
+from repro.cluster.cache import ResultCache
+from repro.cluster.links import ShardLink, ShardTimeoutError
+from repro.cluster.supervisor import ShardSupervisor
+
+__all__ = ["BackgroundCluster", "ClusterRouter", "serve_cluster"]
+
+
+class _RouterLocalService:
+    """The router's stand-in for a :class:`QueryService`.
+
+    The router owns no database; the only service behaviour it reuses
+    is the ``faults`` op (the failpoint registry is process-global).
+    """
+
+    faults_op = staticmethod(QueryService.faults_op)
+
+
+@dataclass
+class _ShardOutcome:
+    """One shard's contribution to a fan-out."""
+
+    index: int
+    name: str
+    ok: bool
+    result: dict | None = None
+    reason: str | None = None
+    message: str | None = None
+
+
+class ClusterRouter(LexEqualServer):
+    """An NDJSON front router over one :class:`ShardSupervisor`."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        *,
+        request_timeout: float | None = 30.0,
+        drain_timeout: float = 10.0,
+        fault_injection: bool = False,
+        shard_budget: float = 0.8,
+        cache_ttl: float = 5.0,
+        cache_entries: int = 1024,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+        rng: random.Random | None = None,
+    ):
+        super().__init__(
+            _RouterLocalService(),
+            host,
+            port,
+            max_workers=1,  # the router never runs CPU work itself
+            max_inflight=1,
+            request_timeout=request_timeout,
+            drain_timeout=drain_timeout,
+            fault_injection=fault_injection,
+        )
+        if not 0.0 < shard_budget <= 1.0:
+            raise ValueError(
+                f"shard_budget must be in (0, 1], got {shard_budget}"
+            )
+        self.supervisor = supervisor
+        self.request_timeout = request_timeout or 30.0
+        #: Fraction of the request timeout each shard may spend; the
+        #: remainder is the router's own margin for merging and retries.
+        self.shard_budget = shard_budget
+        self.cache = ResultCache(cache_entries, cache_ttl)
+        self.retry = retry or RetryPolicy(
+            max_attempts=3, base_delay=0.02, multiplier=2.0, max_delay=0.25
+        )
+        self._breaker_policy = breaker or BreakerPolicy(
+            failure_threshold=5, reset_timeout=1.0
+        )
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._links: dict[int, ShardLink] = {}
+        self._rng = rng or random.Random()
+        self._round_robin = itertools.count()
+        self.statements = StatementCache(256)
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def shutdown(self) -> None:
+        """Router-aware drain (DESIGN.md §11.4).
+
+        1. the base drain closes the listener *first*, then waits for
+           in-flight fan-outs to write their responses;
+        2. shard links are closed;
+        3. drain is forwarded to every shard: the supervisor SIGTERMs
+           them (their own graceful drain) and reaps every process, so
+           a router exit never leaks shard processes.
+        """
+        await super().shutdown()
+        for link in self._links.values():
+            link.close()
+        self._links.clear()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.supervisor.stop)
+
+    def info(self) -> dict:
+        info = super().info()
+        info["role"] = "router"
+        info["shards"] = self.supervisor.info()
+        info["cache"] = self.cache.info()
+        return info
+
+    # ------------------------------------------------------------ dispatch
+
+    async def _dispatch(self, session, request: dict):
+        op = request["op"]
+        if op == "ping":
+            return "pong"
+        if op == "health":
+            return self._health()
+        if op == "stats":
+            return self._stats()
+        if op == "faults":
+            if not self.fault_injection:
+                raise ProtocolError(
+                    protocol.E_INVALID,
+                    "fault injection is disabled on this router "
+                    "(start with --fault-injection)",
+                )
+            return self.service.faults_op(request)
+        if op == "prepare":
+            sql = protocol.require_str(request, "sql")
+            self.statements.statement(sql)  # fail fast on bad SQL
+            return {"statement": session.prepare(sql, request.get("name"))}
+        timeout = request.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise ProtocolError(
+                protocol.E_INVALID, "'timeout' must be a number"
+            )
+        if op == "query":
+            sql = protocol.require_str(request, "sql")
+            params = protocol.optional_params(request)
+            return await self._run_sql(sql, params, timeout)
+        if op == "execute":
+            name = protocol.require_str(request, "statement")
+            sql = session.prepared_sql(name)
+            params = protocol.optional_params(request)
+            return await self._run_sql(sql, params, timeout)
+        if op == "lexequal":
+            return await self._lexequal(request, timeout)
+        raise ProtocolError(  # pragma: no cover - decode_request guards
+            protocol.E_UNKNOWN_OP, f"unknown op {op!r}"
+        )
+
+    # -------------------------------------------------------------- health
+
+    def _health(self) -> dict:
+        shards = self.supervisor.info()
+        up = sum(1 for s in shards if s["state"] == "up")
+        if up == len(shards):
+            status = "ok"
+        elif up:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "role": "router",
+            "uptime_seconds": (
+                time.monotonic() - self._started if self._started else 0.0
+            ),
+            "in_flight": self._active_requests,
+            "strategy": "cluster",
+            "wal_lsn": None,
+            "shard": None,
+            "shards": shards,
+            "cache": self.cache.info(),
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "server": self.info(),
+            "statement_cache": self.statements.info(),
+            "cluster": {
+                "shards": self.supervisor.info(),
+                "cache": self.cache.info(),
+                "breakers": {
+                    b.name: b.info() for b in self._breakers.values()
+                },
+            },
+            "faults": faults.describe(),
+            "metrics": obs.snapshot(),
+        }
+
+    # ------------------------------------------------------------ SQL path
+
+    def _budget(self, timeout: float | None) -> float:
+        total = (
+            float(timeout)
+            if timeout is not None and timeout > 0
+            else self.request_timeout
+        )
+        return max(0.05, total * self.shard_budget)
+
+    async def _run_sql(
+        self, sql: str, params: dict, timeout: float | None
+    ) -> dict:
+        stmt = self.statements.statement(sql)
+        budget = self._budget(timeout)
+        if isinstance(stmt, (SelectStmt, ExplainStmt)):
+            self._check_mergeable(stmt)
+            key = ("sql", sql, json.dumps(params, sort_keys=True))
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            payload = {"op": "query", "sql": sql}
+            if params:
+                payload["params"] = params
+            merged, clean = await self._fan_out_read(payload, budget)
+            if clean:
+                self.cache.put(key, merged)
+            return merged
+        return await self._broadcast_write(stmt, sql, params, budget)
+
+    @staticmethod
+    def _check_mergeable(stmt) -> None:
+        """Reject reads whose shard results cannot be merged by union.
+
+        Concatenation+dedup is only correct for plain (optionally
+        DISTINCT) selections; cross-shard aggregation, ordering and
+        limiting would need a merge executor the router does not have
+        (DESIGN.md §11.3 documents the boundary).
+        """
+        select = stmt.query if isinstance(stmt, ExplainStmt) else stmt
+        unmergeable = (
+            select.group_by
+            or select.having is not None
+            or select.order_by
+            or select.limit is not None
+            or any(
+                item.expr is not None and contains_aggregate(item.expr)
+                for item in select.items
+            )
+        )
+        if unmergeable:
+            raise ProtocolError(
+                protocol.E_SQL,
+                "aggregates, GROUP BY, ORDER BY and LIMIT are not "
+                "supported in cluster mode (results merge by union)",
+            )
+
+    async def _fan_out_read(
+        self, payload: dict, budget: float
+    ) -> tuple[dict, bool]:
+        obs.incr("cluster.fanouts")
+        shards = self.supervisor.shards
+        up = [s for s in shards if s.state == "up"]
+        down = [s.name for s in shards if s.state != "up"]
+        for _ in down:
+            obs.incr("cluster.shard.failures")
+        outcomes = list(
+            await asyncio.gather(
+                *(
+                    self._call_shard(s, payload, budget, retryable=True)
+                    for s in up
+                )
+            )
+        )
+        outcomes.sort(key=lambda o: o.index)
+        return self._merge_read(outcomes, down)
+
+    def _merge_read(
+        self, outcomes: list[_ShardOutcome], down: list[str]
+    ) -> tuple[dict, bool]:
+        failed = sorted(
+            down + [o.name for o in outcomes if not o.ok]
+        )
+        oks = [o for o in outcomes if o.ok]
+        if not oks:
+            raise ProtocolError(
+                protocol.E_UNAVAILABLE,
+                "no shard could answer "
+                f"(failed shards: {', '.join(failed) or 'none up'})",
+            )
+        first = oks[0].result or {}
+        if "columns" in first:
+            rows: list = []
+            seen: set[str] = set()
+            for outcome in oks:
+                for row in (outcome.result or {}).get("rows", ()):
+                    key = json.dumps(row, ensure_ascii=False)
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+            payload = {
+                "columns": first.get("columns", []),
+                "rows": rows,
+                "row_count": len(rows),
+            }
+        else:
+            payload = {
+                "row_count": sum(
+                    int((o.result or {}).get("row_count", 0)) for o in oks
+                )
+            }
+        failed_languages: set[str] = set()
+        shard_degraded = False
+        for outcome in oks:
+            result = outcome.result or {}
+            if result.get("degraded"):
+                shard_degraded = True
+            failed_languages.update(result.get("failed_languages", ()))
+        if failed_languages:
+            payload["failed_languages"] = sorted(failed_languages)
+        if failed:
+            payload["failed_shards"] = failed
+        clean = not failed and not failed_languages and not shard_degraded
+        if not clean:
+            payload["degraded"] = True
+            obs.incr("cluster.degraded_responses")
+        return payload, clean
+
+    async def _broadcast_write(
+        self, stmt, sql: str, params: dict, budget: float
+    ) -> dict:
+        shards = self.supervisor.shards
+        down = [s.name for s in shards if s.state != "up"]
+        if down:
+            # Refuse before touching any shard: a write applied to a
+            # partial ring silently loses the down shards' rows.
+            raise ProtocolError(
+                protocol.E_UNAVAILABLE,
+                f"write requires every shard up; down: {', '.join(down)}",
+            )
+        payload = {"op": "query", "sql": sql}
+        if params:
+            payload["params"] = params
+        obs.incr("cluster.fanouts")
+        outcomes = list(
+            await asyncio.gather(
+                *(
+                    self._call_shard(s, payload, budget, retryable=False)
+                    for s in shards
+                )
+            )
+        )
+        # The ring may have diverged whatever happened: drop cached
+        # reads before reporting success *or* failure.
+        self.cache.flush()
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            detail = "; ".join(
+                f"{o.name}: {o.message or o.reason}" for o in failures
+            )
+            raise ProtocolError(
+                protocol.E_UNAVAILABLE,
+                f"write failed on {len(failures)} shard(s): {detail}",
+            )
+        counts = [int((o.result or {}).get("row_count", 0)) for o in outcomes]
+        if isinstance(stmt, InsertStmt):
+            # Each shard kept only its owned rows: counts are disjoint.
+            row_count = sum(counts)
+        elif isinstance(stmt, AnalyzeStmt):
+            row_count = max(counts) if counts else 0
+        else:
+            # DDL applies identically everywhere; report one copy.
+            row_count = counts[0] if counts else 0
+        return {"row_count": row_count}
+
+    # ------------------------------------------------------- lexequal path
+
+    async def _lexequal(self, request: dict, timeout: float | None) -> dict:
+        left = protocol.require_str(request, "left")
+        right = protocol.require_str(request, "right")
+        threshold = request.get("threshold")
+        languages = request.get("languages", "")
+        if isinstance(languages, list):
+            languages = ",".join(str(lang) for lang in languages)
+        key = ("lexequal", left, right, threshold, languages)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        payload = {"op": "lexequal", "left": left, "right": right}
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if languages:
+            payload["languages"] = languages
+        budget = self._budget(timeout)
+        up = self.supervisor.healthy()
+        if not up:
+            raise ProtocolError(
+                protocol.E_UNAVAILABLE, "no shard is up to answer lexequal"
+            )
+        # A comparison is shard-independent (matcher-only): round-robin
+        # for load spread, fail over through the rest of the ring.
+        start = next(self._round_robin) % len(up)
+        failures: list[_ShardOutcome] = []
+        for offset in range(len(up)):
+            shard = up[(start + offset) % len(up)]
+            outcome = await self._call_shard(
+                shard, payload, budget, retryable=True
+            )
+            if outcome.ok:
+                result = outcome.result or {}
+                if not result.get("degraded"):
+                    self.cache.put(key, result)
+                return result
+            failures.append(outcome)
+        detail = "; ".join(f"{o.name}: {o.reason}" for o in failures)
+        raise ProtocolError(
+            protocol.E_UNAVAILABLE,
+            f"lexequal failed on every healthy shard ({detail})",
+        )
+
+    # ------------------------------------------------------------ one call
+
+    def _link(self, shard) -> ShardLink | None:
+        generation, host, port = shard.generation, shard.host, shard.port
+        if host is None or port is None:
+            return None
+        link = self._links.get(shard.index)
+        if (
+            link is None
+            or link.generation != generation
+            or link.host != host
+            or link.port != port
+        ):
+            if link is not None:
+                link.close()
+            link = ShardLink(shard.name, host, port, generation)
+            self._links[shard.index] = link
+        return link
+
+    async def _call_shard(
+        self, shard, payload: dict, budget: float, *, retryable: bool
+    ) -> _ShardOutcome:
+        """One shard's slice of a fan-out, inside its deadline budget.
+
+        Retries (transport faults and structured ``overloaded``
+        rejects) are idempotency-aware — never for broadcast writes —
+        and always bounded by the *same* budget: retrying must not let
+        one shard blow the fan-out's tail latency.
+        """
+        breaker = self._breakers.get(shard.index)
+        if breaker is None:
+            breaker = CircuitBreaker(shard.name, self._breaker_policy)
+            self._breakers[shard.index] = breaker
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        max_attempts = self.retry.max_attempts if retryable else 1
+        attempt = 1
+        while True:
+            try:
+                breaker.allow()
+            except CircuitOpenError:
+                obs.incr("cluster.shard.failures")
+                return _ShardOutcome(
+                    shard.index, shard.name, False, reason="breaker_open"
+                )
+            link = self._link(shard)
+            remaining = deadline - loop.time()
+            if link is None or remaining <= 0:
+                obs.incr("cluster.shard.failures")
+                return _ShardOutcome(
+                    shard.index,
+                    shard.name,
+                    False,
+                    reason="timeout" if link is not None else "no_address",
+                )
+            # Forward the remaining budget as the shard request's
+            # cooperative deadline: the shard's pool anchors it at
+            # admission and DP kernels poll it between rows.
+            request = {**payload, "timeout": remaining}
+            try:
+                envelope = await link.request(request, remaining)
+            except ShardTimeoutError:
+                breaker.record_failure()
+                obs.incr("cluster.shard.failures")
+                return _ShardOutcome(
+                    shard.index, shard.name, False, reason="timeout"
+                )
+            except TransportError:
+                breaker.record_failure()
+                obs.incr("cluster.shard.transport_errors")
+                if retryable and attempt < max_attempts:
+                    delay = min(
+                        self.retry.backoff(attempt, self._rng),
+                        max(0.0, deadline - loop.time()),
+                    )
+                    if loop.time() + delay < deadline:
+                        await asyncio.sleep(delay)
+                        attempt += 1
+                        continue
+                obs.incr("cluster.shard.failures")
+                return _ShardOutcome(
+                    shard.index, shard.name, False, reason="transport"
+                )
+            except ProtocolError:
+                breaker.record_failure()
+                obs.incr("cluster.shard.failures")
+                return _ShardOutcome(
+                    shard.index, shard.name, False, reason="protocol"
+                )
+            breaker.record_success()
+            if envelope.get("ok"):
+                return _ShardOutcome(
+                    shard.index,
+                    shard.name,
+                    True,
+                    result=envelope.get("result"),
+                )
+            error = envelope.get("error") or {}
+            code = str(error.get("code", "unknown"))
+            if (
+                retryable
+                and code == protocol.E_OVERLOADED
+                and attempt < max_attempts
+            ):
+                delay = min(
+                    self.retry.backoff(attempt, self._rng),
+                    max(0.0, deadline - loop.time()),
+                )
+                if loop.time() + delay < deadline:
+                    await asyncio.sleep(delay)
+                    attempt += 1
+                    continue
+            obs.incr("cluster.shard.failures")
+            return _ShardOutcome(
+                shard.index,
+                shard.name,
+                False,
+                reason=f"error:{code}",
+                message=str(error.get("message", "")),
+            )
+
+
+# ------------------------------------------------------------ entrypoints
+
+
+def serve_cluster(
+    shard_count: int,
+    host: str = "127.0.0.1",
+    port: int = protocol.DEFAULT_PORT,
+    *,
+    shard_args: tuple[str, ...] = (),
+    ready=None,
+    supervisor_options: dict | None = None,
+    **router_options,
+) -> None:
+    """Blocking entrypoint: spawn shards, route until SIGTERM, drain."""
+    supervisor = ShardSupervisor(
+        shard_count, shard_args=shard_args, **(supervisor_options or {})
+    )
+    supervisor.start()
+    try:
+        router = ClusterRouter(supervisor, host, port, **router_options)
+        asyncio.run(serve_async(router, ready=ready))
+    finally:
+        # Normally already stopped by ClusterRouter.shutdown; this is
+        # the bind-failure path (never leak shard processes).
+        supervisor.stop()
+
+
+class BackgroundCluster:
+    """A whole cluster (router thread + shard processes) for tests.
+
+    Mirrors :class:`~repro.server.app.BackgroundServer`: exiting the
+    context performs the router's graceful drain, which SIGTERMs and
+    reaps every shard process.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 3,
+        *,
+        shard_args: tuple[str, ...] = (),
+        supervisor_options: dict | None = None,
+        **router_options,
+    ):
+        self.shard_count = shard_count
+        self.shard_args = tuple(shard_args)
+        self.supervisor_options = dict(supervisor_options or {})
+        self.router_options = router_options
+        self.supervisor: ShardSupervisor | None = None
+        self.router: ClusterRouter | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "BackgroundCluster":
+        self.supervisor = ShardSupervisor(
+            self.shard_count,
+            shard_args=self.shard_args,
+            **self.supervisor_options,
+        )
+        self.supervisor.start()
+        self.router = ClusterRouter(
+            self.supervisor, "127.0.0.1", 0, **self.router_options
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="lexequal-router", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self.port is None:
+            self.supervisor.stop()
+            raise ServerError("background cluster failed to start")
+        return self
+
+    def _run(self) -> None:
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+
+            def ready(host, port):
+                self.host, self.port = host, port
+                self._ready.set()
+
+            try:
+                await serve_async(self.router, ready=ready, stop=self._stop)
+            finally:
+                self._ready.set()  # unblock start() on bind failure
+
+        asyncio.run(main())
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        if self.supervisor is not None:
+            self.supervisor.stop()  # idempotent backstop
+
+    def __enter__(self) -> "BackgroundCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,405 @@
+"""The shard supervisor: spawn, health-check, restart, reap.
+
+One supervisor owns N shard backend processes (``repro.cli serve
+--shard-index i --shard-count N``) for the lifetime of a cluster.  Its
+monitor thread ticks every ``health_interval`` seconds and, per shard:
+
+* reaps **crashed** processes (``poll()``) and schedules a restart with
+  exponential backoff + full jitter (strikes reset once the shard
+  passes a health check, so a flapping shard backs off while a one-off
+  crash restarts almost immediately);
+* probes **liveness** through the protocol's ``health`` op — a cheap
+  op answered inline on the shard's event loop, so a shard whose
+  worker pool is wedged still answers, while a *hung* process (stuck
+  loop, blackholed network) misses checks and is SIGKILLed after
+  ``health_misses`` consecutive failures, then restarted;
+* evaluates the chaos failpoints: ``cluster.shard.kill`` SIGKILLs a
+  healthy shard (the chaos harness's scripted crash) and
+  ``cluster.health.blackhole`` makes a probe count as missed without
+  touching the process (testing the hung-shard path).
+
+A restarted shard repeats full warmup — demo build or data-dir
+recovery including accelerator attach (:mod:`repro.cluster.backend`)
+— before it binds its port, and the supervisor additionally requires
+one successful ``health`` round-trip before readmitting it to the
+ring, so the router never fans out to a shard that cannot answer.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+
+from repro import faults, obs
+from repro.errors import ReproError, ServerError
+from repro.server.client import LexEqualClient
+from repro.server.resilience import RetryPolicy
+
+from repro.cluster import ring
+
+__all__ = ["ShardHandle", "ShardSupervisor"]
+
+#: Backoff strikes are capped so a long outage cannot push the restart
+#: delay past ``restart_policy.max_delay`` anyway, but the exponent
+#: stays small enough to never overflow.
+_MAX_STRIKES = 8
+
+
+class ShardHandle:
+    """Mutable supervisor-side state of one shard slot."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.name = ring.shard_name(index)
+        self.state = "down"  # down | starting | up
+        self.generation = 0
+        self.process: subprocess.Popen | None = None
+        self.pid: int | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self.restarts = 0
+        self.strikes = 0  # consecutive failures feeding backoff
+        self.health_failures = 0  # consecutive missed probes
+        self.restart_at = 0.0
+        self.started_at = 0.0
+        self.spawning = False
+        self.last_error: str | None = None
+
+    def info(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "generation": self.generation,
+            "pid": self.pid,
+            "address": (
+                f"{self.host}:{self.port}" if self.port is not None else None
+            ),
+            "restarts": self.restarts,
+            "health_failures": self.health_failures,
+            "last_error": self.last_error,
+        }
+
+
+class ShardSupervisor:
+    """Spawns and babysits the shard backends of one cluster."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        shard_args: tuple[str, ...] = (),
+        health_interval: float = 0.5,
+        health_timeout: float = 2.0,
+        health_misses: int = 3,
+        startup_timeout: float = 60.0,
+        restart_policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+        self.shard_args = tuple(shard_args)
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
+        self.health_misses = health_misses
+        self.startup_timeout = startup_timeout
+        self.restart_policy = restart_policy or RetryPolicy(
+            max_attempts=2, base_delay=0.2, multiplier=2.0, max_delay=5.0
+        )
+        self._rng = rng or random.Random()
+        self.shards = [ShardHandle(i) for i in range(shard_count)]
+        self._lock = threading.RLock()
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Spawn every shard and wait until all are up (or fail)."""
+        self._stopping.clear()
+        threads = [
+            threading.Thread(
+                target=self._spawn, args=(shard,), daemon=True
+            )
+            for shard in self.shards
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(self.startup_timeout)
+        failed = [s.name for s in self.shards if s.state != "up"]
+        if failed:
+            errors = "; ".join(
+                f"{s.name}: {s.last_error}"
+                for s in self.shards
+                if s.state != "up" and s.last_error
+            )
+            self.stop()
+            raise ServerError(
+                f"cluster failed to start, shards not up: "
+                f"{', '.join(failed)}" + (f" ({errors})" if errors else "")
+            )
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="shard-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Forward drain: SIGTERM every shard, reap, SIGKILL stragglers."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=self.health_interval * 4 + 1.0)
+            self._monitor = None
+        with self._lock:
+            procs = [
+                (shard, shard.process)
+                for shard in self.shards
+                if shard.process is not None
+            ]
+        for _, proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for shard, proc in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+                shard.last_error = "killed at shutdown (drain timeout)"
+            shard.state = "down"
+
+    # ------------------------------------------------------------- queries
+
+    def healthy(self) -> list[ShardHandle]:
+        """Shards currently admitted to the ring (state ``up``)."""
+        return [shard for shard in self.shards if shard.state == "up"]
+
+    def live_pids(self) -> list[int]:
+        """PIDs of shard processes that are currently running."""
+        with self._lock:
+            return [
+                shard.process.pid
+                for shard in self.shards
+                if shard.process is not None
+                and shard.process.poll() is None
+            ]
+
+    def info(self) -> list[dict]:
+        return [shard.info() for shard in self.shards]
+
+    def wait_all_up(self, timeout: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(shard.state == "up" for shard in self.shards):
+                return True
+            time.sleep(0.05)
+        return all(shard.state == "up" for shard in self.shards)
+
+    def kill_shard(self, index: int) -> int | None:
+        """SIGKILL one shard (chaos/testing); returns the killed PID."""
+        shard = self.shards[index]
+        with self._lock:
+            proc = shard.process
+        if proc is None or proc.poll() is not None:
+            return None
+        obs.incr("cluster.shard.kills")
+        proc.kill()
+        return proc.pid
+
+    # ------------------------------------------------------------ spawning
+
+    def _spawn(self, shard: ShardHandle) -> None:
+        """Start one shard process and admit it once provably healthy."""
+        with self._lock:
+            if self._stopping.is_set():
+                shard.spawning = False
+                return
+            shard.generation += 1
+            generation = shard.generation
+            shard.state = "starting"
+            shard.started_at = time.monotonic()
+            shard.health_failures = 0
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--shard-index",
+                str(shard.index),
+                "--shard-count",
+                str(self.shard_count),
+                *self.shard_args,
+            ]
+            try:
+                proc = subprocess.Popen(
+                    cmd,
+                    stdout=subprocess.PIPE,
+                    stderr=None,  # shard tracebacks go to our stderr
+                    text=True,
+                    encoding="utf-8",
+                    env=self._shard_env(),
+                )
+            except OSError as exc:
+                self._mark_down(shard, f"spawn failed: {exc}")
+                shard.spawning = False
+                return
+            shard.process = proc
+            shard.pid = proc.pid
+        address = None
+        for line in proc.stdout:
+            if line.startswith("listening on "):
+                host, _, port = line[len("listening on "):].strip().rpartition(
+                    ":"
+                )
+                address = (host, int(port))
+                break
+        if address is None:
+            # stdout closed: the process died during warmup.
+            proc.wait()
+            self._mark_down(
+                shard, f"exited with {proc.returncode} before binding"
+            )
+            shard.spawning = False
+            return
+        threading.Thread(
+            target=_drain_stdout, args=(proc.stdout,), daemon=True
+        ).start()
+        if not self._probe(address):
+            proc.kill()
+            proc.wait()
+            self._mark_down(shard, "failed readmission health check")
+            shard.spawning = False
+            return
+        with self._lock:
+            shard.spawning = False
+            if shard.generation != generation or self._stopping.is_set():
+                return
+            shard.host, shard.port = address
+            shard.state = "up"
+            shard.last_error = None
+            obs.incr("cluster.shard.ready")
+
+    def _shard_env(self) -> dict:
+        env = os.environ.copy()
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        src_root = os.path.dirname(src_root)  # .../src
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+        return env
+
+    def _probe(self, address: tuple[str, int]) -> bool:
+        host, port = address
+        try:
+            with LexEqualClient(
+                host, port, timeout=self.health_timeout
+            ) as client:
+                return client.health().get("status") == "ok"
+        except ReproError:
+            return False
+
+    def _mark_down(self, shard: ShardHandle, reason: str) -> None:
+        with self._lock:
+            shard.state = "down"
+            shard.last_error = reason
+            shard.strikes = min(shard.strikes + 1, _MAX_STRIKES)
+            delay = self.restart_policy.backoff(shard.strikes, self._rng)
+            shard.restart_at = time.monotonic() + delay
+        obs.incr("cluster.shard.exits")
+
+    # ----------------------------------------------------------- monitoring
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval):
+            for shard in self.shards:
+                if self._stopping.is_set():
+                    return
+                try:
+                    self._tick(shard)
+                except Exception as exc:  # noqa: BLE001 - keep monitoring
+                    shard.last_error = f"monitor error: {exc}"
+                    obs.incr("cluster.supervisor.errors")
+
+    def _tick(self, shard: ShardHandle) -> None:
+        proc = shard.process
+        if (
+            shard.state in ("up", "starting")
+            and proc is not None
+            and proc.poll() is not None
+            and not shard.spawning
+        ):
+            self._mark_down(shard, f"exited with {proc.returncode}")
+            return
+        if shard.state == "up":
+            if faults.fire("cluster.shard.kill"):
+                # Injected crash: SIGKILL now, the next tick reaps it
+                # and schedules the restart like any real crash.
+                obs.incr("cluster.shard.kills")
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                return
+            obs.incr("cluster.health.checks")
+            blackholed = faults.fire("cluster.health.blackhole")
+            ok = (
+                False
+                if blackholed
+                else self._probe((shard.host, shard.port))
+            )
+            if ok:
+                shard.health_failures = 0
+                shard.strikes = 0
+                return
+            shard.health_failures += 1
+            obs.incr("cluster.health.failures")
+            if shard.health_failures >= self.health_misses:
+                # Hung (or blackholed) shard: crash it deliberately so
+                # the restart path can bring back a responsive one.
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+                self._mark_down(
+                    shard,
+                    f"missed {shard.health_failures} health checks",
+                )
+            return
+        if shard.state == "starting" and not shard.spawning:
+            # A starting shard only lingers here when its spawn thread
+            # died unexpectedly; treat as failed.
+            if time.monotonic() - shard.started_at > self.startup_timeout:
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                self._mark_down(shard, "startup timed out")
+            return
+        if (
+            shard.state == "down"
+            and not shard.spawning
+            and time.monotonic() >= shard.restart_at
+        ):
+            shard.spawning = True
+            shard.restarts += 1
+            obs.incr("cluster.shard.restarts")
+            threading.Thread(
+                target=self._spawn, args=(shard,), daemon=True
+            ).start()
+
+
+def _drain_stdout(stream) -> None:
+    """Keep reading a shard's stdout so it can never block on the pipe."""
+    try:
+        for _ in stream:
+            pass
+    except (OSError, ValueError):
+        pass

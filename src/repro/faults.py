@@ -107,6 +107,9 @@ ERROR_KINDS = {
 #: directions, so a renamed or added site cannot silently drift.
 FAILPOINTS = frozenset(
     {
+        "cluster.health.blackhole",
+        "cluster.shard.kill",
+        "cluster.shard.slow",
         "matching.bktree.search",
         "matching.qgrams.filter",
         "pool.admit",

@@ -284,6 +284,10 @@ class LexEqualServer:
         service = self.service
         if op == "ping":
             return "pong"
+        if op == "health":
+            # Inline on the loop: the supervisor's health checks must
+            # answer even when every worker slot is busy.
+            return service.health(self.info())
         if op == "stats":
             return service.stats(self.info())
         if op == "faults":

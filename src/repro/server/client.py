@@ -40,7 +40,7 @@ Resilience is opt-in and explicit::
     )
 
 With a retry policy, transport faults on *idempotent* ops (``ping``,
-``query``, ``lexequal``, ``stats``, ``faults``) reconnect and retry
+``query``, ``lexequal``, ``stats``, ``faults``, ``health``) reconnect and retry
 with exponential backoff + full jitter; ``prepare`` is never blindly
 retried (re-running it could silently rebind a name), and ``execute``
 is not transport-retried either — a reconnect starts a fresh session
@@ -73,7 +73,9 @@ from repro.server.resilience import (
 
 #: Ops safe to retry over a *new* connection: stateless on the server
 #: (no session-scoped effects), so a replay cannot corrupt anything.
-RETRYABLE_OPS = frozenset({"ping", "query", "lexequal", "stats", "faults"})
+RETRYABLE_OPS = frozenset(
+    {"ping", "query", "lexequal", "stats", "faults", "health"}
+)
 
 #: Structured error codes that are safe to retry for any op: they are
 #: raised at admission, before the request executed.
@@ -291,6 +293,10 @@ class LexEqualClient:
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def health(self) -> dict:
+        """The ``health`` probe (shared by supervisor and CLI)."""
+        return self.request("health")
 
     def faults(self, action: str = "list", **fields: Any) -> dict:
         """Drive the server's fault-injection registry (chaos tooling)."""

@@ -24,6 +24,7 @@ not just that it did.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 
@@ -83,11 +84,18 @@ class BreakerPolicy:
 
 
 class CircuitBreaker:
-    """Closed → open → half-open breaker for one endpoint (op).
+    """Closed → open → half-open breaker for one endpoint (op or shard).
 
-    Not thread-safe by design: the blocking client holds one breaker
-    per op and issues one request at a time; concurrent load generators
-    use one client (hence one breaker board) per thread.
+    Thread-safe: the blocking client issues one request at a time, but
+    the cluster router shares one breaker per *shard* across many
+    concurrent fan-outs (and benchmark load generators race breakers
+    deliberately).  All state lives behind one lock, and half-open
+    admits **exactly one probe**: concurrent :meth:`allow` calls while
+    the probe is in flight fail fast with
+    :class:`~repro.errors.CircuitOpenError`.  The probe permit is
+    released by whichever of :meth:`record_success` /
+    :meth:`record_failure` resolves it, so a failed probe re-opens the
+    circuit without stranding other callers' permit accounting.
     """
 
     def __init__(
@@ -100,14 +108,18 @@ class CircuitBreaker:
         self.name = name
         self.policy = policy or BreakerPolicy()
         self._clock = clock
+        self._lock = threading.Lock()
         self.state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
+        #: True while the single half-open probe is in flight.
+        self._probe_in_flight = False
         self._transitions: dict[str, int] = {}
 
     # ------------------------------------------------------------ states
 
     def _transition(self, new_state: str) -> None:
+        # Caller holds self._lock.
         if new_state == self.state:
             return
         key = f"{self.state}->{new_state}"
@@ -119,46 +131,62 @@ class CircuitBreaker:
         """Gate one call; raises :class:`CircuitOpenError` when open.
 
         An open breaker whose ``reset_timeout`` has elapsed moves to
-        half-open and lets this call through as the probe.
+        half-open and lets exactly one call through as the probe; other
+        callers keep failing fast until the probe resolves.
         """
-        if self.state == OPEN:
-            elapsed = self._clock() - (self._opened_at or 0.0)
-            if elapsed < self.policy.reset_timeout:
-                obs.incr("client.breaker.fast_fails")
-                raise CircuitOpenError(
-                    self.name, self.policy.reset_timeout - elapsed
-                )
-            self._transition(HALF_OPEN)
+        with self._lock:
+            if self.state == OPEN:
+                elapsed = self._clock() - (self._opened_at or 0.0)
+                if elapsed < self.policy.reset_timeout:
+                    obs.incr("client.breaker.fast_fails")
+                    raise CircuitOpenError(
+                        self.name, self.policy.reset_timeout - elapsed
+                    )
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return
+            if self.state == HALF_OPEN:
+                if self._probe_in_flight:
+                    obs.incr("client.breaker.fast_fails")
+                    raise CircuitOpenError(self.name, 0.0)
+                self._probe_in_flight = True
 
     def record_success(self) -> None:
         """A call completed at the transport level: close the circuit."""
-        self._consecutive_failures = 0
-        if self.state != CLOSED:
-            self._transition(CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self.state != CLOSED:
+                self._transition(CLOSED)
 
     def record_failure(self) -> None:
         """A transport failure: trip or re-trip as the policy dictates."""
-        self._consecutive_failures += 1
-        if self.state == HALF_OPEN:
-            # The probe failed: straight back to open, timer re-armed.
-            self._opened_at = self._clock()
-            self._transition(OPEN)
-        elif (
-            self.state == CLOSED
-            and self._consecutive_failures >= self.policy.failure_threshold
-        ):
-            self._opened_at = self._clock()
-            self._transition(OPEN)
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self.state == HALF_OPEN:
+                # The probe failed: straight back to open, timer re-armed.
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+            elif (
+                self.state == CLOSED
+                and self._consecutive_failures
+                >= self.policy.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
 
     def info(self) -> dict:
         """Breaker state for diagnostics/metrics export."""
-        return {
-            "state": self.state,
-            "consecutive_failures": self._consecutive_failures,
-            "failure_threshold": self.policy.failure_threshold,
-            "reset_timeout": self.policy.reset_timeout,
-            "transitions": dict(self._transitions),
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.policy.failure_threshold,
+                "reset_timeout": self.policy.reset_timeout,
+                "probe_in_flight": self._probe_in_flight,
+                "transitions": dict(self._transitions),
+            }
 
 
 class BreakerBoard:
@@ -169,14 +197,18 @@ class BreakerBoard:
     ):
         self.policy = policy or BreakerPolicy()
         self._clock = clock
+        self._lock = threading.Lock()
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, op: str) -> CircuitBreaker:
-        breaker = self._breakers.get(op)
-        if breaker is None:
-            breaker = CircuitBreaker(op, self.policy, clock=self._clock)
-            self._breakers[op] = breaker
-        return breaker
+        with self._lock:
+            breaker = self._breakers.get(op)
+            if breaker is None:
+                breaker = CircuitBreaker(op, self.policy, clock=self._clock)
+                self._breakers[op] = breaker
+            return breaker
 
     def info(self) -> dict:
-        return {op: b.info() for op, b in sorted(self._breakers.items())}
+        with self._lock:
+            breakers = sorted(self._breakers.items())
+        return {op: b.info() for op, b in breakers}

@@ -34,14 +34,19 @@ class QueryService:
         matcher: LexEqualMatcher | None = None,
         *,
         statement_cache_size: int = 128,
+        strategy: str | None = None,
     ):
         if db is None:
             from repro.core.integration import demo_books_db
 
             matcher = matcher or LexEqualMatcher()
             db = demo_books_db("qgram", matcher)
+            strategy = strategy or "qgram"
         self.db = db
         self.matcher = matcher or LexEqualMatcher()
+        #: The accelerator strategy this service was built with (shown
+        #: by the ``health`` op; ``None`` = caller didn't say).
+        self.strategy = strategy
         self.statements = StatementCache(statement_cache_size)
 
     # ----------------------------------------------------------- SQL ops
@@ -58,6 +63,11 @@ class QueryService:
         ``degraded: true`` plus the ``failed_languages`` list.
         """
         stmt = self.statements.statement(sql)
+        stmt = self._transform_statement(stmt, params)
+        if stmt is None:
+            # The transform swallowed the statement entirely (a shard
+            # that owns none of an INSERT's rows): nothing to run.
+            return {"row_count": 0}
         with degrade.collecting() as failed_languages:
             with obs.timed("server.execute"):
                 result = execute_statement(self.db, stmt, params)
@@ -70,6 +80,15 @@ class QueryService:
         else:
             payload = {"row_count": int(result)}
         return self._mark_degraded(payload, failed_languages)
+
+    def _transform_statement(self, stmt, params: dict):
+        """Hook for subclasses to rewrite a statement before execution.
+
+        The cluster's sharded service filters INSERT rows down to the
+        ones this shard owns; the base service runs statements as-is.
+        Returning ``None`` skips execution (an empty rewrite).
+        """
+        return stmt
 
     @staticmethod
     def _mark_degraded(payload: dict, failed_languages: set) -> dict:
@@ -162,9 +181,37 @@ class QueryService:
             "budget": explanation.budget,
         }
 
+    # ------------------------------------------------------ health op
+
+    def health(self, server_info: dict | None = None) -> dict:
+        """The ``health`` payload: liveness + readiness in one probe.
+
+        Cheap by construction (no SQL, no matching, no locks beyond the
+        storage attribute read) so the cluster supervisor can poll it
+        aggressively.  ``wal_lsn`` is the WAL high-water mark on
+        persistent backends and ``None`` on in-memory ones; ``shard``
+        identifies this process's slice when serving as a cluster shard.
+        """
+        info = server_info or {}
+        storage = getattr(self.db, "storage", None)
+        return {
+            "status": "ok",
+            "role": "server",
+            "uptime_seconds": info.get("uptime_seconds", 0.0),
+            "in_flight": info.get("active_requests", 0),
+            "strategy": self.strategy or "default",
+            "wal_lsn": getattr(storage, "wal_high_water_lsn", None),
+            "shard": self.shard_info(),
+        }
+
+    def shard_info(self) -> dict | None:
+        """Shard identity (index/count) — ``None`` off-cluster."""
+        return None
+
     # ------------------------------------------------------- fault ops
 
-    def faults_op(self, request: dict) -> dict:
+    @staticmethod
+    def faults_op(request: dict) -> dict:
         """The ``faults`` op: drive the failpoint registry remotely.
 
         Actions: ``configure`` (fields ``name`` + any of ``probability``,

@@ -63,6 +63,15 @@ class StorageManager:
 
     # -- grouping / durability ----------------------------------------
 
+    @property
+    def wal_high_water_lsn(self) -> int | None:
+        """Last committed WAL LSN, or ``None`` for non-durable backends.
+
+        Surfaced by the server's ``health`` op so operators (and the
+        cluster supervisor) can see replication/recovery progress.
+        """
+        return None
+
     @contextmanager
     def transaction(self):
         """Group mutations into one commit (no-op in memory)."""
@@ -199,6 +208,10 @@ class FileBackend(StorageManager):
     def bind(self, db) -> None:
         """Give the backend its database (for auto-checkpointing)."""
         self._db = db
+
+    @property
+    def wal_high_water_lsn(self) -> int | None:
+        return self._wal.last_lsn
 
     # ------------------------------------------------- mutation hooks
 

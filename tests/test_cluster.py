@@ -1,0 +1,411 @@
+"""Cluster tests: ring ownership, result cache, merge, router behaviour.
+
+Unit-level coverage of the shard ring (process-stable CRC-32
+ownership), the router's TTL result cache, the merge-by-union boundary
+and degradation labeling, and shard-side broadcast-INSERT filtering —
+plus one scripted end-to-end scenario against a real
+:class:`BackgroundCluster` (full answers, cache identity, shard loss →
+labeled degradation, write fencing, recovery, zero leaked processes).
+The high-volume chaos path lives in ``scripts/cluster_smoke.py``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.cluster import (
+    BackgroundCluster,
+    ResultCache,
+    owns_row,
+    row_key,
+    shard_name,
+    shard_of,
+    sharded_service,
+)
+from repro.cluster.router import ClusterRouter, _ShardOutcome
+from repro.errors import ProtocolError, RequestFailedError
+from repro.minidb.values import LangText
+from repro.server import LexEqualClient, protocol
+from repro.server.cache import StatementCache
+
+LEXEQUAL_SQL = (
+    "SELECT author FROM books "
+    "WHERE author LEXEQUAL 'Nehru' THRESHOLD 0.25"
+)
+EXPECTED_AUTHORS = {"Nehru", "नेहरु", "நேரு"}
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faults.reset()
+    yield
+    faults.reset()
+    obs.disable()
+
+
+def authors_of(result: dict) -> set:
+    return {row[0]["text"] for row in result["rows"]}
+
+
+# ---------------------------------------------------------------- ring
+
+
+class TestRing:
+    def test_shard_of_is_stable_across_processes(self):
+        # CRC-32 is unsalted: these pins hold in every Python process,
+        # which is what lets router, shards and offline tools agree.
+        assert shard_of("Nehru", 3) == shard_of("Nehru", 3)
+        for key in ("Nehru", "नेहरु", "Tchaikovsky", ""):
+            assert 0 <= shard_of(key, 4) < 4
+
+    def test_shard_of_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            shard_of("Nehru", 0)
+
+    def test_row_key_prefers_langtext_over_plain_strings(self):
+        row = ("isbn-123", LangText("Nehru", "en"), "biography")
+        assert row_key(row) == "Nehru"
+
+    def test_row_key_falls_back_to_first_string(self):
+        assert row_key((7, "plain", "other")) == "plain"
+
+    def test_keyless_rows_belong_to_shard_zero(self):
+        row = (1, 2.5, None)
+        assert row_key(row) is None
+        assert owns_row(row, 0, 4)
+        assert not any(owns_row(row, i, 4) for i in (1, 2, 3))
+
+    def test_ownership_partitions_every_key(self):
+        keys = ["Nehru", "नेहरु", "நேரு", "Color", "Kolour", "Asha"]
+        for key in keys:
+            owners = [
+                i for i in range(3) if owns_row((LangText(key, "en"),), i, 3)
+            ]
+            assert owners == [shard_of(key, 3)]
+
+    def test_shard_name(self):
+        assert shard_name(2) == "shard-2"
+
+
+# --------------------------------------------------------------- cache
+
+
+class TestResultCache:
+    def make(self, max_entries=4, ttl=5.0):
+        clock = [0.0]
+        cache = ResultCache(max_entries, ttl, clock=lambda: clock[0])
+        return cache, clock
+
+    def test_hit_then_ttl_expiry(self):
+        cache, clock = self.make(ttl=5.0)
+        cache.put("k", {"row_count": 1})
+        assert cache.get("k") == {"row_count": 1}
+        clock[0] = 4.9
+        assert cache.get("k") == {"row_count": 1}
+        clock[0] = 5.0
+        assert cache.get("k") is None
+        info = cache.info()
+        assert info["hits"] == 2 and info["misses"] == 1
+        assert info["entries"] == 0  # expired entry was dropped
+
+    def test_eviction_drops_oldest_insert(self):
+        cache, _ = self.make(max_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 3})  # re-insert moves "a" to the back
+        cache.put("c", {"v": 4})  # evicts "b", the oldest
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 3}
+        assert cache.get("c") == {"v": 4}
+
+    def test_flush_counts_invalidations(self):
+        cache, _ = self.make()
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.flush() == 2
+        assert cache.flush() == 0
+        assert cache.info()["invalidations"] == 2
+        assert cache.get("a") is None
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ResultCache(0, 1.0)
+        with pytest.raises(ValueError):
+            ResultCache(1, 0.0)
+
+
+# --------------------------------------------------------------- merge
+
+
+def _ok(index, result):
+    return _ShardOutcome(index, shard_name(index), True, result=result)
+
+
+def _fail(index, reason="timeout"):
+    return _ShardOutcome(index, shard_name(index), False, reason=reason)
+
+
+class TestMergeRead:
+    """`_merge_read` is pure: it reads nothing from the router."""
+
+    def merge(self, outcomes, down=()):
+        return ClusterRouter._merge_read(None, list(outcomes), list(down))
+
+    def test_union_dedupes_across_shards(self):
+        rows_a = [[{"text": "Nehru", "lang": "en"}]]
+        rows_b = [
+            [{"text": "Nehru", "lang": "en"}],  # duplicate of shard 0's
+            [{"text": "नेहरु", "lang": "hi"}],
+        ]
+        payload, clean = self.merge(
+            [
+                _ok(0, {"columns": ["author"], "rows": rows_a,
+                        "row_count": 1}),
+                _ok(1, {"columns": ["author"], "rows": rows_b,
+                        "row_count": 2}),
+            ]
+        )
+        assert clean
+        assert payload["row_count"] == 2
+        assert payload["columns"] == ["author"]
+        texts = [row[0]["text"] for row in payload["rows"]]
+        assert texts == ["Nehru", "नेहरु"]
+        assert "degraded" not in payload
+
+    def test_failed_shards_are_named_and_sorted(self):
+        payload, clean = self.merge(
+            [
+                _ok(1, {"columns": [], "rows": [], "row_count": 0}),
+                _fail(2, "timeout"),
+            ],
+            down=["shard-0"],
+        )
+        assert not clean
+        assert payload["degraded"] is True
+        assert payload["failed_shards"] == ["shard-0", "shard-2"]
+
+    def test_shard_level_degradation_propagates(self):
+        payload, clean = self.merge(
+            [
+                _ok(0, {"columns": [], "rows": [], "row_count": 0,
+                        "degraded": True, "failed_languages": ["ta"]}),
+                _ok(1, {"columns": [], "rows": [], "row_count": 0,
+                        "failed_languages": ["hi"]}),
+            ]
+        )
+        assert not clean
+        assert payload["degraded"] is True
+        assert payload["failed_languages"] == ["hi", "ta"]
+        assert "failed_shards" not in payload  # every shard answered
+
+    def test_all_shards_failed_is_unavailable(self):
+        with pytest.raises(ProtocolError) as err:
+            self.merge([_fail(0), _fail(1)], down=["shard-2"])
+        assert err.value.code == protocol.E_UNAVAILABLE
+
+    def test_countlike_results_sum(self):
+        payload, clean = self.merge(
+            [_ok(0, {"row_count": 2}), _ok(1, {"row_count": 3})]
+        )
+        assert clean and payload == {"row_count": 5}
+
+
+class TestMergeableBoundary:
+    def check(self, sql):
+        ClusterRouter._check_mergeable(StatementCache(8).statement(sql))
+
+    def test_plain_and_distinct_selects_pass(self):
+        self.check("SELECT author FROM books")
+        self.check("SELECT DISTINCT author FROM books")
+        self.check(LEXEQUAL_SQL)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT author FROM books ORDER BY author",
+            "SELECT author FROM books LIMIT 3",
+            "SELECT author FROM books GROUP BY author",
+            "SELECT COUNT(*) FROM books",
+            "EXPLAIN SELECT author FROM books ORDER BY author",
+        ],
+    )
+    def test_unmergeable_reads_are_rejected(self, sql):
+        with pytest.raises(ProtocolError) as err:
+            self.check(sql)
+        assert err.value.code == protocol.E_SQL
+        assert "merge by union" in str(err.value)
+
+
+# ------------------------------------------------------ sharded backend
+
+
+class TestShardedBackend:
+    def test_demo_slices_are_disjoint_and_complete(self):
+        services = [
+            sharded_service(i, 2, strategy="none") for i in range(2)
+        ]
+        slices = [
+            authors_of(s.run_sql(LEXEQUAL_SQL, {})) for s in services
+        ]
+        assert slices[0] & slices[1] == set()
+        assert slices[0] | slices[1] == EXPECTED_AUTHORS
+        totals = [
+            s.run_sql("SELECT author FROM books", {})["row_count"]
+            for s in services
+        ]
+        assert sum(totals) == 6 and all(t > 0 for t in totals)
+
+    def test_broadcast_insert_lands_each_row_exactly_once(self):
+        services = [
+            sharded_service(i, 2, strategy="none") for i in range(2)
+        ]
+        ddl = "CREATE TABLE loans (name TEXT, title TEXT)"
+        assert [s.run_sql(ddl, {})["row_count"] for s in services] == [0, 0]
+        sql = (
+            "INSERT INTO loans VALUES "
+            "('Tagore', 'Gitanjali'), ('Thakur', 'Chokher Bali')"
+        )
+        counts = [s.run_sql(sql, {})["row_count"] for s in services]
+        assert sum(counts) == 2  # disjoint: the router sums these
+        for name in ("Tagore", "Thakur"):
+            holders = [
+                s.run_sql(
+                    f"SELECT name FROM loans WHERE name = '{name}'", {}
+                )["row_count"]
+                for s in services
+            ]
+            owner = [
+                int(owns_row((name,), s.shard_index, 2)) for s in services
+            ]
+            assert holders == owner
+
+    def test_shard_index_bounds_checked(self):
+        with pytest.raises(ValueError):
+            sharded_service(2, 2, strategy="none")
+
+
+# ----------------------------------------------------------- end to end
+
+
+class TestClusterEndToEnd:
+    def test_scripted_failover_scenario(self):
+        """One cluster, one story: serve → lose a shard → heal.
+
+        Kept as a single scripted test because each phase depends on
+        the cluster state the previous one left behind; the randomized
+        high-volume version is ``scripts/cluster_smoke.py``.
+        """
+        from repro.server import RetryPolicy
+
+        bg = BackgroundCluster(
+            2,
+            shard_args=("--strategy", "none"),
+            supervisor_options={
+                "health_interval": 0.2,
+                # Hold the dead shard down for a couple of seconds so
+                # the degraded window is wide enough to assert on.
+                "restart_policy": RetryPolicy(
+                    max_attempts=100,
+                    base_delay=2.0,
+                    multiplier=1.0,
+                    max_delay=2.0,
+                ),
+            },
+            cache_ttl=30.0,
+        )
+        with bg:
+            with LexEqualClient(bg.host, bg.port, timeout=15.0) as client:
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["role"] == "router"
+                assert health["strategy"] == "cluster"
+                assert len(health["shards"]) == 2
+                pids = [s["pid"] for s in health["shards"]]
+
+                # Full fan-out: the union of both slices, not degraded.
+                result = client.query(LEXEQUAL_SQL)
+                assert authors_of(result) == EXPECTED_AUTHORS
+                assert "degraded" not in result
+
+                # Hot repeat is served from the router cache.
+                again = client.query(LEXEQUAL_SQL)
+                assert again == result
+                assert client.health()["cache"]["hits"] >= 1
+
+                # The merge boundary is enforced at the router.
+                with pytest.raises(RequestFailedError) as err:
+                    client.query("SELECT author FROM books ORDER BY author")
+                assert err.value.code == protocol.E_SQL
+
+                # Lose shard 0.  The cached LEXEQUAL answer keeps
+                # being served in full (degraded results are never
+                # cached, so nothing stale can replace it), while an
+                # *uncached* read degrades with the lost shard named.
+                bg.supervisor.kill_shard(0)
+                deadline = time.monotonic() + 30.0
+                degraded = None
+                while time.monotonic() < deadline:
+                    cached = client.query(LEXEQUAL_SQL)
+                    assert authors_of(cached) == EXPECTED_AUTHORS
+                    candidate = client.query("SELECT title FROM books")
+                    if candidate.get("degraded"):
+                        degraded = candidate
+                        break
+                    time.sleep(0.1)
+                assert degraded is not None, "loss was never labeled"
+                assert degraded["failed_shards"] == ["shard-0"]
+                assert 0 < degraded["row_count"] < 6
+
+                # ...and once the supervisor has marked it down, writes
+                # are fenced up front rather than applied partially.
+                deadline = time.monotonic() + 30.0
+                while (
+                    bg.supervisor.shards[0].state == "up"
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+                assert bg.supervisor.shards[0].state != "up"
+                with pytest.raises(RequestFailedError) as err:
+                    client.query(
+                        "CREATE TABLE loans (name TEXT, title TEXT)"
+                    )
+                assert err.value.code == protocol.E_UNAVAILABLE
+                assert "requires every shard up" in str(err.value)
+
+                # The supervisor restarts the shard; service heals
+                # once the router's breaker lets a probe through.
+                assert bg.supervisor.wait_all_up(timeout=60.0)
+                deadline = time.monotonic() + 30.0
+                healed = None
+                while time.monotonic() < deadline:
+                    candidate = client.query("SELECT title FROM books")
+                    if not candidate.get("degraded"):
+                        healed = candidate
+                        break
+                    time.sleep(0.2)
+                assert healed is not None, "cluster never healed"
+                assert healed["row_count"] == 6
+
+                # Writes work again: DDL broadcasts to every shard
+                # (reported once), INSERT rows land exactly once, and
+                # the result cache is flushed.
+                made = client.query(
+                    "CREATE TABLE loans (name TEXT, title TEXT)"
+                )
+                assert made["row_count"] == 0
+                wrote = client.query(
+                    "INSERT INTO loans VALUES "
+                    "('Tagore', 'Gitanjali'), ('Thakur', 'Chokher Bali')"
+                )
+                assert wrote["row_count"] == 2
+                assert client.health()["cache"]["entries"] == 0
+                after = client.query("SELECT name FROM loans")
+                assert after["row_count"] == 2
+                assert {r[0] for r in after["rows"]} == {"Tagore", "Thakur"}
+
+        # The drain reaped every shard process: nothing leaked.
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

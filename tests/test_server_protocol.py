@@ -199,3 +199,58 @@ class TestStatementCache:
         with pytest.raises(SQLSyntaxError):
             cache.statement("SELEKT nope")
         assert len(cache) == 0
+
+
+class TestHealthOp:
+    def test_round_trip(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["role"] == "server"
+        assert health["uptime_seconds"] >= 0.0
+        assert isinstance(health["in_flight"], int)
+        # The demo server is built with the default q-gram accelerator.
+        assert health["strategy"] == "qgram"
+        assert health["wal_lsn"] is None  # in-memory backend: no WAL
+        assert health["shard"] is None  # not a cluster shard
+
+    def test_id_echo_and_extra_fields_ignored(self, server):
+        response = raw_exchange(
+            server, b'{"op": "health", "id": 42, "junk": [1, 2]}\n'
+        )
+        assert response["ok"] is True
+        assert response["id"] == 42
+        assert response["result"]["status"] == "ok"
+
+    def test_malformed_id_rejected(self, server):
+        response = raw_exchange(server, b'{"op": "health", "id": {}}\n')
+        assert response["ok"] is False
+        assert response["error"]["code"] == "invalid_request"
+
+    def test_truncated_json_is_parse_error(self, server):
+        response = raw_exchange(server, b'{"op": "health"\n')
+        assert response["ok"] is False
+        assert response["error"]["code"] == "parse_error"
+
+    def test_health_is_declared_and_retryable(self):
+        from repro.server.client import RETRYABLE_OPS
+
+        assert "health" in protocol.OPS
+        assert "health" in RETRYABLE_OPS
+
+    def test_wal_lsn_on_persistent_backend(self, tmp_path):
+        from repro.core.integration import populate_books_demo
+        from repro.server import QueryService
+        from repro.storage import open_database
+
+        db = open_database(str(tmp_path / "data"), sync=False)
+        populate_books_demo(db)  # WAL-logged inserts advance the LSN
+        try:
+            service = QueryService(db, strategy="none")
+            with BackgroundServer(service) as bg:
+                with LexEqualClient(bg.host, bg.port, timeout=30.0) as c:
+                    health = c.health()
+            assert isinstance(health["wal_lsn"], int)
+            assert health["wal_lsn"] > 0
+            assert health["strategy"] == "none"
+        finally:
+            db.storage.close()

@@ -461,3 +461,135 @@ class TestStatementCacheEvictionRaces:
                 info = client.stats()["statement_cache"]
         assert info["size"] <= 2
         assert info["evictions"] > 0
+
+
+class TestHalfOpenConcurrency:
+    """The cluster router shares one breaker per shard across fan-outs:
+    half-open must admit exactly one probe no matter how many threads
+    race `allow()`, and a failed probe must release the permit."""
+
+    def make(self, threshold=1, reset=5.0):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            "shard-0",
+            BreakerPolicy(failure_threshold=threshold, reset_timeout=reset),
+            clock=lambda: clock[0],
+        )
+        return breaker, clock
+
+    def test_two_threads_racing_allow_admit_exactly_one_probe(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock[0] = 6.0  # reset timeout elapsed: next allow() half-opens
+
+        outcomes: list[str] = []
+        barrier = threading.Barrier(2)
+
+        def attempt():
+            barrier.wait()
+            try:
+                breaker.allow()
+                outcomes.append("admitted")
+            except CircuitOpenError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=attempt) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert sorted(outcomes) == ["admitted", "rejected"]
+        assert breaker.state == "half_open"
+        assert breaker.info()["probe_in_flight"] is True
+
+    def test_many_threads_still_one_probe(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        clock[0] = 6.0
+        outcomes: list[str] = []
+        barrier = threading.Barrier(8)
+
+        def attempt():
+            barrier.wait()
+            try:
+                breaker.allow()
+                outcomes.append("admitted")
+            except CircuitOpenError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=attempt) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert outcomes.count("admitted") == 1
+        assert outcomes.count("rejected") == 7
+
+    def test_probe_failure_reopens_without_losing_the_permit(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.allow()  # the probe
+        # Everyone else fast-fails while the probe is in flight.
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        breaker.record_failure()  # probe fails
+        assert breaker.state == "open"
+        assert breaker.info()["probe_in_flight"] is False
+        # Timer re-armed: still fast-failing before the next window...
+        clock[0] = 8.0
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        # ...and the permit was released: the next window admits a new
+        # probe, whose success closes the circuit.
+        clock[0] = 12.0
+        breaker.allow()
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.info()["probe_in_flight"] is False
+
+
+class TestRouterDrain:
+    def test_inflight_fanout_completes_while_new_connects_refused(self):
+        """Router-aware SIGTERM drain (DESIGN.md §11.4).
+
+        With a fan-out still in flight: the router's listener must be
+        closed (new connections refused at the OS level), the in-flight
+        fan-out must still complete with the full merged result, and
+        the shards must be SIGTERMed only after it did.
+        """
+        from repro.cluster import BackgroundCluster
+
+        faults.configure("cluster.shard.slow", latency=0.6, count=2)
+        bg = BackgroundCluster(
+            2, supervisor_options={"health_interval": 0.2}
+        )
+        bg.start()
+        results: list = []
+        errors: list = []
+
+        def inflight():
+            try:
+                with LexEqualClient(bg.host, bg.port, timeout=30.0) as c:
+                    results.append(c.query(LEXEQUAL_SQL))
+            except Exception as exc:  # surfaced via `errors`
+                errors.append(repr(exc))
+
+        t = threading.Thread(target=inflight)
+        t.start()
+        time.sleep(0.25)  # the fan-out is inside the slow-shard sleep
+        stopper = threading.Thread(target=bg.stop)
+        stopper.start()
+        time.sleep(0.2)  # drain has begun; fan-out still has ~0.3s
+        try:
+            with pytest.raises(TransportError):
+                LexEqualClient(bg.host, bg.port, timeout=2.0)
+        finally:
+            stopper.join(timeout=60.0)
+            t.join(timeout=60.0)
+        assert not errors, errors
+        assert results and authors_of(results[0]) == EXPECTED_AUTHORS
+        # Forwarded drain: no shard process survived the router exit.
+        assert bg.supervisor.live_pids() == []
