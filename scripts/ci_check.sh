@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== tier-1 tests under the lock sanitizer (REPRO_LOCKSAN=1) =="
+REPRO_LOCKSAN=1 python -m pytest -x -q
+
 echo "== coverage gate (pytest-cov) =="
 if python -c "import pytest_cov" >/dev/null 2>&1; then
     python -m pytest -q --cov=repro --cov-fail-under=75
@@ -23,6 +26,9 @@ fi
 
 echo "== domain lint (repro.analysis, DESIGN.md §8) =="
 PYTHONPATH=src python -m repro.cli lint
+
+echo "== concurrency lint (LEX-C rule family, DESIGN.md §8) =="
+PYTHONPATH=src python -m repro.cli lint --concurrency
 
 echo "== perf smoke (banded kernel + parallel executor floors) =="
 mkdir -p results

@@ -23,6 +23,10 @@ class Finding:
     line: int
     message: str
     severity: str = "error"
+    #: True for analyzer *crashes* (the rule did not run to completion,
+    #: so nothing was actually checked).  Internal findings are never
+    #: baselined and drive the CLI's distinct exit code 2.
+    internal: bool = False
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -47,10 +51,13 @@ class Finding:
         return (self.rule, self.file, self.message)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "rule": self.rule,
             "severity": self.severity,
             "file": self.file,
             "line": self.line,
             "message": self.message,
         }
+        if self.internal:
+            doc["internal"] = True
+        return doc

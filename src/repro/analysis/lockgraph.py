@@ -1,0 +1,727 @@
+"""Static lock-order graph extraction for the LEX-C rule family.
+
+Two passes over the scanned files:
+
+1. **Discovery** — find every lock *creation* site: ``threading.Lock()``
+   / ``RLock()`` assignments (``self.attr = ...`` or module-level) and
+   ``repro.locks.make_lock("name")`` / ``make_rlock("name")`` factory
+   calls, whose string argument *is* the canonical name.  Raw creations
+   resolve through the declarative spec
+   (:mod:`repro.analysis.lockspec`); locks the spec does not know get a
+   ``Class.attr`` fallback identity so LEX-C001 can demand they be
+   ranked.
+
+2. **Scan** — walk every function simulating the held-lock stack
+   through ``with`` statements, recording each acquisition (with the
+   locks held at that point), each call (with the held snapshot, for
+   interprocedural propagation), thread creations, and
+   ``os.register_at_fork`` / ``signal.signal`` registrations.
+
+Call resolution is deliberately CHA-lite: ``self.m()`` binds within the
+enclosing class (then same-file classes), bare names bind to same-file
+or ``from``-imported functions, ``alias.f()`` follows import aliases,
+and ``obj.m()`` unions over every scanned class defining ``m`` — capped
+and stop-listed so ubiquitous method names cannot weld the graph into
+one blob.  The closure of acquired locks per function is computed to a
+fixpoint, then every (held, acquired) pair becomes an edge checked
+against the sanctioned order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.base import AnalysisContext
+from repro.analysis.lockspec import DEFAULT_SPEC, LockOrderSpec
+
+#: Method names too generic to resolve through class-hierarchy analysis.
+CHA_STOPLIST = frozenset(
+    {
+        "append", "add", "clear", "close", "copy", "decode", "encode",
+        "extend", "fileno", "get", "info", "items", "join", "keys",
+        "pop", "poll", "put", "read", "recv", "release", "acquire",
+        "run", "send", "set", "sort", "split", "start", "stop",
+        "strip", "unlink", "update", "values", "wait", "write",
+    }
+)
+
+#: Give up on ``obj.m()`` when more classes than this define ``m``.
+CHA_MAX_CANDIDATES = 4
+
+
+@dataclass
+class LockCreation:
+    """One lock creation site."""
+
+    lock: str  # canonical name
+    file: str
+    line: int
+    cls: str | None  # owning class, None for module-level
+    attr: str  # attribute / variable name
+    factory_name: str | None  # make_lock("...") argument, if any
+
+
+@dataclass
+class Acquisition:
+    """One lock acquisition with the locks already held at that point."""
+
+    lock: str
+    line: int
+    held: tuple[str, ...]
+    via: str  # "with" or "acquire"
+
+
+@dataclass
+class CallSite:
+    """One call with the held snapshot, resolved to candidates later."""
+
+    kind: str  # "self" | "name" | "attr"
+    name: str  # method or function name
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class Registration:
+    """An ``os.register_at_fork`` or ``signal.signal`` registration."""
+
+    kind: str  # "fork" or "signal"
+    handler: str  # bare handler name as written
+    file: str
+    line: int
+    when: str  # fork: hook kwarg; signal: signal expression text
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function facts extracted by the scan pass."""
+
+    key: str  # "<file>::<qualname>"
+    file: str
+    qualname: str
+    cls: str | None
+    line: int
+    acquires: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    thread_lines: list[int] = field(default_factory=list)
+    unresolved: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class Edge:
+    """``inner`` acquired while ``outer`` held, anchored to a site."""
+
+    outer: str
+    inner: str
+    file: str
+    line: int
+    path: str  # human-readable provenance
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``RLock()`` / bare ``Lock()`` call."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("Lock", "RLock")
+    if isinstance(func, ast.Name):
+        return func.id in ("Lock", "RLock")
+    return False
+
+
+def _factory_name(node: ast.AST) -> str | None:
+    """The string argument of a ``make_lock``/``make_rlock`` call."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name not in ("make_lock", "make_rlock"):
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _find_lock_value(node: ast.AST) -> tuple[ast.AST | None, str | None]:
+    """Locate a lock creation inside an assignment RHS.
+
+    Handles the direct form and the ``lock or threading.Lock()``
+    default idiom.  Returns ``(creation_node, factory_name)``.
+    """
+    candidates = [node]
+    if isinstance(node, ast.BoolOp):
+        candidates = list(node.values)
+    for cand in candidates:
+        name = _factory_name(cand)
+        if name is not None:
+            return cand, name
+        if _is_lock_ctor(cand):
+            return cand, None
+    return None, None
+
+
+def _lockish(text: str) -> bool:
+    return "lock" in text.lower()
+
+
+class LockGraph:
+    """Whole-program lock model over an :class:`AnalysisContext`."""
+
+    def __init__(
+        self,
+        ctx: AnalysisContext,
+        files: list[str] | None = None,
+        spec: LockOrderSpec = DEFAULT_SPEC,
+    ):
+        self.ctx = ctx
+        self.spec = spec
+        self.files = [
+            f
+            for f in (files if files is not None else ctx.python_files())
+            if f not in spec.excluded_files
+        ]
+        self.creations: list[LockCreation] = []
+        self.functions: dict[str, FunctionInfo] = {}
+        self.registrations: list[Registration] = []
+        # Resolution tables built during discovery.
+        self._class_locks: dict[tuple[str, str], str] = dict(
+            spec.class_attrs
+        )
+        self._module_locks: dict[tuple[str, str], str] = dict(
+            spec.module_vars
+        )
+        self._method_index: dict[str, list[str]] = {}
+        self._module_funcs: dict[tuple[str, str], str] = {}
+        self._imports: dict[str, dict[str, str]] = {}
+        self._build()
+
+    # ---------------------------------------------------------- passes
+
+    def _build(self) -> None:
+        trees: dict[str, ast.Module] = {}
+        for file in self.files:
+            try:
+                trees[file] = self.ctx.tree(file)
+            except (OSError, SyntaxError):
+                continue
+        for file, tree in trees.items():
+            self._discover(file, tree)
+        for file, tree in trees.items():
+            self._scan(file, tree)
+
+    # Pass 1: creations, function/method indexes, import aliases.
+
+    def _discover(self, file: str, tree: ast.Module) -> None:
+        imports: dict[str, str] = {}
+        self._imports[file] = imports
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._module_funcs[(file, node.name)] = (
+                    f"{file}::{node.name}"
+                )
+            elif isinstance(node, ast.Assign):
+                self._discover_module_lock(file, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        key = f"{file}::{node.name}.{item.name}"
+                        self._method_index.setdefault(
+                            item.name, []
+                        ).append(key)
+                        self._discover_attr_locks(file, node.name, item)
+
+    def _discover_module_lock(self, file: str, node: ast.Assign) -> None:
+        creation, factory = _find_lock_value(node.value)
+        if creation is None:
+            return
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            canonical = (
+                factory
+                or self._module_locks.get((file, target.id))
+                or f"{file}:{target.id}"
+            )
+            self._module_locks[(file, target.id)] = canonical
+            self.creations.append(
+                LockCreation(
+                    lock=canonical,
+                    file=file,
+                    line=node.lineno,
+                    cls=None,
+                    attr=target.id,
+                    factory_name=factory,
+                )
+            )
+
+    def _discover_attr_locks(
+        self, file: str, cls: str, method: ast.AST
+    ) -> None:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            creation, factory = _find_lock_value(node.value)
+            if creation is None:
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                canonical = (
+                    factory
+                    or self._class_locks.get((cls, target.attr))
+                    or f"{cls}.{target.attr}"
+                )
+                self._class_locks[(cls, target.attr)] = canonical
+                self.creations.append(
+                    LockCreation(
+                        lock=canonical,
+                        file=file,
+                        line=node.lineno,
+                        cls=cls,
+                        attr=target.attr,
+                        factory_name=factory,
+                    )
+                )
+
+    # Pass 2: per-function scan.
+
+    def _scan(self, file: str, tree: ast.Module) -> None:
+        module_regs = _Scanner(self, file, None, "<module>")
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(file, None, node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._scan_function(
+                            file,
+                            node.name,
+                            f"{node.name}.{item.name}",
+                            item,
+                        )
+            else:
+                # Module-level statements can register fork/signal
+                # hooks (repro.parallel.shm does).
+                module_regs.visit(node)
+
+    def _scan_function(
+        self, file: str, cls: str | None, qualname: str, node: ast.AST
+    ) -> None:
+        info = FunctionInfo(
+            key=f"{file}::{qualname}",
+            file=file,
+            qualname=qualname,
+            cls=cls,
+            line=node.lineno,
+        )
+        self.functions[info.key] = info
+        scanner = _Scanner(self, file, cls, qualname, info)
+        for stmt in node.body:
+            scanner.visit(stmt)
+
+    # ------------------------------------------------------ resolution
+
+    def resolve_lock(
+        self, expr: ast.AST, file: str, cls: str | None
+    ) -> str | None:
+        """Canonical lock name for a reference expression, if known."""
+        if isinstance(expr, ast.Name):
+            return self._module_locks.get((file, expr.id))
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "self"
+                and cls is not None
+            ):
+                hit = self._class_locks.get((cls, expr.attr))
+                if hit is not None:
+                    return hit
+            if isinstance(base, ast.Name):
+                # Imported module attribute: shm_mod._live_lock.
+                module = self._imports.get(file, {}).get(base.id)
+                if module is not None:
+                    mod_file = self._module_file(module)
+                    if mod_file is not None:
+                        hit = self._module_locks.get((mod_file, expr.attr))
+                        if hit is not None:
+                            return hit
+            return self.spec.attr_aliases.get(expr.attr)
+        return None
+
+    def _module_file(self, dotted: str) -> str | None:
+        if not dotted.startswith("repro"):
+            return None
+        rel = "src/" + dotted.replace(".", "/")
+        for candidate in (f"{rel}.py", f"{rel}/__init__.py"):
+            if candidate in set(self.files):
+                return candidate
+        return None
+
+    def resolve_call(self, site: CallSite, caller: FunctionInfo) -> list[str]:
+        """Candidate function keys for one call site."""
+        if site.kind == "self" and caller.cls is not None:
+            key = f"{caller.file}::{caller.cls}.{site.name}"
+            if key in self.functions:
+                return [key]
+            # Same-file classes approximate single-file inheritance.
+            local = [
+                k
+                for k in self._method_index.get(site.name, ())
+                if k.startswith(f"{caller.file}::")
+            ]
+            if local:
+                return local
+            return self._cha(site.name)
+        if site.kind == "name":
+            key = self._module_funcs.get((caller.file, site.name))
+            if key is not None:
+                return [key]
+            imported = self._imports.get(caller.file, {}).get(site.name)
+            if imported is not None and "." in imported:
+                module, _, func = imported.rpartition(".")
+                mod_file = self._module_file(module)
+                if mod_file is not None:
+                    key = self._module_funcs.get((mod_file, func))
+                    if key is not None:
+                        return [key]
+            return []
+        if site.kind == "attr":
+            # alias.f() through an imported module, else CHA.
+            module = None
+            if "." in site.name:
+                base, _, name = site.name.rpartition(".")
+                module = self._imports.get(caller.file, {}).get(base)
+                if module is not None:
+                    mod_file = self._module_file(module)
+                    if mod_file is None:
+                        # A known external module (os.kill, np.sum):
+                        # never fold it into class-hierarchy analysis.
+                        return []
+                    key = self._module_funcs.get((mod_file, name))
+                    return [key] if key is not None else []
+                return self._cha(name)
+            return self._cha(site.name)
+        return []
+
+    def _cha(self, method: str) -> list[str]:
+        if method.startswith("__") or method in CHA_STOPLIST:
+            return []
+        candidates = self._method_index.get(method, [])
+        if 0 < len(candidates) <= CHA_MAX_CANDIDATES:
+            return list(candidates)
+        return []
+
+    def resolve_handler(self, reg: Registration) -> list[str]:
+        """Function keys a fork/signal handler name may refer to."""
+        key = self._module_funcs.get((reg.file, reg.handler))
+        if key is not None:
+            return [key]
+        imported = self._imports.get(reg.file, {}).get(reg.handler)
+        if imported is not None and "." in imported:
+            module, _, func = imported.rpartition(".")
+            mod_file = self._module_file(module)
+            if mod_file is not None:
+                key = self._module_funcs.get((mod_file, func))
+                if key is not None:
+                    return [key]
+        return []
+
+    # ----------------------------------------------------- derivations
+
+    def acquire_closure(self) -> dict[str, set[str]]:
+        """Locks acquired by each function, directly or transitively."""
+        closure: dict[str, set[str]] = {
+            key: {a.lock for a in info.acquires}
+            for key, info in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                acc = closure[key]
+                before = len(acc)
+                for call in info.calls:
+                    for callee in self.resolve_call(call, info):
+                        acc |= closure.get(callee, set())
+                if len(acc) != before:
+                    changed = True
+        return closure
+
+    def edges(self) -> list[Edge]:
+        """Every (held, acquired) pair, deduped on the lock-name pair."""
+        closure = self.acquire_closure()
+        seen: dict[tuple[str, str], Edge] = {}
+
+        def record(
+            outer: str, inner: str, file: str, line: int, path: str
+        ) -> None:
+            seen.setdefault(
+                (outer, inner),
+                Edge(outer=outer, inner=inner, file=file, line=line,
+                     path=path),
+            )
+
+        for info in self.functions.values():
+            for acq in info.acquires:
+                if acq.lock in acq.held:
+                    continue  # reentrant re-acquire orders nothing new
+                for outer in acq.held:
+                    record(
+                        outer, acq.lock, info.file, acq.line,
+                        f"{info.qualname} acquires directly",
+                    )
+            for call in info.calls:
+                if not call.held:
+                    continue
+                for callee in self.resolve_call(call, info):
+                    for inner in closure.get(callee, ()):
+                        if inner in call.held:
+                            continue  # reentrant through the callee
+                        for outer in call.held:
+                            callee_name = callee.split("::", 1)[1]
+                            record(
+                                outer, inner, info.file, call.line,
+                                f"{info.qualname} -> {callee_name}",
+                            )
+        return sorted(
+            seen.values(), key=lambda e: (e.file, e.line, e.outer, e.inner)
+        )
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """Function keys reachable from ``roots`` via resolved calls."""
+        out: set[str] = set()
+        stack = [k for k in roots if k in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in out:
+                continue
+            out.add(key)
+            info = self.functions[key]
+            for call in info.calls:
+                for callee in self.resolve_call(call, info):
+                    if callee not in out:
+                        stack.append(callee)
+        return out
+
+
+class _Scanner(ast.NodeVisitor):
+    """Held-stack simulation over one function (or module) body."""
+
+    def __init__(
+        self,
+        graph: LockGraph,
+        file: str,
+        cls: str | None,
+        qualname: str,
+        info: FunctionInfo | None = None,
+    ):
+        self.graph = graph
+        self.file = file
+        self.cls = cls
+        self.qualname = qualname
+        self.info = info
+        self.held: list[str] = []
+
+    # -- helpers
+
+    def _resolve(self, expr: ast.AST) -> str | None:
+        return self.graph.resolve_lock(expr, self.file, self.cls)
+
+    def _expr_text(self, expr: ast.AST) -> str:
+        try:
+            return ast.unparse(expr)
+        except Exception:  # pragma: no cover - defensive
+            return "<expr>"
+
+    def _record_acquire(self, lock: str, line: int, via: str) -> None:
+        if self.info is not None:
+            self.info.acquires.append(
+                Acquisition(
+                    lock=lock, line=line, held=tuple(self.held), via=via
+                )
+            )
+
+    # -- structure
+
+    def visit_With(self, node: ast.With) -> None:
+        self._with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._with(node)
+
+    def _with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in node.items:
+            lock = self._resolve(item.context_expr)
+            if lock is not None:
+                self._record_acquire(lock, item.context_expr.lineno, "with")
+                self.held.append(lock)
+                pushed += 1
+            else:
+                if (
+                    self.info is not None
+                    and isinstance(
+                        item.context_expr, (ast.Name, ast.Attribute)
+                    )
+                    and _lockish(self._expr_text(item.context_expr))
+                ):
+                    self.info.unresolved.append(
+                        (
+                            item.context_expr.lineno,
+                            self._expr_text(item.context_expr),
+                        )
+                    )
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node)
+
+    def _nested(self, node: ast.AST) -> None:
+        # A nested def runs later, not under the current held set: scan
+        # it as its own function, reachable by bare name.
+        qual = f"{self.qualname}.<locals>.{node.name}"
+        self.graph._module_funcs.setdefault(
+            (self.file, node.name), f"{self.file}::{qual}"
+        )
+        self.graph._scan_function(self.file, self.cls, qual, node)
+
+    # -- calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        handled = False
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire":
+                lock = self._resolve(func.value)
+                if lock is not None:
+                    self._record_acquire(lock, node.lineno, "acquire")
+                    handled = True
+                elif self.info is not None and _lockish(
+                    self._expr_text(func.value)
+                ):
+                    self.info.unresolved.append(
+                        (node.lineno, self._expr_text(func))
+                    )
+                    handled = True
+            elif func.attr in ("Thread", "Timer"):
+                if self.info is not None:
+                    self.info.thread_lines.append(node.lineno)
+                handled = True
+            elif func.attr == "register_at_fork":
+                self._registration("fork", node)
+                handled = True
+            elif func.attr == "signal" and isinstance(
+                func.value, ast.Name
+            ) and func.value.id == "signal":
+                self._registration("signal", node)
+                handled = True
+            if not handled and self.info is not None:
+                if isinstance(func.value, ast.Name):
+                    if func.value.id == "self":
+                        self.info.calls.append(
+                            CallSite(
+                                kind="self",
+                                name=func.attr,
+                                line=node.lineno,
+                                held=tuple(self.held),
+                            )
+                        )
+                    else:
+                        self.info.calls.append(
+                            CallSite(
+                                kind="attr",
+                                name=f"{func.value.id}.{func.attr}",
+                                line=node.lineno,
+                                held=tuple(self.held),
+                            )
+                        )
+                else:
+                    self.info.calls.append(
+                        CallSite(
+                            kind="attr",
+                            name=func.attr,
+                            line=node.lineno,
+                            held=tuple(self.held),
+                        )
+                    )
+        elif isinstance(func, ast.Name):
+            if func.id == "Thread":
+                if self.info is not None:
+                    self.info.thread_lines.append(node.lineno)
+            elif self.info is not None:
+                self.info.calls.append(
+                    CallSite(
+                        kind="name",
+                        name=func.id,
+                        line=node.lineno,
+                        held=tuple(self.held),
+                    )
+                )
+        if isinstance(func, ast.Attribute):
+            # A chained receiver can itself create something that must
+            # be seen: ``threading.Thread(...).start()``.
+            self.visit(func.value)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def _registration(self, kind: str, node: ast.Call) -> None:
+        if kind == "fork":
+            for kw in node.keywords:
+                if kw.arg in (
+                    "before", "after_in_parent", "after_in_child"
+                ) and isinstance(kw.value, ast.Name):
+                    self.graph.registrations.append(
+                        Registration(
+                            kind="fork",
+                            handler=kw.value.id,
+                            file=self.file,
+                            line=node.lineno,
+                            when=kw.arg,
+                        )
+                    )
+        else:
+            if len(node.args) == 2 and isinstance(node.args[1], ast.Name):
+                self.graph.registrations.append(
+                    Registration(
+                        kind="signal",
+                        handler=node.args[1].id,
+                        file=self.file,
+                        line=node.lineno,
+                        when=self._expr_text(node.args[0]),
+                    )
+                )

@@ -28,6 +28,13 @@ def default_rules() -> list[Rule]:
         OpDrift,
         StorageBoundary,
     )
+    from repro.analysis.concurrency import (
+        AsyncBlocking,
+        DeadlinePolls,
+        ForkSignalSafety,
+        LockOrder,
+        ResourceLifecycle,
+    )
     from repro.analysis.datarules import (
         ClusterPartition,
         IpaLiterals,
@@ -48,6 +55,11 @@ def default_rules() -> list[Rule]:
         LockDiscipline(),
         ManagedParallelism(),
         StorageBoundary(),
+        LockOrder(),
+        AsyncBlocking(),
+        ForkSignalSafety(),
+        ResourceLifecycle(),
+        DeadlinePolls(),
     ]
 
 
@@ -96,6 +108,7 @@ def run_rules(
                         f"analyzer {rule.name} crashed: "
                         f"{type(exc).__name__}: {exc}"
                     ),
+                    internal=True,
                 )
             )
     return sorted(findings, key=Finding.sort_key)
@@ -113,6 +126,16 @@ class LintResult:
     @property
     def clean(self) -> bool:
         return not self.findings
+
+    @property
+    def internal_errors(self) -> list[Finding]:
+        """Analyzer crashes: rules that did not run to completion.
+
+        Distinct from real findings — a crashed analyzer vouches for
+        nothing, so pipelines must treat it as infrastructure failure
+        (exit code 2), not as a clean or merely-dirty run.
+        """
+        return [f for f in self.findings if f.internal]
 
     def rule_meta(self) -> list[dict]:
         return [
@@ -146,7 +169,13 @@ def lint(
     if baseline_path is None:
         baseline_path = ctx.root / BASELINE_FILENAME
     baseline = load_baseline(baseline_path)
-    active, suppressed = apply_baseline(findings, baseline)
+    # Internal errors (analyzer crashes) can never be baselined away:
+    # only completed-rule findings pass through suppression.
+    internal = [f for f in findings if f.internal]
+    active, suppressed = apply_baseline(
+        [f for f in findings if not f.internal], baseline
+    )
+    active = sorted(active + internal, key=Finding.sort_key)
     return LintResult(
         findings=active,
         suppressed=suppressed,

@@ -1,0 +1,359 @@
+"""Runtime lock-order sanitizer: tracked locks + a happens-before graph.
+
+Opt-in via ``REPRO_LOCKSAN=1`` (see :mod:`repro.locks`): every lock the
+factory hands out becomes a :class:`TrackedLock` / :class:`TrackedRLock`
+that records per-thread acquisition stacks into a process-global
+happens-before graph and raises on:
+
+- **order inversion** — acquiring a lock that the sanctioned rank order
+  (:mod:`repro.analysis.lockspec`) places *before* one already held; a
+  pair of unranked locks is judged against the first-observed
+  acquisition order instead, exactly like a classical lock-order
+  watchdog;
+- **non-owner release** — releasing a lock a different thread acquired;
+- **hold-across-fork** — forking while the forking thread holds a
+  tracked lock.  CPython swallows exceptions raised inside at-fork
+  hooks, so this one is *deferred*: the offending hold is recorded in
+  :func:`violations` (the tier-1 locksan gate in ``tests/conftest.py``
+  fails the session on any leftover record) and the poisoned lock
+  raises :class:`ForkSafetyViolation` at its release site in the
+  parent, which is the nearest frame that can still surface it.
+
+The sanitizer's own bookkeeping uses a raw ``threading.Lock`` — it is
+the measuring instrument, excluded from the rules it implements
+(``EXCLUDED_FILES`` in the spec).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+from repro.analysis.lockspec import DEFAULT_SPEC, LockOrderSpec
+
+
+class LockSanitizerError(RuntimeError):
+    """Base class for sanitizer verdicts."""
+
+
+class LockOrderViolation(LockSanitizerError):
+    """A lock was acquired against the sanctioned (or observed) order."""
+
+
+class LockOwnershipViolation(LockSanitizerError):
+    """A lock was released by a thread that does not own it."""
+
+
+class ForkSafetyViolation(LockSanitizerError):
+    """The process forked while this lock was held."""
+
+
+# ------------------------------------------------------- global state
+
+#: Raw lock guarding the edge graph and violation list (never tracked).
+_state_lock = threading.Lock()
+#: First-observed happens-before edges: outer name -> inner names.
+_edges: dict[str, set[str]] = {}
+#: Provenance of the first observation of each edge.
+_edge_sites: dict[tuple[str, str], str] = {}
+#: Deferred violations (hold-across-fork) awaiting collection.
+_violations: list[str] = []
+
+_local = threading.local()
+_fork_hooks_installed = False
+
+
+@dataclass
+class _Held:
+    """One live acquisition on some thread's stack."""
+
+    name: str
+    stack: str
+    fork_poisoned: bool = field(default=False)
+
+
+def _held_stack() -> list[_Held]:
+    stack = getattr(_local, "held", None)
+    if stack is None:
+        stack = []
+        _local.held = stack
+    return stack
+
+
+def _site(skip: int = 3, limit: int = 8) -> str:
+    """Compact ``file:line in func`` acquisition stack (innermost last)."""
+    frames = traceback.extract_stack()[: -skip or None]
+    lines = [
+        f"    {frame.filename}:{frame.lineno} in {frame.name}"
+        for frame in frames[-limit:]
+    ]
+    return "\n".join(lines)
+
+
+def _install_fork_hooks() -> None:
+    global _fork_hooks_installed
+    if _fork_hooks_installed:
+        return
+    _fork_hooks_installed = True
+    os.register_at_fork(
+        before=_before_fork, after_in_child=_after_fork_in_child
+    )
+
+
+def _before_fork() -> None:
+    """Flag any lock the forking thread holds (deterministic check).
+
+    Locks held by *other* threads at fork time are a latent hazard too,
+    but flagging them would be racy and flaky; the forking thread's own
+    holds are the deterministic, always-a-bug case.
+    """
+    held = _held_stack()
+    if not held:
+        return
+    for entry in held:
+        entry.fork_poisoned = True
+        message = (
+            f"fork while holding tracked lock '{entry.name}' "
+            f"acquired at:\n{entry.stack}"
+        )
+        with _state_lock:
+            _violations.append(message)
+
+
+def _after_fork_in_child() -> None:
+    """Reset per-thread and guard state inherited by the fork child."""
+    global _state_lock
+    _state_lock = threading.Lock()  # parent thread may have held it
+    _local.held = []
+
+
+def _path_exists(src: str, dst: str) -> bool:
+    """True when the observed graph already orders ``src`` before ``dst``."""
+    with _state_lock:
+        stack = [src]
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(_edges.get(node, ()))
+    return False
+
+
+def _check_order(name: str, spec: LockOrderSpec) -> None:
+    """Pre-acquire verdict for ``name`` on the current thread."""
+    held = _held_stack()
+    if not held:
+        return
+    if any(entry.name == name for entry in held):
+        # Same-name nesting: reentrancy is handled by TrackedRLock's
+        # depth counter before reaching here; distinct instances
+        # sharing a name cannot be ordered by name, mirroring the
+        # static rule.
+        return
+    acquiring_at = _site()
+    for entry in held:
+        if spec.allows(entry.name, name):
+            continue
+        outer_rank = spec.rank(entry.name)
+        inner_rank = spec.rank(name)
+        if outer_rank is not None and inner_rank is not None:
+            raise LockOrderViolation(
+                f"lock order inversion: acquiring '{name}' "
+                f"(rank {inner_rank}) while holding '{entry.name}' "
+                f"(rank {outer_rank}); the sanctioned order acquires "
+                f"lower ranks first.\n"
+                f"  '{entry.name}' acquired at:\n{entry.stack}\n"
+                f"  '{name}' being acquired at:\n{acquiring_at}"
+            )
+        # Unranked pair: first observed order wins.
+        if _path_exists(name, entry.name):
+            first = _edge_sites.get((name, entry.name), "<unknown>")
+            raise LockOrderViolation(
+                f"lock order inversion: acquiring '{name}' while "
+                f"holding '{entry.name}', but the opposite order was "
+                f"observed earlier.\n"
+                f"  earlier '{name}' -> '{entry.name}' at:\n{first}\n"
+                f"  '{entry.name}' now held, acquired at:"
+                f"\n{entry.stack}\n"
+                f"  '{name}' being acquired at:\n{acquiring_at}"
+            )
+    with _state_lock:
+        for entry in held:
+            if name not in _edges.setdefault(entry.name, set()):
+                _edges[entry.name].add(name)
+                _edge_sites[(entry.name, name)] = acquiring_at
+
+
+def _push(name: str) -> _Held:
+    entry = _Held(name=name, stack=_site())
+    _held_stack().append(entry)
+    return entry
+
+
+def _pop(entry: _Held) -> None:
+    stack = _held_stack()
+    for index in range(len(stack) - 1, -1, -1):
+        if stack[index] is entry:
+            del stack[index]
+            return
+
+
+# ------------------------------------------------------ tracked locks
+
+
+class TrackedLock:
+    """A ``threading.Lock`` wrapper enforcing the sanctioned lock order."""
+
+    _reentrant = False
+
+    def __init__(self, name: str, spec: LockOrderSpec = DEFAULT_SPEC):
+        self.name = name
+        self._spec = spec
+        self._inner = self._make_inner()
+        self._owner: int | None = None
+        self._entry: _Held | None = None
+        _install_fork_hooks()
+
+    def _make_inner(self):
+        return threading.Lock()
+
+    # -- lock protocol
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            # A non-blocking attempt cannot deadlock; only a blocking
+            # acquire is judged (and recorded) against the order.
+            _check_order(self.name, self._spec)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            self._entry = _push(self.name)
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise LockOwnershipViolation(
+                f"thread {threading.get_ident()} releasing lock "
+                f"'{self.name}' owned by thread {self._owner}"
+            )
+        entry = self._entry
+        self._owner = None
+        self._entry = None
+        if entry is not None:
+            _pop(entry)
+        self._inner.release()
+        if entry is not None and entry.fork_poisoned:
+            raise ForkSafetyViolation(
+                f"lock '{self.name}' was held across a fork; the "
+                f"child inherited it locked with no owner thread.\n"
+                f"  acquired at:\n{entry.stack}"
+            )
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TrackedRLock(TrackedLock):
+    """A ``threading.RLock`` wrapper; only depth 0->1 is order-checked."""
+
+    _reentrant = True
+
+    def __init__(self, name: str, spec: LockOrderSpec = DEFAULT_SPEC):
+        super().__init__(name, spec)
+        self._depth = 0
+
+    def _make_inner(self):
+        return threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._owner == me:
+            self._inner.acquire(blocking, timeout)
+            self._depth += 1
+            return True
+        if blocking:
+            _check_order(self.name, self._spec)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = me
+            self._depth = 1
+            self._entry = _push(self.name)
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise LockOwnershipViolation(
+                f"thread {threading.get_ident()} releasing lock "
+                f"'{self.name}' owned by thread {self._owner}"
+            )
+        self._depth -= 1
+        if self._depth > 0:
+            self._inner.release()
+            return
+        entry = self._entry
+        self._owner = None
+        self._entry = None
+        if entry is not None:
+            _pop(entry)
+        self._inner.release()
+        if entry is not None and entry.fork_poisoned:
+            raise ForkSafetyViolation(
+                f"lock '{self.name}' was held across a fork; the "
+                f"child inherited it locked with no owner thread.\n"
+                f"  acquired at:\n{entry.stack}"
+            )
+
+
+# -------------------------------------------------------- public API
+
+
+def held_locks() -> list[str]:
+    """Names of tracked locks the current thread holds (outermost first)."""
+    return [entry.name for entry in _held_stack()]
+
+
+def violations() -> list[str]:
+    """The deferred (fork) violations recorded so far."""
+    with _state_lock:
+        return list(_violations)
+
+
+def take_violations() -> list[str]:
+    """Pop and return the deferred violations (consumed by tests)."""
+    with _state_lock:
+        out = list(_violations)
+        _violations.clear()
+    return out
+
+
+def reset() -> None:
+    """Clear the edge graph and violations (test isolation helper).
+
+    Only safe while no tracked lock is held anywhere in the process.
+    """
+    with _state_lock:
+        _edges.clear()
+        _edge_sites.clear()
+        _violations.clear()
+    _local.held = []
+
+
+def observed_edges() -> dict[str, set[str]]:
+    """A copy of the happens-before graph (diagnostics)."""
+    with _state_lock:
+        return {outer: set(inners) for outer, inners in _edges.items()}

@@ -575,6 +575,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     ignore = tuple(
         token for part in args.ignore for token in part.split(",") if token
     )
+    if args.concurrency:
+        select = select + tuple(
+            rule.rule_id
+            for rule in default_rules()
+            if rule.rule_id.startswith("LEX-C")
+        )
     try:
         result = lint(
             args.root,
@@ -584,6 +590,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
     except LintUsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.internal_errors:
+        # An analyzer crashed: nothing it covers was actually checked.
+        # Refuse to bake the crash into a baseline and exit with the
+        # infrastructure-failure code so CI distinguishes "lint found
+        # problems" (1) from "lint itself is broken" (2).
+        for finding in result.internal_errors:
+            print(f"internal error: {finding.message}", file=sys.stderr)
         return 2
     if args.write_baseline:
         from repro.analysis import BASELINE_FILENAME
@@ -878,6 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULES",
         help="skip these rules (ids or names, comma-separated; "
         "repeatable)",
+    )
+    p_lint.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run only the LEX-C concurrency rule family",
     )
     p_lint.add_argument(
         "--baseline",

@@ -36,6 +36,7 @@ import time
 
 from repro import faults, obs
 from repro.errors import ReproError, ServerError
+from repro.locks import make_rlock
 from repro.server.client import LexEqualClient
 from repro.server.resilience import RetryPolicy
 
@@ -112,7 +113,7 @@ class ShardSupervisor:
         )
         self._rng = rng or random.Random()
         self.shards = [ShardHandle(i) for i in range(shard_count)]
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cluster.supervisor")
         self._stopping = threading.Event()
         self._monitor: threading.Thread | None = None
 

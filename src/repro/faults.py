@@ -51,12 +51,12 @@ from __future__ import annotations
 
 import os
 import random
-import threading
 import time
 from contextlib import contextmanager
 
 from repro import obs
 from repro.errors import FaultInjectedError, TTPError
+from repro.locks import make_lock
 
 __all__ = [
     "FAILPOINTS",
@@ -196,7 +196,7 @@ class FaultRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("faults.registry")
         self._points: dict[str, _Failpoint] = {}
         self._rng = random.Random()
         #: Lock-free fast-path flag: True iff any failpoint is

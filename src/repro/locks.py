@@ -1,0 +1,43 @@
+"""Lock factory: named locks, sanitizer-tracked under ``REPRO_LOCKSAN=1``.
+
+Every lock in the system is created through :func:`make_lock` /
+:func:`make_rlock` with its canonical name from the sanctioned-order
+spec (``repro.analysis.lockspec``).  By default the factory returns
+plain ``threading`` locks — zero overhead, no analysis imports.  With
+``REPRO_LOCKSAN=1`` in the environment it returns the runtime
+sanitizer's tracked wrappers instead, so the entire test suite (the CI
+``tests-locksan`` leg) runs with lock-order, ownership, and
+fork-safety enforcement live.
+
+The environment is consulted per call, not at import time: a test can
+flip ``REPRO_LOCKSAN`` and construct a fresh engine without reloading
+modules.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+def sanitizer_enabled() -> bool:
+    """True when ``REPRO_LOCKSAN`` requests tracked locks."""
+    return os.environ.get("REPRO_LOCKSAN", "") not in ("", "0")
+
+
+def make_lock(name: str):
+    """A named mutex: ``threading.Lock`` or a sanitizer ``TrackedLock``."""
+    if sanitizer_enabled():
+        from repro.analysis.sanitizer import TrackedLock
+
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A named reentrant lock, sanitizer-tracked when enabled."""
+    if sanitizer_enabled():
+        from repro.analysis.sanitizer import TrackedRLock
+
+        return TrackedRLock(name)
+    return threading.RLock()

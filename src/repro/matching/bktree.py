@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 
-from repro import faults
+from repro import deadline, faults
 from repro.errors import MatchConfigError
 
 #: Distance function over token sequences.
@@ -114,6 +114,10 @@ class BKTree:
         stack = [self._root]
         res = self._resolution
         while stack:
+            # The distance callback polls between DP rows, but an
+            # injected or trivial distance never does — the traversal
+            # itself must stay cancellable (LEX-C005).
+            deadline.check("matching.bktree.search")
             node = stack.pop()
             d = self._distance(tokens, node.tokens)
             self.last_search_distance_calls += 1

@@ -10,11 +10,11 @@ to the server").
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 from repro.errors import DatabaseError, SchemaError
+from repro.locks import make_rlock
 from repro.minidb.btree import BPlusTree
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.table import HeapTable
@@ -55,7 +55,7 @@ class Database:
     def __init__(self, storage=None) -> None:
         # Reentrant because write paths nest (insert → observer →
         # accelerator maintenance may consult the catalog again).
-        self._write_lock = threading.RLock()
+        self._write_lock = make_rlock("minidb.catalog.write")
         self._tables: dict[str, HeapTable] = {}
         self._indexes: dict[str, IndexInfo] = {}
         self._indexes_by_table: dict[str, list[IndexInfo]] = {}

@@ -8,10 +8,10 @@ gives a real engine.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Iterable, Iterator
 
 from repro.errors import ExecutionError
+from repro.locks import make_lock
 from repro.minidb.schema import TableSchema
 
 #: Sentinel stored in deleted slots.
@@ -33,7 +33,7 @@ class HeapTable:
         self.schema = schema
         self._rows: list[tuple | object] = []
         self._live_count = 0
-        self._write_lock = threading.Lock()
+        self._write_lock = make_lock("minidb.table.write")
 
     @property
     def name(self) -> str:

@@ -33,6 +33,8 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.locks import make_lock
+
 
 class Counter:
     """A monotonically increasing counter."""
@@ -42,7 +44,7 @@ class Counter:
     def __init__(self, name: str, lock: threading.Lock | None = None):
         self.name = name
         self._value = 0.0
-        self._lock = lock or threading.Lock()
+        self._lock = lock or make_lock("obs.instrument")
 
     def inc(self, amount: float = 1) -> None:
         with self._lock:
@@ -65,7 +67,7 @@ class Timer:
         self.name = name
         self.count = 0
         self.seconds = 0.0
-        self._lock = lock or threading.Lock()
+        self._lock = lock or make_lock("obs.instrument")
 
     def record(self, seconds: float) -> None:
         with self._lock:
@@ -95,7 +97,7 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
-        self._lock = lock or threading.Lock()
+        self._lock = lock or make_lock("obs.instrument")
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -195,7 +197,7 @@ class InMemoryMetricsRegistry(MetricsRegistry):
     enabled = True
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.registry")
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
         self._histograms: dict[str, Histogram] = {}

@@ -43,13 +43,15 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.locks import make_lock
+
 #: Every segment this library creates is named with this prefix, so
 #: leak checks (tests, the chaos harness) can diff ``/dev/shm``.
 SEGMENT_PREFIX = "repro_par_"
 
 _ALIGN = 64
 
-_counter_lock = threading.Lock()
+_counter_lock = make_lock("parallel.shm.counter")
 _counter = 0
 
 
@@ -82,7 +84,7 @@ class SegmentDescriptor:
 
 # ------------------------------------------------------------ registry
 
-_live_lock = threading.Lock()
+_live_lock = make_lock("parallel.shm.live")
 _LIVE: dict[str, "SharedSegment"] = {}
 
 
@@ -105,9 +107,17 @@ def _forget_all() -> None:
 
     A forked child inherits the parent's registry by memory copy; were
     it to run cleanup it would unlink segments the parent still serves.
+
+    Runs as the ``after_in_child`` fork hook, so it must never
+    *acquire* ``_live_lock``: at fork time some other parent thread may
+    hold it, and the child inherits that locked state with no thread
+    left to release it — acquiring here would deadlock the child
+    forever (LEX-C003).  The child is single-threaded at this point,
+    so the inherited lock is replaced wholesale instead.
     """
-    with _live_lock:
-        _LIVE.clear()
+    global _live_lock
+    _live_lock = make_lock("parallel.shm.live")
+    _LIVE.clear()
 
 
 os.register_at_fork(after_in_child=_forget_all)
@@ -263,7 +273,7 @@ class SharedSegment:
             pass
 
 
-_tracker_patch_lock = threading.Lock()
+_tracker_patch_lock = make_lock("parallel.shm.tracker")
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:

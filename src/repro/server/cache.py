@@ -16,10 +16,10 @@ Hits and misses feed the ``server.statement_cache.*`` counters and the
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 
 from repro import obs
+from repro.locks import make_lock
 from repro.minidb.sql import Statement, parse
 
 
@@ -30,7 +30,7 @@ class StatementCache:
         if maxsize < 1:
             raise ValueError("statement cache needs maxsize >= 1")
         self.maxsize = maxsize
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.cache")
         self._entries: OrderedDict[str, Statement] = OrderedDict()
         self._hits = 0
         self._misses = 0

@@ -24,12 +24,12 @@ not just that it did.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass
 
 from repro import obs
 from repro.errors import CircuitOpenError
+from repro.locks import make_lock
 
 #: Breaker states.
 CLOSED = "closed"
@@ -108,7 +108,7 @@ class CircuitBreaker:
         self.name = name
         self.policy = policy or BreakerPolicy()
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.breaker")
         self.state = CLOSED
         self._consecutive_failures = 0
         self._opened_at: float | None = None
@@ -197,7 +197,7 @@ class BreakerBoard:
     ):
         self.policy = policy or BreakerPolicy()
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.breaker_board")
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, op: str) -> CircuitBreaker:

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 from contextlib import contextmanager
 
 from repro import faults, obs
 from repro.errors import StorageError
+from repro.locks import make_rlock
 from repro.storage import layout, snapshots
 from repro.storage.wal import WalReplay, WriteAheadLog
 
@@ -124,7 +124,7 @@ class FileBackend(StorageManager):
         self.data_dir = data_dir
         os.makedirs(data_dir, exist_ok=True)
         os.makedirs(layout.index_dir(data_dir), exist_ok=True)
-        self._lock = threading.RLock()
+        self._lock = make_rlock("storage.backend")
         self._txn_depth = 0
         self._auto_checkpoint_bytes = auto_checkpoint_bytes
         self._artifacts: dict[str, object] = {}

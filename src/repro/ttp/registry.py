@@ -13,12 +13,12 @@ caller tags it otherwise.
 
 from __future__ import annotations
 
-import threading
 import unicodedata
 from collections.abc import Iterable
 
 from repro import faults, obs
 from repro.errors import TTPError, UnsupportedLanguageError
+from repro.locks import make_lock
 from repro.phonetics.parse import PhonemeString
 from repro.ttp.base import TTPConverter, builtin_converters
 
@@ -44,7 +44,7 @@ class TTPRegistry:
     ):
         self._converters: dict[str, TTPConverter] = {}
         self._cache: dict[tuple[str, str], PhonemeString] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("ttp.registry")
         #: Whether transforms are folded onto the canonical matching
         #: alphabet (paper Section 4.1 preprocessing).  Raw converter
         #: output is always available via ``converter_for(...).to_phonemes``.
@@ -127,7 +127,7 @@ class TTPRegistry:
 
 
 _DEFAULT: TTPRegistry | None = None
-_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_LOCK = make_lock("ttp.default")
 
 
 def default_registry() -> TTPRegistry:

@@ -39,3 +39,27 @@ def nehru_catalog(matcher: LexEqualMatcher) -> NameCatalog:
         ]
     )
     return catalog
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _locksan_gate():
+    """The tier-1 locksan gate (REPRO_LOCKSAN=1, DESIGN.md §8).
+
+    Order inversions and non-owner releases raise at their call sites;
+    hold-across-fork is *deferred* (CPython swallows exceptions inside
+    at-fork hooks), so this session-scoped teardown fails the sanitized
+    run if any deferred violation was recorded and never consumed by a
+    test that expected it.
+    """
+    yield
+    from repro.locks import sanitizer_enabled
+
+    if not sanitizer_enabled():
+        return
+    from repro.analysis import sanitizer
+
+    leftover = sanitizer.take_violations()
+    assert not leftover, (
+        "lock sanitizer recorded deferred violations:\n\n"
+        + "\n\n".join(leftover)
+    )

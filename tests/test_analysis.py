@@ -478,7 +478,7 @@ class TestRepoIsClean:
         assert result.clean, render_text(result.findings)
         # The shipped baseline is empty: nothing is being tolerated.
         assert result.suppressed == []
-        assert len(result.rules) == 11
+        assert len(result.rules) == 16
 
     def test_cli_lint_smoke(self, capsys):
         from repro.cli import main

@@ -1,0 +1,556 @@
+"""Tests for the LEX-C concurrency rule family (repro.analysis.concurrency).
+
+Same two layers as test_analysis.py: seeded-violation fixture modules
+for every rule (each rule is constructed with an explicit file list and,
+where relevant, a fixture spec), plus repo-level assertions that the
+shipped spec matches this checkout — including the regression fixture
+reproducing the PR 7 checkpoint lock-order inversion that LEX-C001
+exists to catch.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisContext
+from repro.analysis.concurrency import (
+    AsyncBlocking,
+    DeadlinePolls,
+    ForkSignalSafety,
+    LockOrder,
+    ResourceLifecycle,
+)
+from repro.analysis.lockgraph import LockGraph
+from repro.analysis.lockspec import DEFAULT_SPEC, LockOrderSpec
+
+
+def write_module(root, name: str, source: str) -> str:
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return name
+
+
+def fixture_spec(**ranks: int) -> LockOrderSpec:
+    """A spec over fixture locks only: no repo tables, no exclusions."""
+    return LockOrderSpec(
+        ranks=dict(ranks),
+        class_attrs={},
+        module_vars={},
+        attr_aliases={},
+        excluded_files={},
+    )
+
+
+# ------------------------------------------------------------- LEX-C001
+
+
+class TestLockOrder:
+    def test_direct_inversion_fires(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            from repro.locks import make_lock
+
+            _a = make_lock("fix.alpha")
+            _b = make_lock("fix.beta")
+
+            def wrong():
+                with _b:
+                    with _a:
+                        pass
+            """,
+        )
+        spec = fixture_spec(**{"fix.alpha": 1, "fix.beta": 2})
+        rule = LockOrder(files=[mod], spec=spec)
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            "lock order inversion" in f.message
+            and "'fix.alpha' (rank 1)" in f.message
+            and "'fix.beta' (rank 2)" in f.message
+            for f in findings
+        ), findings
+
+    def test_sanctioned_order_is_clean(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            from repro.locks import make_lock
+
+            _a = make_lock("fix.alpha")
+            _b = make_lock("fix.beta")
+
+            def right():
+                with _a:
+                    with _b:
+                        pass
+            """,
+        )
+        spec = fixture_spec(**{"fix.alpha": 1, "fix.beta": 2})
+        rule = LockOrder(files=[mod], spec=spec)
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+    def test_interprocedural_inversion_fires(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            from repro.locks import make_lock
+
+            _a = make_lock("fix.alpha")
+            _b = make_lock("fix.beta")
+
+            def outer():
+                with _b:
+                    helper()
+
+            def helper():
+                with _a:
+                    pass
+            """,
+        )
+        spec = fixture_spec(**{"fix.alpha": 1, "fix.beta": 2})
+        rule = LockOrder(files=[mod], spec=spec)
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            "lock order inversion" in f.message
+            and "outer -> helper" in f.message
+            for f in findings
+        ), findings
+
+    def test_unranked_lock_fires(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            import threading
+
+            _mystery_lock = threading.Lock()
+
+            def grab():
+                with _mystery_lock:
+                    pass
+            """,
+        )
+        rule = LockOrder(files=[mod], spec=fixture_spec())
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any("has no rank" in f.message for f in findings), findings
+
+    def test_factory_name_drift_fires(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            from repro.locks import make_lock
+
+            class StatementCache:
+                def __init__(self):
+                    self._lock = make_lock("server.wrong")
+            """,
+        )
+        rule = LockOrder(files=[mod], spec=DEFAULT_SPEC)
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            "disagrees with the spec name 'server.cache'" in f.message
+            for f in findings
+        ), findings
+
+    def test_unresolvable_lockish_reference_warns(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            def use(some_lock):
+                with some_lock:
+                    pass
+            """,
+        )
+        rule = LockOrder(files=[mod], spec=fixture_spec())
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            f.severity == "warning"
+            and "unresolvable lock reference 'some_lock'" in f.message
+            for f in findings
+        ), findings
+
+    def test_reentrant_rlock_reacquire_is_not_an_edge(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "fix.py",
+            """
+            from repro.locks import make_rlock
+
+            _a = make_rlock("fix.alpha")
+
+            def outer():
+                with _a:
+                    inner()
+
+            def inner():
+                with _a:
+                    pass
+            """,
+        )
+        rule = LockOrder(files=[mod], spec=fixture_spec(**{"fix.alpha": 1}))
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+
+# ------------------------------------------- LEX-C001 vs the PR 7 bug
+#
+# The storage engine's original checkpoint took the backend lock first
+# and the catalog write lock second, while every query path nested them
+# the other way around — a real deadlock fixed in PR 7's follow-up.  The
+# rule must reproduce that finding when the fix is reverted, using the
+# *shipped* spec (Database/FileBackend resolution and ranks), and pass
+# the fixed ordering.
+
+_CHECKPOINT_TEMPLATE = """
+import threading
+
+class Database:
+    def __init__(self):
+        self._write_lock = threading.RLock()
+
+    @property
+    def write_lock(self):
+        return self._write_lock
+
+    def snapshot_state(self):
+        with self._write_lock:
+            return {{}}
+
+class FileBackend:
+    def __init__(self, db):
+        self._lock = threading.RLock()
+        self._db = db
+
+    def checkpoint(self):
+        with {first}:
+            with {second}:
+                return self._db.snapshot_state()
+"""
+
+
+class TestCheckpointInversionRegression:
+    def test_reverted_pr7_fix_fires(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "storage_fixture.py",
+            _CHECKPOINT_TEMPLATE.format(
+                first="self._lock", second="self._db.write_lock"
+            ),
+        )
+        rule = LockOrder(files=[mod], spec=DEFAULT_SPEC)
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            "lock order inversion" in f.message
+            and "'minidb.catalog.write'" in f.message
+            and "'storage.backend'" in f.message
+            for f in findings
+        ), findings
+
+    def test_fixed_ordering_is_clean(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "storage_fixture.py",
+            _CHECKPOINT_TEMPLATE.format(
+                first="self._db.write_lock", second="self._lock"
+            ),
+        )
+        rule = LockOrder(files=[mod], spec=DEFAULT_SPEC)
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+
+# ------------------------------------------------------------- LEX-C002
+
+
+class TestAsyncBlocking:
+    def test_blocking_calls_in_async_def_fire(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "srv.py",
+            """
+            import time
+            import os
+
+            class Handler:
+                async def handle(self):
+                    time.sleep(0.1)
+                    os.fsync(3)
+                    open("x")
+                    self._lock.acquire()
+                    with self._lock:
+                        pass
+            """,
+        )
+        rule = AsyncBlocking(files=[mod], sanctioned={})
+        messages = [
+            f.message for f in rule.run(AnalysisContext(tmp_path))
+        ]
+        assert any("time.sleep" in m for m in messages)
+        assert any("os.fsync" in m for m in messages)
+        assert any("open()" in m for m in messages)
+        assert any("untimed .acquire()" in m for m in messages)
+        assert any("synchronous 'with self._lock'" in m for m in messages)
+
+    def test_timed_acquire_and_sync_defs_are_clean(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "srv.py",
+            """
+            import asyncio
+            import time
+
+            class Handler:
+                async def ok(self):
+                    await asyncio.sleep(0)
+                    self._lock.acquire(timeout=1.0)
+
+                async def offload(self):
+                    def work():
+                        time.sleep(1)  # runs in an executor, not here
+                    return work
+
+                def sync_path(self):
+                    time.sleep(1)
+            """,
+        )
+        rule = AsyncBlocking(files=[mod], sanctioned={})
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+    def test_sanctioned_site_is_skipped(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "srv.py",
+            """
+            import time
+
+            async def slow():
+                time.sleep(1)
+            """,
+        )
+        rule = AsyncBlocking(
+            files=[mod], sanctioned={(mod, "slow"): "fixture reason"}
+        )
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+
+# ------------------------------------------------------------- LEX-C003
+
+
+class TestForkSignalSafety:
+    FIXTURE = """
+    import os
+    import signal
+    import threading
+
+    _lk = threading.Lock()
+
+    def _hook():
+        with _lk:
+            pass
+
+    def _handler(signum, frame):
+        threading.Thread(target=print).start()
+
+    os.register_at_fork(after_in_child=_hook)
+    signal.signal(signal.SIGTERM, _handler)
+    """
+
+    def test_lock_in_fork_hook_and_thread_in_handler_fire(self, tmp_path):
+        mod = write_module(tmp_path, "hooks.py", self.FIXTURE)
+        rule = ForkSignalSafety(
+            files=[mod],
+            spec=fixture_spec(),
+            sanctioned_fork={},
+            sanctioned_signal={},
+        )
+        messages = [
+            f.message for f in rule.run(AnalysisContext(tmp_path))
+        ]
+        assert any(
+            "acquired in _hook" in m and "fork hook" in m
+            for m in messages
+        ), messages
+        assert any(
+            "thread started in _handler" in m and "signal hook" in m
+            for m in messages
+        ), messages
+
+    def test_sanctioned_sites_are_skipped(self, tmp_path):
+        mod = write_module(tmp_path, "hooks.py", self.FIXTURE)
+        rule = ForkSignalSafety(
+            files=[mod],
+            spec=fixture_spec(),
+            sanctioned_fork={(mod, "_hook"): "fixture reason"},
+            sanctioned_signal={(mod, "_handler"): "fixture reason"},
+        )
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+    def test_unresolvable_handler_warns(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "hooks.py",
+            """
+            import os
+
+            os.register_at_fork(before=ghost)
+            """,
+        )
+        rule = ForkSignalSafety(
+            files=[mod],
+            spec=fixture_spec(),
+            sanctioned_fork={},
+            sanctioned_signal={},
+        )
+        findings = list(rule.run(AnalysisContext(tmp_path)))
+        assert any(
+            f.severity == "warning"
+            and "unresolvable handler 'ghost'" in f.message
+            for f in findings
+        ), findings
+
+
+# ------------------------------------------------------------- LEX-C004
+
+
+class TestResourceLifecycle:
+    def test_leaked_and_unowned_resources_fire(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "res.py",
+            """
+            def leak(path):
+                handle = open(path)
+                data = handle.read()
+                return len(data)
+
+            def bare(path):
+                open(path).read()
+            """,
+        )
+        rule = ResourceLifecycle(files=[mod])
+        messages = [
+            f.message for f in rule.run(AnalysisContext(tmp_path))
+        ]
+        assert any(
+            "assigns a resource to 'handle'" in m for m in messages
+        ), messages
+        assert any("no with/try-finally" in m for m in messages), messages
+
+    def test_managed_resources_are_clean(self, tmp_path):
+        mod = write_module(
+            tmp_path,
+            "res.py",
+            """
+            def ok_with(path):
+                with open(path) as fh:
+                    return fh.read()
+
+            def ok_finally(path):
+                fh = open(path)
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+
+            def ok_transfer(path):
+                return open(path)
+
+            class Holder:
+                def __init__(self, path):
+                    self._fh = open(path)
+            """,
+        )
+        rule = ResourceLifecycle(files=[mod])
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+
+# ------------------------------------------------------------- LEX-C005
+
+
+class TestDeadlinePolls:
+    FIXTURE = """
+    from repro import deadline
+
+    def scan_bad(items):
+        i = 0
+        while i < len(items):
+            i += 1
+
+    def scan_polled(items):
+        i = 0
+        while i < len(items):
+            deadline.check("fixture")
+            i += 1
+
+    def scan_mixed(rows):
+        for row in rows:
+            deadline.check("fixture")
+        j = 10
+        while j > 0:
+            j -= 1
+
+    def spin():
+        deadline.check("fixture")
+        while True:
+            pass
+    """
+
+    def test_unpolled_loops_fire(self, tmp_path):
+        mod = write_module(tmp_path, "hot.py", self.FIXTURE)
+        rule = DeadlinePolls(files=[mod], sanctioned={})
+        messages = [
+            f.message for f in rule.run(AnalysisContext(tmp_path))
+        ]
+        # scan_bad never polls; spin polls once but its `while True`
+        # never polls in-body.  The bounded scan in scan_mixed (a
+        # function that polls at its own cadence) is fine.
+        assert any("scan_bad" in m for m in messages), messages
+        assert any("spin" in m for m in messages), messages
+        assert len(messages) == 2, messages
+
+    def test_sanctioned_loops_are_skipped(self, tmp_path):
+        mod = write_module(tmp_path, "hot.py", self.FIXTURE)
+        rule = DeadlinePolls(
+            files=[mod],
+            sanctioned={
+                (mod, "scan_bad"): "fixture reason",
+                (mod, "spin"): "fixture reason",
+            },
+        )
+        assert list(rule.run(AnalysisContext(tmp_path))) == []
+
+
+# ------------------------------------------------ the shipped spec fits
+
+
+class TestShippedSpec:
+    def test_checkpoint_nesting_is_seen_and_sanctioned(self):
+        """The analyzer actually observes the PR 7 invariant.
+
+        Guards against the clean repo-wide pass being vacuous: the real
+        checkpoint path must produce the catalog->backend edge, and the
+        shipped spec must sanction exactly that direction.
+        """
+        graph = LockGraph(AnalysisContext())
+        pairs = {(e.outer, e.inner) for e in graph.edges()}
+        assert ("minidb.catalog.write", "storage.backend") in pairs
+        assert ("storage.backend", "minidb.catalog.write") not in pairs
+        assert DEFAULT_SPEC.allows(
+            "minidb.catalog.write", "storage.backend"
+        )
+        assert not DEFAULT_SPEC.allows(
+            "storage.backend", "minidb.catalog.write"
+        )
+
+    def test_every_discovered_lock_is_ranked(self):
+        graph = LockGraph(AnalysisContext())
+        unranked = {
+            c.lock
+            for c in graph.creations
+            if DEFAULT_SPEC.rank(c.lock) is None
+        }
+        assert unranked == set()

@@ -1,0 +1,190 @@
+"""Baseline suppression round-trip and lint exit-code taxonomy.
+
+The round-trip exercises the full ``lint()`` flow against a fixture
+tree: finding -> baseline -> suppressed -> new finding stays active ->
+re-baseline -> stale entries drop out when the code is fixed.  The
+exit-code tests pin the CLI contract: 0 clean, 1 findings, 2 internal
+analyzer error (which can never be baselined or written into one).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Rule,
+    lint,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.concurrency import DeadlinePolls
+
+BAD_LOOP = """
+def scan_{name}(items):
+    i = 0
+    while i < len(items):
+        i += 1
+"""
+
+CLEAN = """
+from repro import deadline
+
+def scan_clean(items):
+    i = 0
+    while i < len(items):
+        deadline.check("fixture")
+        i += 1
+"""
+
+
+def write_hot(root, *funcs: str) -> None:
+    source = "\n".join(
+        textwrap.dedent(BAD_LOOP.format(name=name)) for name in funcs
+    ) or textwrap.dedent(CLEAN)
+    (root / "hot.py").write_text(source, encoding="utf-8")
+
+
+def run_lint(root):
+    return lint(
+        root,
+        rules=[DeadlinePolls(files=["hot.py"], sanctioned={})],
+    )
+
+
+class TestBaselineRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        baseline = tmp_path / ".lint-baseline.json"
+        # 1. A seeded violation is active with no baseline.
+        write_hot(tmp_path, "first")
+        result = run_lint(tmp_path)
+        assert len(result.findings) == 1
+        assert result.suppressed == []
+
+        # 2. Baselining it suppresses it on the next run.
+        save_baseline(baseline, result.findings)
+        result = run_lint(tmp_path)
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+        # 3. A new violation stays active; the old one stays suppressed.
+        write_hot(tmp_path, "first", "second")
+        result = run_lint(tmp_path)
+        assert len(result.findings) == 1
+        assert "scan_second" in result.findings[0].message
+        assert len(result.suppressed) == 1
+
+        # 4. Re-baselining everything makes the run clean again.
+        save_baseline(baseline, result.findings + result.suppressed)
+        result = run_lint(tmp_path)
+        assert result.clean
+        assert len(result.suppressed) == 2
+
+        # 5. Fixing the code and re-baselining drops the stale entries.
+        write_hot(tmp_path)
+        result = run_lint(tmp_path)
+        assert result.clean
+        assert result.suppressed == []
+        save_baseline(baseline, result.findings + result.suppressed)
+        assert load_baseline(baseline) == set()
+
+
+class _Exploding(Rule):
+    rule_id = "LEX-T999"
+    name = "exploding-cli"
+    description = "always crashes (exit-code fixture)"
+
+    def run(self, ctx):
+        raise RuntimeError("kaboom")
+
+
+class _OneFinding(Rule):
+    rule_id = "LEX-T998"
+    name = "one-finding-cli"
+    description = "always fires once (exit-code fixture)"
+
+    def run(self, ctx):
+        yield self.finding("fixture.py", 1, "seeded finding")
+
+
+class TestExitCodes:
+    def test_internal_error_cannot_be_baselined(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        crash = Finding(
+            "LEX-T999",
+            "<analysis>",
+            0,
+            "analyzer exploding-cli crashed: RuntimeError: kaboom",
+        )
+        save_baseline(baseline, [crash])
+        result = lint(
+            tmp_path, rules=[_Exploding()], baseline_path=baseline
+        )
+        assert not result.clean
+        assert len(result.internal_errors) == 1
+        assert result.suppressed == []
+
+    @pytest.fixture()
+    def patched_rules(self, monkeypatch):
+        def patch(rules):
+            from repro.analysis import runner
+
+            monkeypatch.setattr(
+                runner, "default_rules", lambda: list(rules)
+            )
+
+        return patch
+
+    def test_cli_exit_0_clean(self, patched_rules, capsys):
+        from repro.cli import main
+
+        patched_rules([])
+        assert main(["lint"]) == 0
+        capsys.readouterr()
+
+    def test_cli_exit_1_on_findings(self, patched_rules, capsys):
+        from repro.cli import main
+
+        patched_rules([_OneFinding()])
+        assert main(["lint"]) == 1
+        assert "seeded finding" in capsys.readouterr().out
+
+    def test_cli_exit_2_on_analyzer_crash(self, patched_rules, capsys):
+        from repro.cli import main
+
+        patched_rules([_Exploding()])
+        assert main(["lint"]) == 2
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "kaboom" in err
+
+    def test_cli_refuses_baseline_of_crash(
+        self, patched_rules, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        patched_rules([_Exploding()])
+        baseline = tmp_path / "baseline.json"
+        code = main(["lint", "--write-baseline", "--baseline", str(baseline)])
+        assert code == 2
+        assert not baseline.exists()
+        capsys.readouterr()
+
+    def test_cli_concurrency_flag_selects_lexc_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--concurrency", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        doc = json.loads(out)
+        ids = {rule["id"] for rule in doc["rules"]}
+        assert ids == {
+            "LEX-C001",
+            "LEX-C002",
+            "LEX-C003",
+            "LEX-C004",
+            "LEX-C005",
+        }

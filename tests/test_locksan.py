@@ -1,0 +1,169 @@
+"""Tests for the runtime lock-order sanitizer (repro.analysis.sanitizer).
+
+Negative tests: each detection mode is seeded with a real violation and
+must raise (or, for hold-across-fork, record the deferred violation and
+raise at the release site).  The tracked classes are constructed
+directly so the tests run identically with and without ``REPRO_LOCKSAN``
+in the environment; every test consumes the violations it provokes so
+the session-level locksan gate in conftest stays clean.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.lockspec import LockOrderSpec
+from repro.analysis.sanitizer import (
+    ForkSafetyViolation,
+    LockOrderViolation,
+    LockOwnershipViolation,
+    TrackedLock,
+    TrackedRLock,
+)
+from repro.locks import make_lock, make_rlock, sanitizer_enabled
+
+#: A spec with no ranked locks: pairs fall back to first-observed order.
+UNRANKED = LockOrderSpec(
+    ranks={},
+    class_attrs={},
+    module_vars={},
+    attr_aliases={},
+    excluded_files={},
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_sanitizer():
+    sanitizer.reset()
+    yield
+    sanitizer.take_violations()
+    sanitizer.reset()
+
+
+class TestFactory:
+    def test_plain_locks_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKSAN", raising=False)
+        assert not sanitizer_enabled()
+        assert not isinstance(make_lock("fix.plain"), TrackedLock)
+        assert not isinstance(make_rlock("fix.plain"), TrackedRLock)
+
+    def test_tracked_locks_under_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKSAN", "1")
+        assert sanitizer_enabled()
+        lock = make_lock("fix.tracked")
+        rlock = make_rlock("fix.tracked.r")
+        assert isinstance(lock, TrackedLock)
+        assert isinstance(rlock, TrackedRLock)
+        assert lock.name == "fix.tracked"
+        assert rlock.name == "fix.tracked.r"
+
+    def test_env_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKSAN", "0")
+        assert not sanitizer_enabled()
+
+
+class TestLockOrder:
+    def test_rank_inversion_raises(self):
+        backend = TrackedLock("storage.backend")
+        catalog = TrackedLock("minidb.catalog.write")
+        with backend:
+            with pytest.raises(LockOrderViolation, match="rank"):
+                catalog.acquire()
+        assert sanitizer.held_locks() == []
+
+    def test_sanctioned_order_passes_and_records_the_edge(self):
+        backend = TrackedLock("storage.backend")
+        catalog = TrackedLock("minidb.catalog.write")
+        with catalog:
+            with backend:
+                assert sanitizer.held_locks() == [
+                    "minidb.catalog.write",
+                    "storage.backend",
+                ]
+        edges = sanitizer.observed_edges()
+        assert "storage.backend" in edges["minidb.catalog.write"]
+
+    def test_first_observed_order_governs_unranked_pairs(self):
+        x = TrackedLock("fix.x", UNRANKED)
+        y = TrackedLock("fix.y", UNRANKED)
+        with x:
+            with y:
+                pass  # establishes x -> y
+        with y:
+            with pytest.raises(
+                LockOrderViolation, match="opposite order"
+            ):
+                x.acquire()
+
+    def test_nonblocking_acquire_is_not_order_checked(self):
+        # A try-lock cannot deadlock, so an inverted non-blocking
+        # acquire is deliberately tolerated.
+        backend = TrackedLock("storage.backend")
+        catalog = TrackedLock("minidb.catalog.write")
+        with backend:
+            assert catalog.acquire(blocking=False)
+            catalog.release()
+
+    def test_rlock_reentrancy_is_not_an_inversion(self):
+        catalog = TrackedRLock("minidb.catalog.write")
+        backend = TrackedRLock("storage.backend")
+        with catalog:
+            with backend:
+                with catalog:  # reentrant: depth, not a new nesting
+                    pass
+            assert sanitizer.held_locks() == ["minidb.catalog.write"]
+        assert sanitizer.held_locks() == []
+
+
+class TestOwnership:
+    def test_release_from_another_thread_raises(self):
+        lock = TrackedLock("fix.owned", UNRANKED)
+        lock.acquire()
+        caught: list[BaseException] = []
+
+        def rogue():
+            try:
+                lock.release()
+            except BaseException as exc:  # noqa: BLE001 - assertion target
+                caught.append(exc)
+
+        thread = threading.Thread(target=rogue)
+        thread.start()
+        thread.join()
+        assert len(caught) == 1
+        assert isinstance(caught[0], LockOwnershipViolation)
+        lock.release()  # still owned by this thread
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork not available"
+)
+class TestForkSafety:
+    def test_hold_across_fork_is_deferred_then_raised(self):
+        lock = TrackedLock("fix.forked", UNRANKED)
+        lock.acquire()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits immediately
+            os._exit(0)
+        os.waitpid(pid, 0)
+        # CPython swallows exceptions in at-fork hooks, so the parent
+        # sees a deferred record plus a raise at the release site.
+        recorded = sanitizer.violations()
+        assert any("fix.forked" in message for message in recorded)
+        with pytest.raises(ForkSafetyViolation, match="fix.forked"):
+            lock.release()
+        assert "fix.forked" in sanitizer.take_violations()[0]
+
+    def test_fork_with_nothing_held_is_clean(self):
+        lock = TrackedLock("fix.idle", UNRANKED)
+        with lock:
+            pass
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child exits immediately
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert sanitizer.violations() == []

@@ -1,5 +1,7 @@
 """Tests for the BK metric tree and the metric-index strategy."""
 
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -141,3 +143,28 @@ class TestMetricIndexStrategy:
         metric = MetricIndexStrategy(catalog)
         results = metric.select("Krishna", languages=("hindi",))
         assert all(r.language == "hindi" for r in results)
+
+
+# -------------------------------------------------- deadline polling
+
+
+class TestSearchDeadline:
+    def test_search_aborts_on_expired_deadline(self):
+        # The traversal itself must poll: with a distance callback that
+        # never checks the deadline (injected or trivial metrics never
+        # do), an expired deadline still cancels the search (LEX-C005).
+        from repro import deadline
+        from repro.errors import DeadlineExceededError
+
+        tree = BKTree(lambda a, b: float(len(a) != len(b)))
+        for word in ("cat", "cot", "dog", "dot", "cart", "coast"):
+            tree.add(word, word)
+        with deadline.deadline_scope(0.0):
+            time.sleep(0.001)  # guarantee the deadline is in the past
+            with pytest.raises(DeadlineExceededError):
+                tree.search("cat", 5.0)
+
+    def test_search_unaffected_without_deadline(self):
+        tree = BKTree(lambda a, b: float(len(a) != len(b)))
+        tree.add("cat", "cat")
+        assert tree.search("cat", 1.0)

@@ -284,6 +284,35 @@ class TestSignalCleanup:
         segment._unlink_nolock()  # already gone: swallowed, no raise
 
 
+# -------------------------------------------------- fork-child registry
+
+
+class TestForgetAll:
+    def test_forget_all_never_acquires_the_registry_lock(self):
+        # _forget_all runs as the after_in_child fork hook: at fork time
+        # another parent thread may hold _live_lock, and the child
+        # inherits it locked with no owner.  The hook must complete even
+        # then — it replaces the lock instead of acquiring it
+        # (LEX-C003; this test deadlocks on regression).
+        segment = shm_mod.SharedSegment(
+            {"x": np.arange(4, dtype=np.int64)}
+        )
+        old_lock = shm_mod._live_lock
+        old_lock.acquire()  # simulate the stuck inherited lock
+        try:
+            hook = threading.Thread(target=shm_mod._forget_all)
+            hook.start()
+            hook.join(timeout=5.0)
+            assert not hook.is_alive(), (
+                "_forget_all blocked on the inherited registry lock"
+            )
+        finally:
+            old_lock.release()
+        assert shm_mod._live_lock is not old_lock  # replaced wholesale
+        assert shm_mod.live_segments() == ()  # registry emptied, usable
+        segment.unlink()
+
+
 # ------------------------------------------------------- SIGTERM drain
 
 _SIGTERM_SCRIPT = """
