@@ -337,6 +337,7 @@ class FailpointDrift(Rule):
 METRIC_DOMAINS = frozenset(
     {
         "accelerator",
+        "ann",
         "btree",
         "client",
         "cluster",
@@ -816,7 +817,7 @@ class StorageBoundary(Rule):
         )
 
     @staticmethod
-    def _reserved() -> tuple[frozenset[str], str]:
+    def _reserved() -> tuple[frozenset[str], tuple[str, ...]]:
         from repro.storage import layout
 
         return (
@@ -828,7 +829,7 @@ class StorageBoundary(Rule):
                     layout.STATS_FILENAME,
                 }
             ),
-            layout.INDEX_SUFFIX,
+            (layout.INDEX_SUFFIX, layout.ANN_INDEX_SUFFIX),
         )
 
     @staticmethod
@@ -856,7 +857,7 @@ class StorageBoundary(Rule):
         return out
 
     def _violations(self, tree: ast.Module):
-        names, idx_suffix = self._reserved()
+        names, suffixes = self._reserved()
         docstrings = self._docstrings(tree)
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
@@ -891,8 +892,9 @@ class StorageBoundary(Rule):
                 # Basename comparison: "data/wal.log" is as much a
                 # boundary breach as the bare file name.
                 base = node.value.rsplit("/", 1)[-1]
-                if base in names or (
-                    base.endswith(idx_suffix) and base != idx_suffix
+                if base in names or any(
+                    base.endswith(suffix) and base != suffix
+                    for suffix in suffixes
                 ):
                     yield (
                         node.lineno,

@@ -674,13 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--strategy",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="execution strategy for books.author (default: qgram; "
         "'auto' = cost-based per-query choice)",
     )
     p_query.add_argument(
         "--accelerate",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="deprecated alias of --strategy (--strategy wins when "
         "both are given)",
     )
@@ -712,12 +712,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_init.add_argument(
         "--strategy",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="persisted accelerator method (default: auto)",
     )
     p_init.add_argument(
         "--accelerate",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="deprecated alias of --strategy",
     )
     p_init.add_argument(
@@ -761,13 +761,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--strategy",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="phonetic accelerator for books.author (default: qgram; "
         "'auto' = cost-based per-query choice)",
     )
     p_serve.add_argument(
         "--accelerate",
-        choices=("auto", "qgram", "index", "parallel", "none"),
+        choices=("auto", "qgram", "index", "parallel", "ann", "none"),
         help="deprecated alias of --strategy (--strategy wins when "
         "both are given)",
     )

@@ -25,6 +25,7 @@ from repro.core.strategies import (
     QGramStrategy,
     PhoneticIndexStrategy,
     MetricIndexStrategy,
+    AnnPrefilterStrategy,
 )
 from repro.core.integration import install_lexequal
 from repro.core.engine import (
@@ -45,6 +46,7 @@ __all__ = [
     "QGramStrategy",
     "PhoneticIndexStrategy",
     "MetricIndexStrategy",
+    "AnnPrefilterStrategy",
     "install_lexequal",
     "PhoneticAccelerator",
     "create_phonetic_accelerator",

@@ -63,10 +63,10 @@ class PhoneticAccelerator:
         allow_lossy: bool = False,
         restore: dict | None = None,
     ):
-        if method not in ("qgram", "index", "parallel", "auto"):
+        if method not in ("qgram", "index", "parallel", "ann", "auto"):
             raise DatabaseError(
                 f"accelerator method must be 'qgram', 'index', "
-                f"'parallel' or 'auto', got {method!r}"
+                f"'parallel', 'ann' or 'auto', got {method!r}"
             )
         self.db = db
         self.table_name = table_name
@@ -83,6 +83,19 @@ class PhoneticAccelerator:
         self._maintain_qgram = method in ("qgram", "auto")
         self._maintain_index = method in ("index", "auto")
         self._maintain_parallel = method in ("parallel", "auto")
+        # The embedding prefilter is lossy at its default radius, so
+        # "auto" only carries it when the lossy tier is enabled at all.
+        self._maintain_ann = method == "ann" or (
+            method == "auto" and allow_lossy
+        )
+        #: Admission radius per unit of ``threshold * |query|`` for the
+        #: embedding prefilter (see :mod:`repro.matching.embed`): 2.0 is
+        #: the measured-recall operating point the quality harness pins.
+        self.ann_radius_scale = 2.0
+        self._ann_model = None
+        self._ann_index = None
+        self._ann_rowids: list[int] = []
+        self._ann_pos: dict[int, int] = {}
         table = db.table(table_name)
         self._position = table.schema.position(column_name)
         self._phonemes: dict[int, PhonemeString] = {}
@@ -142,6 +155,17 @@ class PhoneticAccelerator:
                 self._gram_tree.insert(
                     _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
                 )
+        if self._maintain_ann and self._ann_index is not None:
+            try:
+                vector = self._ann_model.encode(phonemes)
+            except KeyError:
+                # Symbol outside the embedding's code space: drop the
+                # index and rebuild lazily over the widened inventory.
+                self._ann_invalidate()
+            else:
+                position = self._ann_index.append(vector)
+                self._ann_rowids.append(rowid)
+                self._ann_pos[rowid] = position
 
     def on_delete(self, rowid: int, row: tuple) -> None:
         phonemes = self._phonemes.pop(rowid, None)
@@ -164,6 +188,10 @@ class PhoneticAccelerator:
                 self._gram_tree.delete(
                     _GRAM_SEP.join(gram.gram), (rowid, gram.pos)
                 )
+        if self._maintain_ann and self._ann_index is not None:
+            position = self._ann_pos.pop(rowid, None)
+            if position is not None:
+                self._ann_index.delete(position)
 
     def _tokens_of(self, phonemes: PhonemeString) -> tuple[str, ...]:
         config = self.matcher.config
@@ -198,6 +226,11 @@ class PhoneticAccelerator:
             state["encoded"] = snapshots.encoded_table_state(
                 self._build_table()
             )
+        if self._maintain_ann and self._phonemes:
+            if self._ann_state() is not None:
+                state["ann"] = snapshots.ann_index_state(
+                    self._ann_model, self._ann_index, self._ann_rowids
+                )
         return state
 
     def _restore_state(self, state: dict) -> bool:
@@ -226,6 +259,20 @@ class PhoneticAccelerator:
             self._table = snapshots.restore_encoded_table(
                 state["encoded"], self.matcher.costs
             )
+        if self._maintain_ann and "ann" in state:
+            restored = snapshots.restore_ann_index(
+                state["ann"], self.matcher.costs
+            )
+            if restored is not None:
+                model, index, rowids = restored
+                self._ann_model = model
+                self._ann_index = index
+                self._ann_rowids = [int(rowid) for rowid in rowids]
+                self._ann_pos = {
+                    rowid: pos
+                    for pos, rowid in enumerate(self._ann_rowids)
+                    if index.alive[pos]
+                }
         return True
 
     def _sync_with_table(self, table) -> None:
@@ -263,7 +310,12 @@ class PhoneticAccelerator:
         grouped-key bucket — fastest, with possible false dismissals.
         For ``method="parallel"`` it is the *exact* match set, computed
         by the sharded executor's banded batch kernels (the planner's
-        UDF recheck then touches only true matches).  Returns None
+        UDF recheck then touches only true matches).  For
+        ``method="ann"`` the embedding prefilter admits a radius
+        neighbourhood and the banded batch kernel verifies the
+        survivors, so the list is again exact over the *admitted* rows —
+        lossy only through the radius (recall pinned by the quality
+        harness).  Returns None
         (declining, planner falls back to a scan) when the query value's
         language is unsupported or its phonemes cannot be encoded.
         """
@@ -306,6 +358,19 @@ class PhoneticAccelerator:
                 else:
                     obs.incr(f"accelerator.{self.method}.declined")
                     return None
+        elif method == "ann":
+            candidates = self._ann_candidates(query_phonemes, config)
+            if candidates is None:
+                if self.method == "auto":
+                    # Query not encodable in the embedding's code
+                    # space: fall back to the lossless q-gram path.
+                    method = self.last_method = "qgram"
+                    candidates = self._qgram_candidates(
+                        query_phonemes, config
+                    )
+                else:
+                    obs.incr(f"accelerator.{self.method}.declined")
+                    return None
         elif method == "index":
             key = grouped_key(
                 query_phonemes, config.clustering, mode=config.key_mode
@@ -339,6 +404,7 @@ class PhoneticAccelerator:
             available = ["naive", "qgram"]
             if self.allow_lossy:
                 available.append("index")
+                available.append("ann")
             if self.workers is not None:
                 available.append("parallel")
         else:
@@ -359,6 +425,7 @@ class PhoneticAccelerator:
             avg_plen=avg_plen,
             qgram_sel=stats.qgram_sel if stats is not None else None,
             index_sel=stats.index_sel if stats is not None else None,
+            ann_sel=stats.ann_sel if stats is not None else None,
             avg_posting=avg_posting,
             workers=self.workers,
             available=tuple(available),
@@ -414,6 +481,109 @@ class PhoneticAccelerator:
                 )
             self._executor_stale = False
         return self._executor
+
+    def _ann_invalidate(self) -> None:
+        self._ann_model = None
+        self._ann_index = None
+        self._ann_rowids = []
+        self._ann_pos = {}
+
+    def _ann_state(self):
+        """The (model, index) pair for the embedding prefilter (lazy).
+
+        The embedding code space is the full phoneme inventory widened
+        by any out-of-inventory symbols in the current rows, so every
+        indexed row is encodable; a later insert that still misses the
+        space invalidates and rebuilds here.
+        """
+        if self._ann_index is None and self._phonemes:
+            import numpy as np
+
+            from repro.matching.embed import (
+                EmbeddingModel,
+                QuantizedMatrixIndex,
+            )
+            from repro.phonetics.inventory import INVENTORY
+
+            extra = {
+                symbol
+                for phonemes in self._phonemes.values()
+                for symbol in phonemes
+            }
+            model = EmbeddingModel.for_costs(
+                self.matcher.costs, sorted(set(INVENTORY) | extra)
+            )
+            rowids = sorted(self._phonemes)
+            chunks = [
+                model.encoded.encode(self._phonemes[rowid])
+                for rowid in rowids
+            ]
+            offsets = np.zeros(len(rowids) + 1, dtype=np.int64)
+            np.cumsum([len(c) for c in chunks], out=offsets[1:])
+            codes = (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            vectors = model.encode_many(codes, offsets)
+            self._ann_model = model
+            self._ann_index = QuantizedMatrixIndex.from_vectors(vectors)
+            self._ann_rowids = list(rowids)
+            self._ann_pos = {
+                rowid: pos for pos, rowid in enumerate(rowids)
+            }
+        if self._ann_index is None:
+            return None
+        return self._ann_model, self._ann_index
+
+    def _ann_candidates(
+        self, query_phonemes: PhonemeString, config: MatchConfig
+    ) -> list[int] | None:
+        """Exact matches among embedding-admitted rows (or None).
+
+        Prefilter with a radius search over the quantized embedding
+        matrix, then verify every survivor with the exact banded batch
+        kernel at the exact per-pair budget — candidates are true
+        matches *within the admitted neighbourhood* (lossy only through
+        the admission radius).  None = query not encodable, caller
+        falls back.
+        """
+        state = self._ann_state()
+        if state is None:
+            return []
+        import numpy as np
+
+        from repro.matching.batch import batch_edit_distances_within
+
+        model, index = state
+        try:
+            query_vector = model.encode(query_phonemes)
+        except KeyError:
+            return None
+        radius = (
+            self.ann_radius_scale
+            * config.threshold
+            * len(query_phonemes)
+        )
+        positions = index.search(query_vector, radius)
+        rowids = [self._ann_rowids[int(pos)] for pos in positions]
+        if not rowids:
+            return []
+        candidates = [self._phonemes[rowid] for rowid in rowids]
+        budgets = config.threshold * np.minimum(
+            len(query_phonemes),
+            np.fromiter(
+                (len(c) for c in candidates), np.int64, len(candidates)
+            ),
+        )
+        distances = batch_edit_distances_within(
+            query_phonemes, candidates, model.encoded, budgets
+        )
+        return sorted(
+            rowid
+            for rowid, distance in zip(rowids, distances)
+            if np.isfinite(distance)
+        )
 
     def _qgram_candidates(
         self, query_phonemes: PhonemeString, config: MatchConfig
@@ -518,6 +688,21 @@ class PhoneticAccelerator:
                     for ph in probes
                 )
                 stats.index_sel = total / (len(probes) * rows)
+            if self._maintain_ann:
+                state = self._ann_state()
+                if state is not None:
+                    model, index = state
+                    total = 0
+                    for ph in probes:
+                        radius = (
+                            self.ann_radius_scale
+                            * config.threshold
+                            * len(ph)
+                        )
+                        total += len(
+                            index.search(model.encode(ph), radius)
+                        )
+                    stats.ann_sel = total / (len(probes) * rows)
         return stats
 
     def drop(self) -> None:
@@ -551,9 +736,13 @@ def create_phonetic_accelerator(
     result change; ``method="index"`` gives Table 3 behaviour (fastest,
     may false-dismiss); ``method="parallel"`` evaluates predicates with
     the sharded banded-kernel executor (lossless; ``workers`` sizes its
-    process pool, default CPU count); ``method="auto"`` maintains the
-    filter structures and lets the cost model pick a strategy per query
-    from ANALYZE statistics (lossy index only with ``allow_lossy``).
+    process pool, default CPU count); ``method="ann"`` prefilters with
+    the quantized articulatory-embedding index of
+    :mod:`repro.matching.embed` and verifies survivors exactly (lossy
+    through the admission radius, recall pinned by the quality
+    harness); ``method="auto"`` maintains the filter structures and
+    lets the cost model pick a strategy per query from ANALYZE
+    statistics (lossy index/ann only with ``allow_lossy``).
     Also installs the LexEQUAL UDF family if the database does not have
     it yet.
 

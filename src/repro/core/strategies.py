@@ -811,6 +811,214 @@ class MetricIndexStrategy(Strategy):
         return results
 
 
+class AnnPrefilterStrategy(Strategy):
+    """Articulatory-embedding radius prefilter + exact banded verifier.
+
+    The sublinear candidate generator of ROADMAP item 3: every stored
+    phoneme string is pooled into a fixed-width articulatory feature
+    vector (:mod:`repro.matching.embed`), and a query probes an L1
+    radius around its own embedding — served either by a chunked
+    quantized int8 matrix scan (``index_kind="matrix"``) or by a
+    VP-tree (``index_kind="vptree"``).  Survivors are verified with the
+    exact banded batch kernel at the exact per-pair budget, so results
+    are always a *subset* of :class:`NaiveUdfStrategy`'s.
+
+    The embedding obeys ``|phi(s)-phi(t)|_1 <= c * d_edit(s, t)`` with
+    ``c = EmbeddingModel.lower_bound_constant()``; the admission radius
+    is ``scale * threshold * |query|`` where ``scale`` is
+    ``radius_scale`` (default 2 — lossy but measured: the quality
+    harness pins its recall) or ``c`` itself under ``lossless=True``
+    (then no true match can be dismissed and results equal naive's
+    exactly).
+    """
+
+    name = "ann-prefilter"
+
+    def __init__(
+        self,
+        catalog: NameCatalog,
+        *,
+        radius_scale: float = 2.0,
+        index_kind: str = "matrix",
+        lossless: bool = False,
+    ):
+        super().__init__(catalog)
+        from repro.errors import MatchConfigError
+        from repro.matching.embed import (
+            EmbeddingModel,
+            QuantizedMatrixIndex,
+            VPTree,
+        )
+        from repro.parallel.table import EncodedNameTable
+
+        if index_kind not in ("matrix", "vptree"):
+            raise MatchConfigError(
+                f"ann index kind must be 'matrix' or 'vptree', "
+                f"got {index_kind!r}"
+            )
+        if radius_scale <= 0:
+            raise MatchConfigError(
+                f"ann radius scale must be > 0, got {radius_scale}"
+            )
+        self.radius_scale = float(radius_scale)
+        self.index_kind = index_kind
+        self.lossless = lossless
+        self._table = EncodedNameTable.from_catalog(catalog)
+        self._model = EmbeddingModel(self._table.encoded)
+        vectors = self._model.encode_many(
+            self._table.codes, self._table.offsets
+        )
+        if index_kind == "matrix":
+            self._index = QuantizedMatrixIndex.from_vectors(vectors)
+        else:
+            self._index = VPTree(vectors)
+
+    @property
+    def admission_scale(self) -> float:
+        """Radius per unit of ``threshold * |query|`` actually used."""
+        if self.lossless:
+            return self._model.lower_bound_constant()
+        return self.radius_scale
+
+    def _prefilter(self, qvec, query_len: int):
+        radius = self.admission_scale * self.config.threshold * query_len
+        return self._index.search(qvec, radius)
+
+    def select(
+        self,
+        query: str,
+        language: str = "english",
+        languages: tuple[str, ...] = (),
+    ) -> list[NameRecord]:
+        import numpy as np
+
+        from repro.matching.batch import batch_edit_distances_within_encoded
+
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = self._table
+        stats.rows_considered = len(table)
+        query_phonemes = self._query_phonemes(query, language)
+        qcodes = table.encode_query(query_phonemes)
+        if qcodes is None:
+            # Out-of-table symbol in the query: fall back to the exact
+            # scalar path (lossless, just not prefiltered).
+            return self._select_fallback(
+                query_phonemes, languages, stats
+            )
+        qvec = self._model.encode_codes(qcodes)
+        positions = self._prefilter(qvec, len(query_phonemes))
+        allowed = table.language_codes_for(languages)
+        if allowed is not None and len(positions):
+            positions = positions[
+                np.isin(table.lang_codes[positions], allowed)
+            ]
+        stats.candidates_after_filters = len(positions)
+        results = []
+        if len(positions):
+            budgets = self.config.threshold * np.minimum(
+                len(query_phonemes), table.lens[positions]
+            )
+            distances = batch_edit_distances_within_encoded(
+                qcodes,
+                table.codes,
+                table.offsets,
+                table.encoded,
+                budgets,
+                rows=positions,
+            )
+            stats.udf_calls = len(positions)
+            for pos in positions[np.isfinite(distances)]:
+                results.append(catalog.record(int(table.ids[pos])))
+        results.sort(key=lambda r: r.id)
+        stats.results = len(results)
+        if obs.is_enabled():
+            obs.incr("ann.prefilter.queries")
+            obs.incr("ann.prefilter.candidates", int(stats.candidates_after_filters))
+            obs.incr("ann.prefilter.verified_matches", len(results))
+        self._finish(stats)
+        return results
+
+    def _select_fallback(
+        self,
+        query_phonemes,
+        languages: tuple[str, ...],
+        stats: StrategyStats,
+    ) -> list[NameRecord]:
+        catalog = self.catalog
+        costs = self.matcher.costs
+        threshold = self.config.threshold
+        results = []
+        for row in catalog.db.table(catalog.table_name).rows():
+            if not self._language_ok(row[2], languages):
+                continue
+            stats.candidates_after_filters += 1
+            stats.udf_calls += 1
+            phonemes = catalog.phonemes_of(row[0])
+            budget = threshold * min(len(query_phonemes), len(phonemes))
+            if (
+                edit_distance_within(
+                    query_phonemes, phonemes, budget, costs
+                )
+                is not None
+            ):
+                results.append(NameCatalog._to_record(row))
+        results.sort(key=lambda r: r.id)
+        stats.results = len(results)
+        obs.incr("ann.prefilter.fallback_scans")
+        self._finish(stats)
+        return results
+
+    def join(
+        self, *, cross_language_only: bool = True
+    ) -> list[tuple[NameRecord, NameRecord]]:
+        import numpy as np
+
+        from repro.matching.batch import batch_edit_distances_within_encoded
+
+        stats = StrategyStats()
+        catalog = self.catalog
+        table = self._table
+        count = len(table)
+        stats.rows_considered = count * (count - 1) // 2
+        threshold = self.config.threshold
+        results = []
+        for pos_a in range(count):
+            lo, hi = table.offsets[pos_a], table.offsets[pos_a + 1]
+            codes_a = table.codes[lo:hi]
+            vec_a = self._model.encode_codes(codes_a)
+            positions = self._prefilter(vec_a, int(table.lens[pos_a]))
+            positions = positions[positions > pos_a]
+            if cross_language_only and len(positions):
+                positions = positions[
+                    table.lang_codes[positions] != table.lang_codes[pos_a]
+                ]
+            if not len(positions):
+                continue
+            stats.candidates_after_filters += len(positions)
+            budgets = threshold * np.minimum(
+                int(table.lens[pos_a]), table.lens[positions]
+            )
+            distances = batch_edit_distances_within_encoded(
+                codes_a,
+                table.codes,
+                table.offsets,
+                table.encoded,
+                budgets,
+                rows=positions,
+            )
+            stats.udf_calls += len(positions)
+            record_a = catalog.record(int(table.ids[pos_a]))
+            for pos_b in positions[np.isfinite(distances)]:
+                results.append(
+                    (record_a, catalog.record(int(table.ids[pos_b])))
+                )
+        results.sort(key=lambda pair: (pair[0].id, pair[1].id))
+        stats.results = len(results)
+        self._finish(stats)
+        return results
+
+
 # ---------------------------------------------------------------- choice
 
 #: Cost-model strategy name -> executable strategy class.
@@ -819,6 +1027,7 @@ STRATEGY_CLASSES: dict[str, type[Strategy]] = {
     "qgram": QGramStrategy,
     "index": PhoneticIndexStrategy,
     "metric": MetricIndexStrategy,
+    "ann": AnnPrefilterStrategy,
 }
 
 
@@ -897,7 +1106,7 @@ def choose_strategy(
     from repro.minidb import cost
 
     if available is None:
-        available = ("naive", "qgram", "index", "metric")
+        available = ("naive", "qgram", "index", "metric", "ann")
     query_phonemes = catalog.matcher.registry.transform(query, language)
     query_tokens = catalog.tokens_of_phonemes(query_phonemes)
     inputs = catalog_cost_inputs(catalog)

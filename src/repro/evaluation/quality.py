@@ -123,6 +123,145 @@ def sweep_quality(
     return points
 
 
+@dataclass(frozen=True)
+class StrategyQuality:
+    """One strategy's match quality relative to the exact matcher.
+
+    ``recall_vs_exact`` is the fraction of the exact strategies' match
+    pairs the strategy reports (1.0 for every lossless strategy by
+    construction); ``candidate_fraction`` is the share of all pairs its
+    prefilter admits to verification (1.0 when there is no prefilter
+    narrower than the exact candidate set); ``recall``/``precision``
+    are the Figure 11/12 tag-based scores of its *final* result set.
+    """
+
+    strategy: str
+    threshold: float
+    recall_vs_exact: float
+    candidate_fraction: float
+    recall: float
+    precision: float
+
+
+def _ann_admitted_pairs(
+    prepared: _PreparedLexicon,
+    config: MatchConfig,
+    radius_scale: float,
+    quantized: bool,
+) -> np.ndarray:
+    """Upper-triangle mask of pairs the embedding prefilter admits.
+
+    Mirrors :class:`~repro.core.strategies.AnnPrefilterStrategy.join`:
+    pair (i, j) is admitted when the (quantized) embedding distance is
+    within ``radius_scale * threshold * len_i`` — the admission radius
+    the i-side query would use.
+    """
+    from repro.matching.batch import EncodedCosts
+    from repro.matching.embed import (
+        EmbeddingModel,
+        quantize,
+        quantized_radius,
+    )
+
+    symbols = sorted({s for p in prepared.phonemes for s in p})
+    model = EmbeddingModel(EncodedCosts(config.cost_model(), symbols))
+    vectors = np.stack([model.encode(p) for p in prepared.phonemes])
+    n = len(vectors)
+    if quantized:
+        q = quantize(vectors).astype(np.int32)
+        limits = quantized_radius(
+            radius_scale * config.threshold * prepared.lengths, model.dim
+        )
+    else:
+        q = vectors
+        limits = radius_scale * config.threshold * prepared.lengths
+    admitted = np.zeros((n, n), dtype=bool)
+    for lo in range(0, n, 256):
+        hi = min(lo + 256, n)
+        block = np.abs(q[lo:hi, None, :] - q[None, :, :]).sum(axis=2)
+        admitted[lo:hi] = block <= limits[lo:hi, None]
+    return admitted[prepared.upper]
+
+
+def strategy_quality(
+    lexicon: MultiscriptLexicon,
+    config: MatchConfig | None = None,
+    *,
+    strategies: tuple[str, ...] = (
+        "naive",
+        "qgram",
+        "metric",
+        "index",
+        "ann",
+    ),
+    radius_scale: float = 2.0,
+    quantized: bool = True,
+) -> list[StrategyQuality]:
+    """Per-strategy Figure 11/12 quality, prefilters included.
+
+    The exact strategies (``naive``/``qgram``/``metric``/``parallel``)
+    share one result set — every pair within the edit-distance budget —
+    so their ``recall_vs_exact`` is 1.0 by construction and this
+    function scores them once each only so a golden test can pin that
+    fact.  The lossy strategies are scored through their actual
+    admission rule: grouped-key equality for ``index``, the (quantized)
+    embedding radius at ``radius_scale`` for ``ann``; their final
+    result set is the intersection with the exact matches, exactly what
+    the exact verifier yields.
+    """
+    config = config or MatchConfig()
+    prepared = _PreparedLexicon(lexicon)
+    distances = _distances(prepared, config)
+    budgets = config.threshold * prepared.pair_minlen
+    matched = distances <= budgets + 1e-12
+    exact_count = int(matched.sum())
+    all_pairs = len(matched)
+
+    def admitted_for(strategy: str) -> np.ndarray:
+        if strategy == "index":
+            keys = np.array(
+                [
+                    grouped_key(p, config.clustering, mode=config.key_mode)
+                    for p in prepared.phonemes
+                ],
+                dtype=object,
+            )
+            i_idx, j_idx = prepared.upper
+            return keys[i_idx] == keys[j_idx]
+        if strategy == "ann":
+            return _ann_admitted_pairs(
+                prepared, config, radius_scale, quantized
+            )
+        return np.ones(all_pairs, dtype=bool)
+
+    results = []
+    for strategy in strategies:
+        admitted = admitted_for(strategy)
+        reported_mask = matched & admitted
+        reported = int(reported_mask.sum())
+        correct = int((reported_mask & prepared.pair_same_tag).sum())
+        counts = QualityCounts(
+            correct_matches=correct,
+            reported_matches=reported,
+            ideal_matches=prepared.ideal,
+        )
+        results.append(
+            StrategyQuality(
+                strategy=strategy,
+                threshold=config.threshold,
+                recall_vs_exact=(
+                    reported / exact_count if exact_count else 1.0
+                ),
+                candidate_fraction=(
+                    float(admitted.sum()) / all_pairs if all_pairs else 0.0
+                ),
+                recall=counts.recall,
+                precision=counts.precision,
+            )
+        )
+    return results
+
+
 def phonetic_index_dismissals(
     lexicon: MultiscriptLexicon, config: MatchConfig | None = None
 ) -> tuple[int, int, float]:

@@ -20,7 +20,11 @@ Strategy estimates (paper Figs. 9–13):
   workers (lossless; wins only when the table is large enough to
   amortize pool startup/IPC overhead);
 * ``metric``  — BK-tree range query: sublinear in rows, but every node
-  visit is a full DP call (lossless; the triangle inequality prunes).
+  visit is a full DP call (lossless; the triangle inequality prunes);
+* ``ann``     — articulatory-embedding radius prefilter (quantized
+  int8 matrix scan), then the vectorized banded kernel on survivors
+  (lossy at the default admission radius — excluded unless
+  ``allow_lossy``; recall is pinned by the quality harness).
 """
 
 from __future__ import annotations
@@ -40,9 +44,12 @@ PARALLEL_OVERHEAD = 2.0e5
 #: A BK-tree range query visits ~rows**METRIC_EXPONENT nodes (each a
 #: full distance evaluation); empirically between log and linear.
 METRIC_EXPONENT = 0.65
+#: Per-row cost of the quantized int8 embedding scan (one L1 distance
+#: over a ~36-dim vector is far cheaper than one DP cell row).
+ANN_SCAN_COST = 0.5
 
 LOSSLESS = ("naive", "qgram", "parallel", "metric")
-ALL_STRATEGIES = ("naive", "qgram", "index", "parallel", "metric")
+ALL_STRATEGIES = ("naive", "qgram", "index", "parallel", "metric", "ann")
 
 
 @dataclass(frozen=True)
@@ -70,15 +77,17 @@ def estimate_strategies(
     qgram_sel: float | None = None,
     index_sel: float | None = None,
     avg_posting: float | None = None,
+    ann_sel: float | None = None,
     workers: int | None = None,
     available: tuple[str, ...] = ALL_STRATEGIES,
 ) -> list[StrategyEstimate]:
     """Estimate every available strategy for one query.
 
-    ``qgram_sel``/``index_sel`` are measured candidate fractions from
-    the stats catalog (see :mod:`repro.minidb.stats`); when missing,
-    conservative defaults are used (q-grams keep 10% of rows, a
-    grouped-key bucket holds ``1/sqrt(rows)`` of them).
+    ``qgram_sel``/``index_sel``/``ann_sel`` are measured candidate
+    fractions from the stats catalog (see :mod:`repro.minidb.stats`);
+    when missing, conservative defaults are used (q-grams keep 10% of
+    rows, a grouped-key bucket holds ``1/sqrt(rows)`` of them, the
+    embedding radius admits 10%).
     """
     rows = max(0, int(rows))
     qlen = max(1, int(query_len))
@@ -132,6 +141,19 @@ def estimate_strategies(
         estimates.append(
             StrategyEstimate(
                 "metric", calls, calls * (row_dp + ROW_OVERHEAD), True
+            )
+        )
+    if "ann" in available:
+        if ann_sel is None:
+            ann_sel = 0.10
+        cand = rows * ann_sel
+        # Survivors are verified by the vectorized banded kernel, not
+        # the scalar UDF, so per-candidate DP is discounted like the
+        # parallel path (single shard: no pool overhead to amortize).
+        verify = cand * (row_dp / VECTOR_SPEEDUP + ROW_OVERHEAD)
+        estimates.append(
+            StrategyEstimate(
+                "ann", cand, rows * ANN_SCAN_COST + verify, False
             )
         )
     return estimates

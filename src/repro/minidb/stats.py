@@ -33,10 +33,10 @@ class ColumnStats:
 class AcceleratorStats:
     """Phonetic-accelerator statistics for one ``table.column``.
 
-    ``qgram_sel`` / ``index_sel`` are measured candidate-set fractions
-    (candidates ÷ indexed rows), averaged over ``sample_size`` probe
-    queries drawn from the stored strings; None when the corresponding
-    structure is not maintained.
+    ``qgram_sel`` / ``index_sel`` / ``ann_sel`` are measured
+    candidate-set fractions (candidates ÷ indexed rows), averaged over
+    ``sample_size`` probe queries drawn from the stored strings; None
+    when the corresponding structure is not maintained.
     """
 
     rows: int = 0
@@ -47,6 +47,7 @@ class AcceleratorStats:
     qgram_postings: int = 0
     qgram_sel: float | None = None
     index_sel: float | None = None
+    ann_sel: float | None = None
     sample_size: int = 0
     threshold: float = 0.0
 

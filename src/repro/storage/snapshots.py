@@ -24,6 +24,14 @@ Structure codecs:
   CSR arrays of a :class:`~repro.parallel.table.EncodedNameTable`; the
   cost matrices are recomputed from the (small) symbol list rather than
   stored.
+* :func:`ann_index_state` / :func:`restore_ann_index` — the quantized
+  articulatory-embedding matrix of :mod:`repro.matching.embed` with its
+  tombstone mask and position→rowid map; the embedding model itself is
+  recomputed from the symbol list, and a model/matrix width mismatch
+  returns None ("rebuild from the heap") instead of a stale index.
+  This codec — and the ``.ann`` sidecar filename it is stored under —
+  is the storage layer's own business (see
+  :data:`repro.storage.layout.ANN_INDEX_SUFFIX`).
 """
 
 from __future__ import annotations
@@ -175,3 +183,44 @@ def restore_encoded_table(state: dict, costs):
         state["lang_codes"],
         tuple(state["languages"]),
     )
+
+
+# ------------------------------------------- quantized embedding index
+
+
+def ann_index_state(model, index, rowids) -> dict:
+    """Quantized embedding matrix + tombstones + position→rowid map.
+
+    The embedding model is *not* stored: like the cost matrices above it
+    is a pure function of the cost model and symbol list, recomputed on
+    restore (and cross-checked against the matrix width).
+    """
+    import numpy as np
+
+    state = index.state()
+    state["symbols"] = list(model.encoded.index)
+    state["rowids"] = np.asarray(rowids, dtype=np.int64)
+    return state
+
+
+def restore_ann_index(state: dict, costs):
+    """Rebuild ``(model, index, rowids)`` from :func:`ann_index_state`.
+
+    Returns None when the recomputed model's dimensionality disagrees
+    with the stored matrix (the cost model or embedding layout changed
+    since the checkpoint) — the caller rebuilds from the heap.
+    """
+    from repro.matching.embed import EmbeddingModel, QuantizedMatrixIndex
+
+    model = EmbeddingModel.for_costs(costs, list(state["symbols"]))
+    matrix = state["matrix"]
+    if matrix.ndim != 2 or model.dim != matrix.shape[1]:
+        return None
+    index = QuantizedMatrixIndex.from_state(
+        {
+            "scale": state["scale"],
+            "matrix": matrix,
+            "alive": state["alive"],
+        }
+    )
+    return model, index, state["rowids"]

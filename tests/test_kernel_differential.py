@@ -219,6 +219,83 @@ class TestBatchDifferential:
         assert got[2] == np.inf  # three insertions exceed budget 1.0
 
 
+class TestAnnPrefilterDifferential:
+    """The embedding prefilter against the naive scan, end to end.
+
+    5k+ seeded (query, row) comparisons through the real strategy
+    objects: the lossy default ("cost ≤ 2" admission radius) must
+    return a *subset* of the naive scan's matches with measured recall
+    ≥ 0.98, and with the admission radius set from the proven
+    lower-bound constant (``lossless=True``) the result sets must be
+    exactly equal — for both index backends.
+    """
+
+    ROWS = 640
+    QUERY_COUNT = 8
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        from repro.core import LexEqualMatcher, NameCatalog
+        from repro.data.generator import generate_performance_dataset
+        from repro.data.lexicon import build_lexicon
+
+        catalog = NameCatalog(LexEqualMatcher())
+        items = generate_performance_dataset(build_lexicon(), self.ROWS)
+        for item in items:
+            catalog.add(item.name, item.language, ipa=item.ipa)
+        return catalog
+
+    @pytest.fixture(scope="class")
+    def queries(self, catalog):
+        rng = random.Random(SEED + 3)
+        stored = [(r.name, r.language) for r in catalog.records()]
+        picks = rng.sample(stored, self.QUERY_COUNT - 1)
+        return picks + [("Zzyzx", "english")]  # a guaranteed miss
+
+    @pytest.fixture(scope="class")
+    def naive_results(self, catalog, queries):
+        from repro.core import NaiveUdfStrategy
+
+        naive = NaiveUdfStrategy(catalog)
+        return {
+            query: {r.id for r in naive.select(query, language)}
+            for query, language in queries
+        }
+
+    def test_battery_covers_five_thousand_pairs(self, catalog, queries):
+        assert len(catalog) * len(queries) >= 5000
+
+    def test_lossy_subset_with_high_recall(self, catalog, queries,
+                                           naive_results):
+        from repro.core import AnnPrefilterStrategy
+
+        ann = AnnPrefilterStrategy(catalog, radius_scale=2.0)
+        matched = hits = 0
+        for query, language in queries:
+            expected = naive_results[query]
+            got = {r.id for r in ann.select(query, language)}
+            # Survivors are exactly verified, so anything reported must
+            # be a true match: the prefilter can only *lose* matches.
+            assert got <= expected, (query, sorted(got - expected))
+            matched += len(expected)
+            hits += len(got)
+        assert matched > 0
+        recall = hits / matched
+        assert recall >= 0.98, f"ann recall {recall:.4f} on {matched}"
+
+    @pytest.mark.parametrize("index_kind", ["matrix", "vptree"])
+    def test_lossless_equals_naive(self, catalog, queries,
+                                   naive_results, index_kind):
+        from repro.core import AnnPrefilterStrategy
+
+        ann = AnnPrefilterStrategy(
+            catalog, lossless=True, index_kind=index_kind
+        )
+        for query, language in queries:
+            got = {r.id for r in ann.select(query, language)}
+            assert got == naive_results[query], (index_kind, query)
+
+
 class TestDeadlineCancellation:
     """Both kernels honour an armed (and already expired) deadline."""
 

@@ -66,8 +66,11 @@ class TestEstimates:
         ests = self._by_name(rows=10_000, query_len=6, avg_plen=6)
         assert ests["index"].est_cost < ests["qgram"].est_cost
         assert not ests["index"].lossless
+        assert not ests["ann"].lossless
         assert all(
-            e.lossless for name, e in ests.items() if name != "index"
+            e.lossless
+            for name, e in ests.items()
+            if name not in ("index", "ann")
         )
 
     def test_parallel_amortizes_only_at_scale(self):
@@ -173,7 +176,8 @@ class TestChooseStrategy:
         timings = {
             name: _mean_latency(klass(catalog), queries)
             for name, klass in STRATEGY_CLASSES.items()
-            if name != "index"  # lossy: not eligible for this choice
+            # lossy (index, ann): not eligible for this choice
+            if name not in ("index", "ann")
         }
         fastest = min(timings.values())
         assert timings[choice.name] <= max(5.0 * fastest, 1e-3)
